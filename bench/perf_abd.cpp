@@ -1,0 +1,93 @@
+// Experiment P3 — ABD operation latency (in deliveries) and message cost
+// as the cluster grows.
+//
+// ABD's costs are protocol-determined: a write needs one round trip to a
+// majority (2n messages), a read needs two (query + write-back, 4n).
+// The bench measures simulated wall cost (delivery steps until quorum
+// under random delivery) and the message complexity, as n grows.
+#include <benchmark/benchmark.h>
+
+#include "mp/abd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlt;
+
+void BM_AbdWrite(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t total_messages = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mp::Network net;
+    mp::AbdRegister reg(net, n, 0, 0);
+    util::Rng rng(ops + 1);
+    state.ResumeTiming();
+    const int token = reg.begin_write(42);
+    while (!reg.done(token)) {
+      net.deliver_random(rng);
+    }
+    total_messages += net.messages_sent();
+    ++ops;
+  }
+  state.counters["msgs/op"] =
+      static_cast<double>(total_messages) / static_cast<double>(ops);
+  state.SetLabel("ABD write, n=" + std::to_string(n));
+}
+BENCHMARK(BM_AbdWrite)->Arg(3)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_AbdRead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t total_messages = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mp::Network net;
+    mp::AbdRegister reg(net, n, 0, 0);
+    util::Rng rng(ops + 1);
+    state.ResumeTiming();
+    const int token = reg.begin_read(1);
+    while (!reg.done(token)) {
+      net.deliver_random(rng);
+    }
+    total_messages += net.messages_sent();
+    ++ops;
+  }
+  state.counters["msgs/op"] =
+      static_cast<double>(total_messages) / static_cast<double>(ops);
+  state.SetLabel("ABD read (with write-back), n=" + std::to_string(n));
+}
+BENCHMARK(BM_AbdRead)->Arg(3)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_AbdMixedWorkload(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::Network net;
+    mp::AbdRegister reg(net, n, 0, 0);
+    util::Rng rng(7);
+    int token_w = reg.begin_write(1);
+    int token_r = reg.begin_read(1);
+    int writes = 4;
+    int reads = 4;
+    while (writes > 0 || reads > 0 || reg.pending_ops() > 0) {
+      if (reg.done(token_w) && writes > 0) {
+        token_w = reg.begin_write(10 + writes);
+        --writes;
+      }
+      if (reg.done(token_r) && reads > 0) {
+        token_r = reg.begin_read(1 + static_cast<int>(rng.uniform(
+                                         static_cast<std::uint64_t>(n - 1))));
+        --reads;
+      }
+      if (!net.deliver_random(rng)) break;
+    }
+    benchmark::DoNotOptimize(reg.hl_history().size());
+  }
+  state.SetLabel("interleaved writes+reads, n=" + std::to_string(n));
+}
+BENCHMARK(BM_AbdMixedWorkload)->Arg(3)->Arg(5)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Experiment P2 — checker scaling.
+//
+// The linearizability solver and the WSL tree checker are the measurement
+// instruments of this reproduction; this bench tracks their cost as
+// history size and write concurrency grow, so future changes can't
+// silently regress the test suite's budget.
+#include <benchmark/benchmark.h>
+
+#include "checker/lin_checker.hpp"
+#include "checker/wsl_checker.hpp"
+#include "registers/alg2_register.hpp"
+#include "registers/alg3_linearizer.hpp"
+#include "sim/adversary.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlt;
+
+/// Generates a single-register history with `writers` concurrent writer
+/// processes and `readers` readers from a random simulator run over a
+/// linearizable register model.
+history::History make_history(int writers, int readers, int ops_each,
+                              std::uint64_t seed) {
+  struct Bodies {
+    static sim::Task writer(sim::Proc& p, int ops, int base) {
+      for (int i = 0; i < ops; ++i) {
+        co_await p.write(0, base + i);
+      }
+    }
+    static sim::Task reader(sim::Proc& p, int ops) {
+      for (int i = 0; i < ops; ++i) {
+        (void)co_await p.read(0);
+      }
+    }
+  };
+  sim::Scheduler sched(seed);
+  sched.add_register(0, sim::Semantics::kLinearizable, 0);
+  for (int w = 0; w < writers; ++w) {
+    sched.add_process("w", [w, ops_each](sim::Proc& p) {
+      return Bodies::writer(p, ops_each, 100 * (w + 1));
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    sched.add_process("r", [ops_each](sim::Proc& p) {
+      return Bodies::reader(p, ops_each);
+    });
+  }
+  sim::RandomAdversary adv(seed * 31 + 5);
+  sched.run(adv, 1000000);
+  return sched.global_history();
+}
+
+void BM_LinearizabilityCheck(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int ops_each = static_cast<int>(state.range(1));
+  const history::History h = make_history(writers, 2, ops_each, 42);
+  for (auto _ : state) {
+    const auto r = checker::check_linearizable(h);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel(std::to_string(h.size()) + " ops, " +
+                 std::to_string(writers) + " writers");
+}
+BENCHMARK(BM_LinearizabilityCheck)
+    ->Args({2, 2})
+    ->Args({3, 3})
+    ->Args({4, 4})
+    ->Args({5, 5});
+
+void BM_WslCheck(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int ops_each = static_cast<int>(state.range(1));
+  const history::History h = make_history(writers, 2, ops_each, 42);
+  for (auto _ : state) {
+    const auto r = checker::check_write_strong_linearizable(h);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel(std::to_string(h.size()) + " ops, " +
+                 std::to_string(writers) + " writers");
+}
+BENCHMARK(BM_WslCheck)->Args({2, 2})->Args({3, 3})->Args({4, 4});
+
+void BM_Alg3Linearizer(benchmark::State& state) {
+  struct Bodies {
+    static sim::Task writer(sim::Proc& p, registers::SimAlg2Register& r,
+                            int slot, int ops) {
+      for (int i = 0; i < ops; ++i) {
+        co_await r.write(p, slot, 100 * (slot + 1) + i);
+      }
+    }
+  };
+  const int writers = static_cast<int>(state.range(0));
+  sim::Scheduler sched(7);
+  registers::SimAlg2Register reg(sched, writers, 100, 0);
+  for (int w = 0; w < writers; ++w) {
+    sched.add_process("w", [&reg, w](sim::Proc& p) {
+      return Bodies::writer(p, reg, w, 3);
+    });
+  }
+  sim::RandomAdversary adv(99);
+  sched.run(adv, 1000000);
+  for (auto _ : state) {
+    const auto out = registers::run_alg3(reg.trace());
+    benchmark::DoNotOptimize(out.sequence.size());
+  }
+  state.SetLabel(std::to_string(reg.trace().writes.size()) + " writes");
+}
+BENCHMARK(BM_Alg3Linearizer)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

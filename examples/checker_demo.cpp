@@ -1,0 +1,99 @@
+// Driving the history checkers directly: build histories by hand, get
+// witnesses and violation certificates.
+//
+//   $ ./examples/checker_demo
+//
+// Shows the three levels of the register-linearizability hierarchy on
+// small hand-built histories, including the paper's Theorem 13 butterfly
+// (two extensions of a common prefix that force opposite write orders).
+#include <cstdio>
+
+#include "checker/lin_checker.hpp"
+#include "checker/strong_checker.hpp"
+#include "checker/wsl_checker.hpp"
+
+namespace {
+
+using namespace rlt;
+using history::History;
+using history::OpKind;
+
+int add(History& h, int process, OpKind kind, history::Value v,
+        history::Time invoke, history::Time response) {
+  history::OpRecord op;
+  op.process = process;
+  op.reg = 0;
+  op.kind = kind;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  return h.add(op);
+}
+
+}  // namespace
+
+int main() {
+  // A linearizable history with overlapping operations.
+  {
+    History h;
+    add(h, 0, OpKind::kWrite, 7, 1, 10);
+    add(h, 1, OpKind::kRead, 0, 2, 5);   // overlaps the write, reads old
+    add(h, 1, OpKind::kRead, 7, 6, 12);  // reads new
+    const auto r = checker::check_linearizable(h);
+    std::printf("overlapping write/reads: linearizable=%s, witness:",
+                r.ok ? "yes" : "no");
+    for (const int id : r.order) std::printf(" op%d", id);
+    std::printf("\n");
+  }
+
+  // A violation, with the certificate.
+  {
+    History h;
+    add(h, 0, OpKind::kWrite, 7, 1, 2);
+    add(h, 1, OpKind::kRead, 0, 3, 4);  // stale read AFTER the write
+    const auto r = checker::check_linearizable(h);
+    std::printf("\nstale read: linearizable=%s\ncertificate: %s\n",
+                r.ok ? "yes" : "no", r.error.c_str());
+  }
+
+  // Theorem 13's butterfly: each branch fine, the tree impossible.
+  {
+    const auto build = [](history::Value read_value) {
+      History h;
+      add(h, 0, OpKind::kWrite, 1, 1, 8);   // w1, concurrent with w2
+      add(h, 1, OpKind::kWrite, 2, 2, 5);   // w2 completes first
+      add(h, 2, OpKind::kRead, read_value, 10, 12);
+      return h;
+    };
+    const History h1 = build(2);  // forces w1 before w2
+    const History h2 = build(1);  // forces w2 before w1
+    std::printf("\nTheorem 13 butterfly:\n");
+    std::printf("  branch 1 WSL alone: %s\n",
+                checker::check_write_strong_linearizable(h1).ok ? "yes" : "no");
+    std::printf("  branch 2 WSL alone: %s\n",
+                checker::check_write_strong_linearizable(h2).ok ? "yes" : "no");
+    const auto tree = checker::check_write_strong_linearizable(
+        std::vector<History>{h1, h2});
+    std::printf("  both as a prefix tree: %s\n", tree.ok ? "yes" : "no");
+    std::printf("  certificate: %s\n", tree.explanation.c_str());
+  }
+
+  // Strong vs write-strong separation (Corollary 11's flavor).
+  {
+    const auto build = [](history::Value read_value) {
+      History h;
+      add(h, 0, OpKind::kWrite, 1, 1, 4);
+      add(h, 1, OpKind::kWrite, 2, 5, 12);
+      add(h, 2, OpKind::kRead, read_value, 6, 20);  // overlaps w2
+      return h;
+    };
+    const std::vector<History> tree{build(1), build(2)};
+    std::printf("\nstrong vs write-strong separation:\n");
+    std::printf("  WSL over the tree:    %s\n",
+                checker::check_write_strong_linearizable(tree).ok ? "yes"
+                                                                  : "no");
+    std::printf("  strong over the tree: %s\n",
+                checker::check_strong_linearizable(tree).ok ? "yes" : "no");
+  }
+  return 0;
+}

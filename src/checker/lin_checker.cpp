@@ -1,0 +1,126 @@
+#include "checker/lin_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+
+namespace {
+
+/// Merges per-register witness orders into one global order consistent
+/// with real time (Kahn's algorithm on witness chains + real-time edges).
+/// By the locality theorem the constraint graph is acyclic.
+std::vector<int> merge_witnesses(
+    const History& h, const std::vector<std::vector<int>>& witnesses) {
+  // Collect included ops and successor constraints.
+  std::vector<int> included;
+  std::map<int, std::vector<int>> succ;
+  std::map<int, int> indegree;
+  for (const auto& order : witnesses) {
+    for (const int id : order) {
+      included.push_back(id);
+      indegree.emplace(id, 0);
+    }
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      succ[order[i - 1]].push_back(order[i]);
+      ++indegree[order[i]];
+    }
+  }
+  // Real-time edges between included ops (cross-register included).
+  for (const int a : included) {
+    for (const int b : included) {
+      if (a == b) continue;
+      if (h.op(a).precedes(h.op(b))) {
+        succ[a].push_back(b);
+        ++indegree[b];
+      }
+    }
+  }
+  std::vector<int> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.push_back(id);
+  }
+  // Deterministic output: among ready ops pick smallest invocation time.
+  const auto by_invoke = [&h](int a, int b) {
+    return h.op(a).invoke > h.op(b).invoke;  // min-heap via sorted vector
+  };
+  std::vector<int> out;
+  out.reserve(included.size());
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), by_invoke);
+    const int id = ready.back();
+    ready.pop_back();
+    out.push_back(id);
+    for (const int next : succ[id]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  RLT_CHECK_MSG(out.size() == included.size(),
+                "locality merge found a cycle — checker bug");
+  return out;
+}
+
+}  // namespace
+
+LinCheckResult check_linearizable(const History& h) {
+  LinCheckResult result;
+  std::vector<std::vector<int>> witnesses;
+  for (const auto reg : h.registers()) {
+    std::vector<int> mapping;
+    const History sub = h.restrict_to_register(reg, &mapping);
+    LinProblem problem;
+    problem.history = &sub;
+    const LinSolution sol = solve(problem);
+    if (!sol.ok) {
+      std::ostringstream os;
+      os << "register R" << reg << " subhistory is not linearizable:\n"
+         << sub.to_string();
+      result.error = os.str();
+      return result;
+    }
+    std::vector<int> order;
+    order.reserve(sol.order.size());
+    for (const int local : sol.order) {
+      order.push_back(mapping[static_cast<std::size_t>(local)]);
+    }
+    witnesses.push_back(std::move(order));
+  }
+  result.ok = true;
+  result.order = merge_witnesses(h, witnesses);
+
+  // Defense in depth: per-register projections of the merged order must be
+  // legal sequential histories.
+  for (const auto reg : h.registers()) {
+    std::vector<int> mapping;
+    const History sub = h.restrict_to_register(reg, &mapping);
+    std::map<int, int> to_local;
+    for (std::size_t i = 0; i < mapping.size(); ++i) {
+      to_local[mapping[i]] = static_cast<int>(i);
+    }
+    std::vector<int> local_order;
+    for (const int id : result.order) {
+      const auto it = to_local.find(id);
+      if (it != to_local.end()) local_order.push_back(it->second);
+    }
+    const SequentialCheck chk = is_legal_sequential(sub, local_order);
+    RLT_CHECK_MSG(chk.ok, "merged witness invalid on R" << reg << ": "
+                                                        << chk.error);
+  }
+  return result;
+}
+
+LinCheckResult check_all_prefixes_linearizable(const History& h) {
+  for (const History& prefix : h.all_prefixes()) {
+    LinCheckResult r = check_linearizable(prefix);
+    if (!r.ok) {
+      r.error = "prefix not linearizable: " + r.error;
+      return r;
+    }
+  }
+  return check_linearizable(h);
+}
+
+}  // namespace rlt::checker

@@ -1,0 +1,250 @@
+#include "checker/lin_solver.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+
+namespace {
+
+/// Dense per-solve view of the history plus constraint bookkeeping.
+struct SolveContext {
+  const History* h = nullptr;
+  WriteOrderMode mode = WriteOrderMode::kFree;
+  std::vector<int> exact;            // op ids, kExact only
+  std::vector<int> exact_pos;        // op id -> index in exact, or -1
+  std::uint64_t completed_mask = 0;  // ops that must be placed
+  std::uint64_t must_place_mask = 0; // completed + listed pending writes
+  std::uint64_t placeable_mask = 0;  // ops that may ever be placed
+  int n = 0;
+
+  // State key for memoization of failed states.
+  struct Key {
+    std::uint64_t mask;
+    Value value;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // 64-bit mix of both fields (splitmix-style).
+      std::uint64_t x = k.mask * 0x9E3779B97F4A7C15ULL;
+      x ^= static_cast<std::uint64_t>(k.value) + 0xBF58476D1CE4E5B9ULL +
+           (x << 6) + (x >> 2);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_set<Key, KeyHash> failed;
+
+  [[nodiscard]] bool done(std::uint64_t mask) const noexcept {
+    return (mask & must_place_mask) == must_place_mask;
+  }
+};
+
+SolveContext make_context(const LinProblem& problem) {
+  RLT_CHECK(problem.history != nullptr);
+  const History& h = *problem.history;
+  (void)single_register_of(h);
+  RLT_CHECK_MSG(h.size() <= 64, "solver supports at most 64 ops, got "
+                                    << h.size());
+  SolveContext ctx;
+  ctx.h = &h;
+  ctx.mode = problem.mode;
+  ctx.n = static_cast<int>(h.size());
+  ctx.exact_pos.assign(static_cast<std::size_t>(ctx.n), -1);
+
+  for (const OpRecord& op : h.ops()) {
+    const std::uint64_t bit = 1ULL << op.id;
+    if (!op.pending()) ctx.completed_mask |= bit;
+    const bool placeable_read = op.is_read() && !op.pending();
+    if (placeable_read) ctx.placeable_mask |= bit;
+  }
+  ctx.must_place_mask = ctx.completed_mask;
+
+  if (problem.mode == WriteOrderMode::kExact) {
+    ctx.exact = problem.exact_write_order;
+    for (std::size_t i = 0; i < ctx.exact.size(); ++i) {
+      const int id = ctx.exact[i];
+      RLT_CHECK_MSG(id >= 0 && id < ctx.n, "exact order op id out of range");
+      const OpRecord& op = h.op(id);
+      RLT_CHECK_MSG(op.is_write(), "exact order contains non-write op" << id);
+      RLT_CHECK_MSG(ctx.exact_pos[static_cast<std::size_t>(id)] == -1,
+                    "exact order repeats op" << id);
+      ctx.exact_pos[static_cast<std::size_t>(id)] = static_cast<int>(i);
+      const std::uint64_t bit = 1ULL << id;
+      ctx.placeable_mask |= bit;
+      ctx.must_place_mask |= bit;
+    }
+  } else {
+    for (const OpRecord& op : h.ops()) {
+      if (op.is_write()) ctx.placeable_mask |= 1ULL << op.id;
+    }
+  }
+  return ctx;
+}
+
+/// True iff the kExact constraints are not already unsatisfiable: every
+/// completed write must appear in the exact order.
+bool exact_order_covers_completed(const SolveContext& ctx) {
+  if (ctx.mode != WriteOrderMode::kExact) return true;
+  for (const OpRecord& op : ctx.h->ops()) {
+    if (op.is_write() && !op.pending() &&
+        ctx.exact_pos[static_cast<std::size_t>(op.id)] == -1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Index into ctx.exact of the next write that must be placed, given the
+/// set of already-placed ops.
+int next_exact_index(const SolveContext& ctx, std::uint64_t mask) {
+  for (std::size_t i = 0; i < ctx.exact.size(); ++i) {
+    if ((mask & (1ULL << ctx.exact[i])) == 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(ctx.exact.size());
+}
+
+/// Core DFS.  `order` accumulates the witness; on failure the state is
+/// memoized in ctx.failed.
+bool dfs(SolveContext& ctx, std::uint64_t mask, Value value,
+         std::vector<int>& order) {
+  if (ctx.done(mask)) return true;
+  const SolveContext::Key key{mask, value};
+  if (ctx.failed.contains(key)) return false;
+
+  const int exact_next = ctx.mode == WriteOrderMode::kExact
+                             ? next_exact_index(ctx, mask)
+                             : -1;
+
+  for (int id = 0; id < ctx.n; ++id) {
+    const std::uint64_t bit = 1ULL << id;
+    if ((mask & bit) != 0 || (ctx.placeable_mask & bit) == 0) continue;
+    const OpRecord& op = ctx.h->op(id);
+
+    if (op.is_write() && ctx.mode == WriteOrderMode::kExact) {
+      // Only the next write of the exact order may be placed.
+      if (exact_next >= static_cast<int>(ctx.exact.size()) ||
+          ctx.exact[static_cast<std::size_t>(exact_next)] != id) {
+        continue;
+      }
+    }
+    if (op.is_read() && op.value != value) continue;
+
+    // Availability: no unplaced completed op strictly precedes `op`.
+    bool available = true;
+    std::uint64_t blockers = ctx.completed_mask & ~mask & ~bit;
+    while (blockers != 0) {
+      const int q = std::countr_zero(blockers);
+      blockers &= blockers - 1;
+      if (ctx.h->op(q).response < op.invoke) {
+        available = false;
+        break;
+      }
+    }
+    if (!available) continue;
+
+    order.push_back(id);
+    const Value next_value = op.is_write() ? op.value : value;
+    if (dfs(ctx, mask | bit, next_value, order)) return true;
+    order.pop_back();
+  }
+
+  ctx.failed.insert(key);
+  return false;
+}
+
+std::vector<Value> initial_values_of(const LinProblem& problem) {
+  if (problem.initial_values.has_value()) {
+    RLT_CHECK_MSG(!problem.initial_values->empty(),
+                  "initial_values must not be empty when supplied");
+    return *problem.initial_values;
+  }
+  const auto reg = single_register_of(*problem.history);
+  return {problem.history->initial(reg)};
+}
+
+}  // namespace
+
+LinSolution solve(const LinProblem& problem) {
+  SolveContext ctx = make_context(problem);
+  LinSolution out;
+  if (!exact_order_covers_completed(ctx)) return out;
+
+  for (const Value init : initial_values_of(problem)) {
+    std::vector<int> order;
+    if (dfs(ctx, 0, init, order)) {
+      out.ok = true;
+      out.order = std::move(order);
+      out.initial_used = init;
+      out.final_value = init;
+      for (const int id : out.order) {
+        const OpRecord& op = problem.history->op(id);
+        if (op.is_write()) out.final_value = op.value;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// DFS that enumerates final values over all completions.  Uses a visited
+/// set (not a failure set): every reachable done-state contributes.
+void enumerate_finals(SolveContext& ctx, std::uint64_t mask, Value value,
+                      std::unordered_set<SolveContext::Key,
+                                         SolveContext::KeyHash>& visited,
+                      std::set<Value>& out) {
+  const SolveContext::Key key{mask, value};
+  if (!visited.insert(key).second) return;
+  if (ctx.done(mask)) out.insert(value);
+  // Keep exploring: pending writes may still be appended after done.
+  const int exact_next = ctx.mode == WriteOrderMode::kExact
+                             ? next_exact_index(ctx, mask)
+                             : -1;
+  for (int id = 0; id < ctx.n; ++id) {
+    const std::uint64_t bit = 1ULL << id;
+    if ((mask & bit) != 0 || (ctx.placeable_mask & bit) == 0) continue;
+    const OpRecord& op = ctx.h->op(id);
+    if (op.is_write() && ctx.mode == WriteOrderMode::kExact) {
+      if (exact_next >= static_cast<int>(ctx.exact.size()) ||
+          ctx.exact[static_cast<std::size_t>(exact_next)] != id) {
+        continue;
+      }
+    }
+    if (op.is_read() && op.value != value) continue;
+    bool available = true;
+    std::uint64_t blockers = ctx.completed_mask & ~mask & ~bit;
+    while (blockers != 0) {
+      const int q = std::countr_zero(blockers);
+      blockers &= blockers - 1;
+      if (ctx.h->op(q).response < op.invoke) {
+        available = false;
+        break;
+      }
+    }
+    if (!available) continue;
+    const Value next_value = op.is_write() ? op.value : value;
+    enumerate_finals(ctx, mask | bit, next_value, visited, out);
+  }
+}
+
+}  // namespace
+
+std::set<Value> feasible_final_values(const LinProblem& problem) {
+  SolveContext ctx = make_context(problem);
+  std::set<Value> out;
+  if (!exact_order_covers_completed(ctx)) return out;
+  std::unordered_set<SolveContext::Key, SolveContext::KeyHash> visited;
+  for (const Value init : initial_values_of(problem)) {
+    enumerate_finals(ctx, 0, init, visited, out);
+  }
+  return out;
+}
+
+}  // namespace rlt::checker

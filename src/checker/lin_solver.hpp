@@ -1,0 +1,88 @@
+// Backtracking linearization solver for single-register histories.
+//
+// This is the single source of truth for "does a legal linearization
+// exist?", shared by:
+//  * the off-line linearizability checker (free write order),
+//  * the write strong-linearizability tree checker (exact write order),
+//  * the simulator's `LinearizableModel` and `WslModel`, which must decide
+//    on-line whether a candidate read-return value / write commitment
+//    still admits a legal linearization.
+//
+// Search space: orders of the history's operations.  A completed read
+// must return the value of the last write placed before it (or an allowed
+// initial value).  Pending reads are never included (they have no
+// response value; including them cannot enable anything).  Pending writes
+// may be included (Definition 2, property 1) subject to `WriteOrderMode`.
+//
+// Availability rule: an operation `o` may be placed next iff no completed,
+// not-yet-placed operation `q` satisfies q.response < o.invoke (otherwise
+// q must come first).  Excluded pending writes never block anything.
+//
+// Complexity: worst-case exponential (register linearizability with
+// duplicate values is NP-hard in general), tamed by memoizing failed
+// (placed-set, register-value) states.  The solver supports at most 64
+// operations per call; callers keep windows small (see
+// `feasible_final_values`, used by the simulator to collapse quiescent
+// history).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "checker/spec.hpp"
+
+namespace rlt::checker {
+
+/// How the solver treats the order of write operations.
+enum class WriteOrderMode {
+  /// Writes may appear in any order consistent with real time; any subset
+  /// of pending writes may be included.  (Plain linearizability.)
+  kFree,
+  /// The linearization's write subsequence must be *exactly* the supplied
+  /// list, in that order.  Completed writes outside the list make the
+  /// instance infeasible; pending writes in the list must be included.
+  /// (Write strong-linearizability: the list is the committed sequence.)
+  kExact,
+};
+
+/// A single-register linearization problem.
+struct LinProblem {
+  /// Single-register history to linearize.
+  const History* history = nullptr;
+
+  WriteOrderMode mode = WriteOrderMode::kFree;
+
+  /// Used iff mode == kExact: op ids of all writes, in required order.
+  std::vector<int> exact_write_order;
+
+  /// Values the register may hold before any write of this history.
+  /// Defaults to { history->initial(reg) }.  The simulator passes several
+  /// values here after collapsing a quiescent past whose final value the
+  /// adversary has not yet been forced to reveal.
+  std::optional<std::vector<Value>> initial_values;
+};
+
+/// Outcome of a solve.
+struct LinSolution {
+  bool ok = false;
+  /// Included op ids in linearization order (witness); empty if !ok.
+  std::vector<int> order;
+  /// The initial value the witness used (one of initial_values).
+  Value initial_used = 0;
+  /// Value of the register after the witness's last write (== initial_used
+  /// if the witness contains no write).
+  Value final_value = 0;
+};
+
+/// Searches for a legal linearization.  Throws util::InvariantViolation if
+/// the history has more than 64 operations or mentions several registers.
+[[nodiscard]] LinSolution solve(const LinProblem& problem);
+
+/// All values `v` such that some legal linearization (same constraints)
+/// ends with the register holding `v`.  Used by the simulator to collapse
+/// history at quiescent points: the returned set becomes the next window's
+/// `initial_values`.
+[[nodiscard]] std::set<Value> feasible_final_values(const LinProblem& problem);
+
+}  // namespace rlt::checker

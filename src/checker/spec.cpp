@@ -1,0 +1,90 @@
+#include "checker/spec.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+
+SequentialCheck is_legal_sequential(const History& h,
+                                    const std::vector<int>& order) {
+  const auto fail = [](const std::string& why) {
+    return SequentialCheck{false, why};
+  };
+
+  std::set<int> seen;
+  for (const int id : order) {
+    if (id < 0 || id >= static_cast<int>(h.size())) {
+      return fail("order mentions unknown op id " + std::to_string(id));
+    }
+    if (!seen.insert(id).second) {
+      return fail("order mentions op" + std::to_string(id) + " twice");
+    }
+    const OpRecord& op = h.op(id);
+    if (op.is_read() && op.pending()) {
+      return fail("order includes pending read op" + std::to_string(id));
+    }
+  }
+  for (const OpRecord& op : h.ops()) {
+    if (!op.pending() && seen.count(op.id) == 0) {
+      return fail("order omits completed op" + std::to_string(op.id));
+    }
+  }
+
+  // Real-time precedence among included ops.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const OpRecord& later = h.op(order[j]);
+      const OpRecord& earlier = h.op(order[i]);
+      if (later.precedes(earlier)) {
+        std::ostringstream os;
+        os << "real-time violation: op" << later.id << " precedes op"
+           << earlier.id << " but is ordered after it";
+        return fail(os.str());
+      }
+    }
+  }
+
+  // Register semantics.
+  const auto regs = h.registers();
+  std::map<history::RegisterId, Value> current;
+  for (const auto reg : regs) current[reg] = h.initial(reg);
+  for (const int id : order) {
+    const OpRecord& op = h.op(id);
+    if (op.is_write()) {
+      current[op.reg] = op.value;
+    } else if (op.value != current[op.reg]) {
+      std::ostringstream os;
+      os << "read op" << op.id << " returned " << op.value
+         << " but register R" << op.reg << " holds " << current[op.reg];
+      return fail(os.str());
+    }
+  }
+  return SequentialCheck{true, {}};
+}
+
+std::vector<int> writes_of(const History& h, const std::vector<int>& order) {
+  std::vector<int> out;
+  for (const int id : order) {
+    if (h.op(id).is_write()) out.push_back(id);
+  }
+  return out;
+}
+
+bool is_prefix_of(const std::vector<int>& prefix,
+                  const std::vector<int>& seq) {
+  if (prefix.size() > seq.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), seq.begin());
+}
+
+history::RegisterId single_register_of(const History& h) {
+  const auto regs = h.registers();
+  RLT_CHECK_MSG(regs.size() <= 1,
+                "expected a single-register history, found "
+                    << regs.size() << " registers");
+  return regs.empty() ? 0 : regs.front();
+}
+
+}  // namespace rlt::checker

@@ -1,0 +1,62 @@
+// Sequential specification of a read/write register, plus helpers shared
+// by the linearizability / write strong-linearizability / strong
+// linearizability checkers.
+//
+// Definition 2 of the paper (linearization function w.r.t. type register):
+//   1. f(H) contains all completed operations of H and possibly some
+//      pending ones (with matching responses added);
+//   2. real-time precedence in H is preserved in f(H);
+//   3. every read returns the value of the last write linearized before
+//      it, or the register's initial value if there is none.
+//
+// `is_legal_sequential` checks exactly these three properties for a given
+// candidate order; the solvers in lin_solver.hpp search for such orders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace rlt::checker {
+
+using history::History;
+using history::OpKind;
+using history::OpRecord;
+using history::Time;
+using history::Value;
+
+/// Result of validating a candidate sequential order.
+struct SequentialCheck {
+  bool ok = false;
+  std::string error;  ///< Empty when ok; human-readable reason otherwise.
+};
+
+/// Checks that `order` (op ids of `h`, each at most once) is a legal
+/// linearization of single-register history `h`:
+///  * contains every completed op of `h`, and only ops of `h`
+///    (pending ops may be included);
+///  * respects real-time precedence among *all* ops it contains;
+///  * every pair (o before o') with o.response < o'.invoke where both are
+///    included appears in that order;
+///  * reads return the last written value (or the initial value).
+/// Reads that are pending in `h` must not appear in `order` (a pending
+/// read has no response value to validate).
+[[nodiscard]] SequentialCheck is_legal_sequential(const History& h,
+                                                  const std::vector<int>& order);
+
+/// The subsequence of `order` consisting of write operations.
+[[nodiscard]] std::vector<int> writes_of(const History& h,
+                                         const std::vector<int>& order);
+
+/// True iff `prefix` is a prefix of `seq`.
+[[nodiscard]] bool is_prefix_of(const std::vector<int>& prefix,
+                                const std::vector<int>& seq);
+
+/// Asserts that the history mentions exactly one register and returns its
+/// id; throws util::InvariantViolation otherwise.  The WSL and strong
+/// checkers operate on single-register histories (the paper's definitions
+/// are for implementations of one register).
+[[nodiscard]] history::RegisterId single_register_of(const History& h);
+
+}  // namespace rlt::checker

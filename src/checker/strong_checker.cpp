@@ -1,0 +1,251 @@
+#include "checker/strong_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "checker/tree_common.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+
+namespace {
+
+using detail::EventSig;
+using detail::for_each_ordered_selection;
+using detail::key_to_id_map;
+using detail::OpKey;
+using detail::prepare_run;
+using detail::PreparedRun;
+
+struct StrongSearch {
+  std::vector<PreparedRun> runs;
+  Value initial = 0;
+  std::string first_failure;
+  std::size_t deepest_failure_events = 0;
+  std::vector<std::vector<int>> result_orders;
+
+  /// Is `committed` a legal value of f(G) for the prefix of `run` with
+  /// `nevents` events?  f(G) must contain all completed ops of G, only
+  /// invoked ops, respect real time, and satisfy register semantics with
+  /// completed reads returning their actual values.
+  bool valid(const PreparedRun& run, std::size_t nevents,
+             const std::vector<OpKey>& committed, std::string* why) const {
+    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    const History prefix = run.h->prefix_at(t);
+    const std::map<OpKey, int> ids = key_to_id_map(prefix);
+    const auto fail = [why](const std::string& reason) {
+      if (why != nullptr) *why = reason;
+      return false;
+    };
+
+    std::vector<int> order;
+    order.reserve(committed.size());
+    for (const OpKey& key : committed) {
+      const auto it = ids.find(key);
+      if (it == ids.end()) {
+        std::ostringstream os;
+        os << "committed op " << key << " not invoked in prefix";
+        return fail(os.str());
+      }
+      order.push_back(it->second);
+    }
+    // All completed ops present?
+    {
+      std::vector<bool> present(prefix.size(), false);
+      for (const int id : order) present[static_cast<std::size_t>(id)] = true;
+      for (const OpRecord& op : prefix.ops()) {
+        if (!op.pending() && !present[static_cast<std::size_t>(op.id)]) {
+          std::ostringstream os;
+          os << "completed op" << op.id << " missing from committed order";
+          return fail(os.str());
+        }
+      }
+    }
+    // Real-time precedence.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        if (prefix.op(order[j]).precedes(prefix.op(order[i]))) {
+          std::ostringstream os;
+          os << "real-time violation between op" << order[j] << " and op"
+             << order[i];
+          return fail(os.str());
+        }
+      }
+    }
+    // Register semantics; completed reads must match, pending reads take
+    // their invented (position-determined) value.
+    Value value = initial;
+    for (const int id : order) {
+      const OpRecord& op = prefix.op(id);
+      if (op.is_write()) {
+        value = op.value;
+      } else if (!op.pending() && op.value != value) {
+        std::ostringstream os;
+        os << "read op" << id << " returned " << op.value
+           << " but committed position implies " << value;
+        return fail(os.str());
+      }
+    }
+    return true;
+  }
+
+  std::vector<OpKey> extension_candidates(
+      const PreparedRun& run, std::size_t nevents,
+      const std::vector<OpKey>& committed) const {
+    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    std::vector<OpKey> out;
+    for (const OpRecord& op : run.h->ops()) {
+      if (op.invoke > t) continue;
+      const OpKey key = run.op_keys[static_cast<std::size_t>(op.id)];
+      if (std::find(committed.begin(), committed.end(), key) ==
+          committed.end()) {
+        out.push_back(key);
+      }
+    }
+    return out;
+  }
+
+  void note_failure(std::size_t nevents, const std::string& description) {
+    if (nevents >= deepest_failure_events) {
+      deepest_failure_events = nevents;
+      first_failure = description;
+    }
+  }
+
+  bool walk(const std::vector<int>& group, std::size_t depth,
+            std::vector<OpKey>& committed);
+  bool step(const std::vector<int>& subgroup, std::size_t depth,
+            std::vector<OpKey>& committed);
+};
+
+bool StrongSearch::step(const std::vector<int>& subgroup, std::size_t depth,
+                        std::vector<OpKey>& committed) {
+  const PreparedRun& rep = runs[static_cast<std::size_t>(subgroup.front())];
+  const std::size_t nevents = depth + 1;
+
+  std::string why;
+  if (valid(rep, nevents, committed, &why)) {
+    return walk(subgroup, nevents, committed);
+  }
+
+  const std::vector<OpKey> candidates =
+      extension_candidates(rep, nevents, committed);
+  std::ostringstream failure;
+  failure << why << "; tried extensions over " << candidates.size()
+          << " uncommitted ops:";
+  const std::size_t base = committed.size();
+  const bool ok = for_each_ordered_selection(
+      candidates, [&](const std::vector<OpKey>& extension) -> bool {
+        committed.resize(base);
+        committed.insert(committed.end(), extension.begin(), extension.end());
+        const auto render = [&extension](std::ostream& os) {
+          os << "\n  + [";
+          for (std::size_t i = 0; i < extension.size(); ++i) {
+            os << (i == 0 ? "" : ", ") << extension[i];
+          }
+          os << ']';
+        };
+        if (!valid(rep, nevents, committed, nullptr)) {
+          render(failure);
+          failure << " invalid";
+          return false;
+        }
+        if (walk(subgroup, nevents, committed)) return true;
+        render(failure);
+        failure << " valid here but fails on a continuation";
+        return false;
+      });
+  if (!ok) {
+    committed.resize(base);
+    note_failure(nevents, failure.str());
+  }
+  return ok;
+}
+
+bool StrongSearch::walk(const std::vector<int>& group, std::size_t depth,
+                        std::vector<OpKey>& committed) {
+  std::vector<int> active;
+  for (const int idx : group) {
+    const PreparedRun& run = runs[static_cast<std::size_t>(idx)];
+    if (run.events.size() <= depth) {
+      std::vector<int> ids;
+      const std::map<OpKey, int> id_map = key_to_id_map(*run.h);
+      for (const OpKey& key : committed) {
+        const auto it = id_map.find(key);
+        if (it != id_map.end()) ids.push_back(it->second);
+      }
+      result_orders[static_cast<std::size_t>(run.input_index)] =
+          std::move(ids);
+    } else {
+      active.push_back(idx);
+    }
+  }
+  if (active.empty()) return true;
+
+  std::vector<std::pair<EventSig, std::vector<int>>> partitions;
+  for (const int idx : active) {
+    const PreparedRun& run = runs[static_cast<std::size_t>(idx)];
+    const EventSig& sig = run.signatures[depth];
+    auto it = std::find_if(partitions.begin(), partitions.end(),
+                           [&sig](const auto& p) { return p.first == sig; });
+    if (it == partitions.end()) {
+      partitions.push_back({sig, {idx}});
+    } else {
+      it->second.push_back(idx);
+    }
+  }
+
+  const std::vector<OpKey> snapshot = committed;
+  for (const auto& [sig, subgroup] : partitions) {
+    committed = snapshot;
+    if (!step(subgroup, depth, committed)) {
+      committed = snapshot;
+      return false;
+    }
+  }
+  committed = snapshot;
+  return true;
+}
+
+}  // namespace
+
+StrongCheckResult check_strong_linearizable(const std::vector<History>& runs) {
+  StrongCheckResult result;
+  RLT_CHECK_MSG(!runs.empty(), "need at least one history");
+
+  StrongSearch search;
+  search.result_orders.resize(runs.size());
+  const auto reg0 = single_register_of(runs.front());
+  search.initial = runs.front().initial(reg0);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto reg = single_register_of(runs[i]);
+    RLT_CHECK_MSG(reg == reg0, "all runs must use the same register");
+    RLT_CHECK_MSG(runs[i].initial(reg) == search.initial,
+                  "all runs must share the initial value");
+    search.runs.push_back(prepare_run(runs[i], static_cast<int>(i)));
+  }
+
+  std::vector<int> group(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) group[i] = static_cast<int>(i);
+  std::vector<OpKey> committed;
+  const bool ok = search.walk(group, 0, committed);
+  result.ok = ok;
+  if (ok) {
+    result.orders = std::move(search.result_orders);
+  } else {
+    std::ostringstream os;
+    os << "no strong linearization function exists; deepest failing "
+          "decision point (after "
+       << search.deepest_failure_events
+       << " events): " << search.first_failure;
+    result.explanation = os.str();
+  }
+  return result;
+}
+
+StrongCheckResult check_strong_linearizable(const History& run) {
+  return check_strong_linearizable(std::vector<History>{run});
+}
+
+}  // namespace rlt::checker

@@ -1,0 +1,140 @@
+// Internal helpers shared by the write strong-linearizability and strong
+// linearizability tree checkers: stable operation identities across runs
+// that share a prefix, and event signatures for prefix-tree construction.
+//
+// Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "checker/spec.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::checker::detail {
+
+using history::Event;
+using history::ProcessId;
+
+/// Stable identity of an operation across runs that share a prefix:
+/// (process, ordinal of the op among that process's ops, by invocation).
+struct OpKey {
+  ProcessId process = -1;
+  int ordinal = -1;
+  friend auto operator<=>(const OpKey&, const OpKey&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const OpKey& k) {
+  return os << 'p' << k.process << '#' << k.ordinal;
+}
+
+/// Event signature used to detect shared prefixes between runs.
+struct EventSig {
+  Time time = 0;
+  Event::Kind kind = Event::Kind::kInvoke;
+  ProcessId process = -1;
+  int ordinal = -1;
+  OpKind op_kind = OpKind::kRead;
+  bool has_value = false;
+  Value value = 0;
+  friend bool operator==(const EventSig&, const EventSig&) = default;
+};
+
+/// A run preprocessed for a tree walk.
+struct PreparedRun {
+  const History* h = nullptr;
+  int input_index = -1;
+  std::vector<Event> events;         ///< time-sorted
+  std::vector<EventSig> signatures;  ///< parallel to events
+  std::vector<OpKey> op_keys;        ///< per op id
+};
+
+/// Builds the per-run preprocessing; checks process well-formedness.
+inline PreparedRun prepare_run(const History& h, int input_index) {
+  PreparedRun run;
+  run.h = &h;
+  run.input_index = input_index;
+  run.events = h.events();
+  std::map<ProcessId, std::vector<int>> by_process;
+  for (const OpRecord& op : h.ops()) by_process[op.process].push_back(op.id);
+  run.op_keys.resize(h.size());
+  for (auto& [proc, ids] : by_process) {
+    std::sort(ids.begin(), ids.end(), [&h](int a, int b) {
+      return h.op(a).invoke < h.op(b).invoke;
+    });
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      RLT_CHECK_MSG(h.op(ids[i - 1]).precedes(h.op(ids[i])),
+                    "process p" << proc
+                                << " has overlapping operations — histories "
+                                   "must be well-formed");
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      run.op_keys[static_cast<std::size_t>(ids[i])] =
+          OpKey{proc, static_cast<int>(i)};
+    }
+  }
+  run.signatures.reserve(run.events.size());
+  for (const Event& ev : run.events) {
+    const OpRecord& op = h.op(ev.op_id);
+    EventSig sig;
+    sig.time = ev.time;
+    sig.kind = ev.kind;
+    sig.process = op.process;
+    sig.ordinal = run.op_keys[static_cast<std::size_t>(ev.op_id)].ordinal;
+    sig.op_kind = op.kind;
+    if (op.is_write()) {
+      sig.has_value = true;
+      sig.value = op.value;  // written value, known from invocation
+    } else if (ev.kind == Event::Kind::kResponse) {
+      sig.has_value = true;
+      sig.value = op.value;  // returned value, known at response
+    }
+    run.signatures.push_back(sig);
+  }
+  return run;
+}
+
+/// Maps OpKeys to op ids within `h` (or a prefix of it).
+inline std::map<OpKey, int> key_to_id_map(const History& h) {
+  std::map<OpKey, int> out;
+  std::map<ProcessId, std::vector<int>> by_process;
+  for (const OpRecord& op : h.ops()) by_process[op.process].push_back(op.id);
+  for (auto& [proc, ids] : by_process) {
+    std::sort(ids.begin(), ids.end(), [&h](int a, int b) {
+      return h.op(a).invoke < h.op(b).invoke;
+    });
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out[OpKey{proc, static_cast<int>(i)}] = ids[i];
+    }
+  }
+  return out;
+}
+
+/// Enumerates all ordered selections (permutations of non-empty subsets)
+/// of `candidates`, invoking `fn` with each; stops early when `fn`
+/// returns true and propagates the result.  `fn` is also called on every
+/// proper prefix of longer selections.
+inline bool for_each_ordered_selection(
+    const std::vector<OpKey>& candidates,
+    const std::function<bool(const std::vector<OpKey>&)>& fn) {
+  std::vector<OpKey> current;
+  std::vector<bool> used(candidates.size(), false);
+  const std::function<bool()> rec = [&]() -> bool {
+    if (!current.empty() && fn(current)) return true;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      current.push_back(candidates[i]);
+      if (rec()) return true;
+      current.pop_back();
+      used[i] = false;
+    }
+    return false;
+  };
+  return rec();
+}
+
+}  // namespace rlt::checker::detail

@@ -1,0 +1,232 @@
+#include "checker/wsl_checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "checker/tree_common.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+
+namespace {
+
+using detail::EventSig;
+using detail::for_each_ordered_selection;
+using detail::key_to_id_map;
+using detail::OpKey;
+using detail::prepare_run;
+using detail::PreparedRun;
+
+/// Mutable search state shared across the DFS.
+struct TreeSearch {
+  std::vector<PreparedRun> runs;
+  Value initial = 0;
+  std::size_t solver_calls = 0;
+  std::string first_failure;  ///< certificate of the deepest failure
+  std::size_t deepest_failure_events = 0;
+  std::vector<std::vector<int>> result_orders;  ///< per input run index
+
+  /// Feasibility of the prefix of `run` with `nevents` events under the
+  /// committed write sequence: does a legal linearization exist whose
+  /// write subsequence is exactly `committed`?
+  bool feasible(const PreparedRun& run, std::size_t nevents,
+                const std::vector<OpKey>& committed, std::string* why) {
+    ++solver_calls;
+    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    const History prefix = run.h->prefix_at(t);
+    const std::map<OpKey, int> ids = key_to_id_map(prefix);
+    LinProblem problem;
+    problem.history = &prefix;
+    problem.mode = WriteOrderMode::kExact;
+    for (const OpKey& key : committed) {
+      const auto it = ids.find(key);
+      RLT_CHECK_MSG(it != ids.end(),
+                    "committed op " << key << " not present in prefix");
+      problem.exact_write_order.push_back(it->second);
+    }
+    const LinSolution sol = solve(problem);
+    if (!sol.ok && why != nullptr) {
+      std::ostringstream os;
+      os << "prefix with " << nevents << " events (t<=" << t
+         << ") has no linearization with committed write order [";
+      for (std::size_t i = 0; i < committed.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << committed[i];
+      }
+      os << ']';
+      *why = os.str();
+    }
+    return sol.ok;
+  }
+
+  /// Uncommitted writes already invoked in the prefix — the candidates
+  /// for lazy commitment extension.
+  std::vector<OpKey> extension_candidates(
+      const PreparedRun& run, std::size_t nevents,
+      const std::vector<OpKey>& committed) const {
+    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    std::vector<OpKey> out;
+    for (const OpRecord& op : run.h->ops()) {
+      if (!op.is_write() || op.invoke > t) continue;
+      const OpKey key = run.op_keys[static_cast<std::size_t>(op.id)];
+      if (std::find(committed.begin(), committed.end(), key) ==
+          committed.end()) {
+        out.push_back(key);
+      }
+    }
+    return out;
+  }
+
+  void note_failure(std::size_t nevents, const std::string& description) {
+    if (nevents >= deepest_failure_events) {
+      deepest_failure_events = nevents;
+      first_failure = description;
+    }
+  }
+
+  bool walk(const std::vector<int>& group, std::size_t depth,
+            std::vector<OpKey>& committed);
+  bool step(const std::vector<int>& subgroup, std::size_t depth,
+            std::vector<OpKey>& committed);
+};
+
+bool TreeSearch::step(const std::vector<int>& subgroup, std::size_t depth,
+                      std::vector<OpKey>& committed) {
+  const PreparedRun& rep = runs[static_cast<std::size_t>(subgroup.front())];
+  const std::size_t nevents = depth + 1;
+
+  std::string why;
+  if (feasible(rep, nevents, committed, &why)) {
+    return walk(subgroup, nevents, committed);
+  }
+
+  // Forced decision point: lazily extend the committed sequence with some
+  // ordered selection of uncommitted invoked writes.
+  const std::vector<OpKey> candidates =
+      extension_candidates(rep, nevents, committed);
+  std::ostringstream failure;
+  failure << why << "; tried extensions over " << candidates.size()
+          << " uncommitted writes:";
+  const std::size_t base = committed.size();
+  const bool ok = for_each_ordered_selection(
+      candidates, [&](const std::vector<OpKey>& extension) -> bool {
+        committed.resize(base);
+        committed.insert(committed.end(), extension.begin(), extension.end());
+        const auto render = [&extension](std::ostream& os) {
+          os << "\n  + [";
+          for (std::size_t i = 0; i < extension.size(); ++i) {
+            os << (i == 0 ? "" : ", ") << extension[i];
+          }
+          os << ']';
+        };
+        if (!feasible(rep, nevents, committed, nullptr)) {
+          render(failure);
+          failure << " infeasible";
+          return false;
+        }
+        if (walk(subgroup, nevents, committed)) return true;
+        render(failure);
+        failure << " feasible here but fails on a continuation";
+        return false;
+      });
+  if (!ok) {
+    committed.resize(base);
+    note_failure(nevents, failure.str());
+  }
+  return ok;
+}
+
+bool TreeSearch::walk(const std::vector<int>& group, std::size_t depth,
+                      std::vector<OpKey>& committed) {
+  // Runs fully consumed at this depth are satisfied; record their final
+  // committed write order (op ids in that run).
+  std::vector<int> active;
+  for (const int idx : group) {
+    const PreparedRun& run = runs[static_cast<std::size_t>(idx)];
+    if (run.events.size() <= depth) {
+      std::vector<int> ids;
+      const std::map<OpKey, int> id_map = key_to_id_map(*run.h);
+      for (const OpKey& key : committed) {
+        const auto it = id_map.find(key);
+        if (it != id_map.end()) ids.push_back(it->second);
+      }
+      result_orders[static_cast<std::size_t>(run.input_index)] =
+          std::move(ids);
+    } else {
+      active.push_back(idx);
+    }
+  }
+  if (active.empty()) return true;
+
+  // Partition the active runs by the signature of their next event.
+  std::vector<std::pair<EventSig, std::vector<int>>> partitions;
+  for (const int idx : active) {
+    const PreparedRun& run = runs[static_cast<std::size_t>(idx)];
+    const EventSig& sig = run.signatures[depth];
+    auto it = std::find_if(partitions.begin(), partitions.end(),
+                           [&sig](const auto& p) { return p.first == sig; });
+    if (it == partitions.end()) {
+      partitions.push_back({sig, {idx}});
+    } else {
+      it->second.push_back(idx);
+    }
+  }
+
+  // Every branch must succeed starting from the same committed state —
+  // decisions inside one branch must not leak into a sibling.
+  const std::vector<OpKey> snapshot = committed;
+  for (const auto& [sig, subgroup] : partitions) {
+    committed = snapshot;
+    if (!step(subgroup, depth, committed)) {
+      committed = snapshot;
+      return false;
+    }
+  }
+  committed = snapshot;
+  return true;
+}
+
+}  // namespace
+
+WslCheckResult check_write_strong_linearizable(
+    const std::vector<History>& runs) {
+  WslCheckResult result;
+  RLT_CHECK_MSG(!runs.empty(), "need at least one history");
+
+  TreeSearch search;
+  search.result_orders.resize(runs.size());
+  const auto reg0 = single_register_of(runs.front());
+  search.initial = runs.front().initial(reg0);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto reg = single_register_of(runs[i]);
+    RLT_CHECK_MSG(reg == reg0, "all runs must use the same register");
+    RLT_CHECK_MSG(runs[i].initial(reg) == search.initial,
+                  "all runs must share the initial value");
+    RLT_CHECK_MSG(runs[i].size() <= 64, "runs limited to 64 ops");
+    search.runs.push_back(prepare_run(runs[i], static_cast<int>(i)));
+  }
+
+  std::vector<int> group(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) group[i] = static_cast<int>(i);
+  std::vector<OpKey> committed;
+  const bool ok = search.walk(group, 0, committed);
+  result.ok = ok;
+  result.solver_calls = search.solver_calls;
+  if (ok) {
+    result.write_orders = std::move(search.result_orders);
+  } else {
+    std::ostringstream os;
+    os << "no write strong-linearization function exists; deepest failing "
+          "decision point (after "
+       << search.deepest_failure_events
+       << " events): " << search.first_failure;
+    result.explanation = os.str();
+  }
+  return result;
+}
+
+WslCheckResult check_write_strong_linearizable(const History& run) {
+  return check_write_strong_linearizable(std::vector<History>{run});
+}
+
+}  // namespace rlt::checker

@@ -1,0 +1,109 @@
+#include "consensus/composed.hpp"
+
+#include "sim/adversary.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::consensus {
+
+namespace {
+
+/// A' for one process: play the game; on a true return (not a round-cap
+/// bailout), run consensus.
+sim::Task composed_body(sim::Proc& self, game::GameState& gs,
+                        ConsensusState& cs, int i, bool* started_flag) {
+  if (i < 2) {
+    co_await game::host_body(self, gs, i);
+  } else {
+    co_await game::player_body(self, gs, i);
+  }
+  if (!gs.procs[static_cast<std::size_t>(i)].returned) co_return;
+  *started_flag = true;
+  (void)co_await consensus_body(self, cs, i);
+}
+
+struct ComposedRun {
+  sim::Scheduler sched;
+  game::GameState game_state;
+  ConsensusState consensus_state;
+  bool consensus_started = false;
+
+  ComposedRun(const game::GameConfig& gc, ConsensusConfig cc,
+              sim::Semantics game_semantics, std::uint64_t seed)
+      : sched(seed),
+        game_state(gc),
+        consensus_state(
+            [&] {
+              RLT_CHECK_MSG(cc.n == gc.n,
+                            "game and consensus must share the process set");
+              cc.first_reg = 3;  // game occupies registers 0..2
+              return cc;
+            }(),
+            [&] {
+              // Inputs derived deterministically from the seed.
+              util::Rng rng(seed ^ 0xC0FFEE);
+              std::vector<int> in(static_cast<std::size_t>(gc.n));
+              for (int& b : in) b = rng.flip();
+              return in;
+            }()) {
+    game::setup_game(sched, game_semantics, game_state);
+    setup_consensus(sched, consensus_state.cfg, sim::Semantics::kAtomic);
+    for (int i = 0; i < gc.n; ++i) {
+      sched.add_process(
+          "composed-p" + std::to_string(i),
+          [this, i](sim::Proc& p) {
+            return composed_body(p, game_state, consensus_state, i,
+                                 &consensus_started);
+          });
+    }
+  }
+
+  [[nodiscard]] ComposedResult collect(sim::RunOutcome outcome) const {
+    ComposedResult r;
+    r.outcome = outcome;
+    r.game_terminated = game_state.all_returned();
+    r.game_rounds = game_state.rounds_reached();
+    r.consensus_started = consensus_started;
+    r.all_decided = consensus_state.all_decided();
+    r.agreement = consensus_state.agreement();
+    r.validity = consensus_state.validity();
+    return r;
+  }
+};
+
+}  // namespace
+
+ComposedResult run_composed_scripted(const game::GameConfig& game_cfg,
+                                     const ConsensusConfig& consensus_cfg,
+                                     sim::Semantics game_semantics,
+                                     game::CommitStrategy strategy,
+                                     std::uint64_t seed) {
+  RLT_CHECK_MSG(game_semantics != sim::Semantics::kAtomic,
+                "the scripted adversary needs interval semantics");
+  ComposedRun run(game_cfg, consensus_cfg, game_semantics, seed);
+  game::GameScriptAdversary adversary(game_cfg, strategy,
+                                      seed ^ 0x5DEECE66DULL);
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(game_cfg.max_rounds + 2) *
+          (static_cast<std::uint64_t>(game_cfg.n) * 24 + 64) +
+      static_cast<std::uint64_t>(consensus_cfg.max_rounds + 2) *
+          (static_cast<std::uint64_t>(game_cfg.n) * 600 + 2000);
+  const sim::RunOutcome outcome = run.sched.run(adversary, budget);
+  return run.collect(outcome);
+}
+
+ComposedResult run_composed_random(const game::GameConfig& game_cfg,
+                                   const ConsensusConfig& consensus_cfg,
+                                   sim::Semantics game_semantics,
+                                   std::uint64_t seed) {
+  ComposedRun run(game_cfg, consensus_cfg, game_semantics, seed);
+  sim::RandomAdversary adversary(seed ^ 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(game_cfg.max_rounds + 2) *
+          (static_cast<std::uint64_t>(game_cfg.n) * 400 + 4000) +
+      static_cast<std::uint64_t>(consensus_cfg.max_rounds + 2) *
+          (static_cast<std::uint64_t>(game_cfg.n) * 2000 + 8000);
+  const sim::RunOutcome outcome = run.sched.run(adversary, budget);
+  return run.collect(outcome);
+}
+
+}  // namespace rlt::consensus

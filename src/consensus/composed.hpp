@@ -1,0 +1,47 @@
+// Corollary 9: from any randomized algorithm A solving a task T (here:
+// randomized binary consensus) that terminates with probability 1
+// against a strong adversary, derive A' = (Algorithm 1 ; A): every
+// process first plays the game, and runs A only after returning from it.
+//
+//   * If the game's three registers are only linearizable, the Theorem 6
+//     adversary keeps every process in the game forever — A' never
+//     terminates (and consensus never even starts).
+//   * If they are write strongly-linearizable (or atomic), the game
+//     terminates with probability 1 and A' then solves T.
+//
+// The consensus registers themselves stay atomic throughout — Corollary 9
+// only swaps the semantics of the game's register set R.
+#pragma once
+
+#include "consensus/rand_consensus.hpp"
+#include "game/game_runner.hpp"
+
+namespace rlt::consensus {
+
+/// Outcome of one A' execution.
+struct ComposedResult {
+  bool game_terminated = false;   ///< Every process returned from the game.
+  int game_rounds = 0;            ///< Rounds the game lasted.
+  bool consensus_started = false; ///< Some process began A.
+  bool all_decided = false;
+  bool agreement = true;
+  bool validity = true;
+  sim::RunOutcome outcome = sim::RunOutcome::kStopped;
+};
+
+/// Runs A' with the game registers under `game_semantics`, driven by the
+/// scripted strong adversary (kLinearizable or kWriteStrong), with the
+/// consensus phase (atomic registers) scheduled deterministically after
+/// the game dies.  Consensus inputs are derived from `seed`.
+[[nodiscard]] ComposedResult run_composed_scripted(
+    const game::GameConfig& game_cfg, const ConsensusConfig& consensus_cfg,
+    sim::Semantics game_semantics, game::CommitStrategy strategy,
+    std::uint64_t seed);
+
+/// Runs A' end-to-end under the uniformly random strong adversary (any
+/// semantics for the game registers, including atomic).
+[[nodiscard]] ComposedResult run_composed_random(
+    const game::GameConfig& game_cfg, const ConsensusConfig& consensus_cfg,
+    sim::Semantics game_semantics, std::uint64_t seed);
+
+}  // namespace rlt::consensus

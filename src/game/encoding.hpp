@@ -1,0 +1,46 @@
+// Value encodings for Algorithm 1's registers.
+//
+// The simulator models register values as int64.  Algorithm 1 stores:
+//   * R1: ⊥ or a tuple [i, j] (host id i ∈ {0,1}, round j >= 1);
+//     the bounded variant (Appendix B) stores ⊥ or just i.
+//   * C : ⊥ or a coin value in {0, 1};
+//   * R2: small non-negative counters.
+#pragma once
+
+#include "history/event.hpp"
+
+namespace rlt::game {
+
+using history::Value;
+
+/// ⊥ (written by players to R1 and C at the start of each round).
+inline constexpr Value kBot = -1;
+
+/// Register ids within the game's scheduler.
+inline constexpr int kR1 = 0;
+inline constexpr int kR2 = 1;
+inline constexpr int kC = 2;
+
+/// Encodes the tuple [i, j] written to R1 in line 3 (unbounded game).
+[[nodiscard]] constexpr Value encode_r1(int i, int j) noexcept {
+  return static_cast<Value>(j) * 2 + i;
+}
+
+/// Host id of an encoded [i, j]; requires v != kBot.
+[[nodiscard]] constexpr int r1_host(Value v) noexcept {
+  return static_cast<int>(v % 2);
+}
+
+/// Round of an encoded [i, j]; requires v != kBot.
+[[nodiscard]] constexpr int r1_round(Value v) noexcept {
+  return static_cast<int>(v / 2);
+}
+
+/// R1 value written by host `i` in round `j`: the tuple in the unbounded
+/// game, just `i` in the bounded variant (Appendix B).
+[[nodiscard]] constexpr Value host_r1_value(int i, int j,
+                                            bool bounded) noexcept {
+  return bounded ? static_cast<Value>(i) : encode_r1(i, j);
+}
+
+}  // namespace rlt::game

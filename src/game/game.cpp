@@ -1,0 +1,167 @@
+#include "game/game.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rlt::game {
+
+bool GameState::all_returned() const {
+  return std::all_of(procs.begin(), procs.end(),
+                     [](const ProcStatus& p) { return p.returned; });
+}
+
+bool GameState::any_capped() const {
+  return std::any_of(procs.begin(), procs.end(),
+                     [](const ProcStatus& p) { return p.hit_round_cap; });
+}
+
+int GameState::rounds_reached() const {
+  int best = 0;
+  for (const ProcStatus& p : procs) best = std::max(best, p.round);
+  return best;
+}
+
+namespace {
+
+/// Lemma 16: if a player reaches line 31 in round j, then p0 and p1
+/// previously entered round j.
+void check_lemma16(const GameState& st, int j) {
+  if (!st.cfg.check_invariants) return;
+  RLT_CHECK_MSG(st.procs[0].round >= j && st.procs[1].round >= j,
+                "Lemma 16 violated: player reached line 31 in round "
+                    << j << " but hosts are in rounds " << st.procs[0].round
+                    << " and " << st.procs[1].round);
+}
+
+/// Lemma 17: if a host enters round j+1, every player wrote R2 (line 34)
+/// in round j before that.
+void check_lemma17(const GameState& st, int entering_round) {
+  if (!st.cfg.check_invariants || entering_round < 2) return;
+  for (int k = 2; k < st.cfg.n; ++k) {
+    RLT_CHECK_MSG(
+        st.procs[static_cast<std::size_t>(k)].increments_round >=
+            entering_round - 1,
+        "Lemma 17 violated: host entering round "
+            << entering_round << " but player p" << k
+            << " last incremented R2 in round "
+            << st.procs[static_cast<std::size_t>(k)].increments_round);
+  }
+}
+
+/// Lemma 18: the non-⊥ value a player reads from C in round j is the
+/// coin p0 flipped in round j.
+void check_lemma18(const GameState& st, int j, Value c) {
+  if (!st.cfg.check_invariants) return;
+  RLT_CHECK_MSG(c == 0 || c == 1, "C contained non-binary value " << c);
+  RLT_CHECK_MSG(
+      st.coin_by_round[static_cast<std::size_t>(j)] == static_cast<int>(c),
+      "Lemma 18 violated: player read c=" << c << " in round " << j
+                                          << " but p0's round-" << j
+                                          << " coin was "
+                                          << st.coin_by_round
+                                                 [static_cast<std::size_t>(j)]);
+}
+
+/// Lemma 20 (bounded variant): when a player reaches line 27, both R1
+/// values it read are from the current round.  Only checkable in the
+/// unbounded encoding, where values carry their round.
+void check_lemma20(const GameState& st, int j, Value u1, Value u2) {
+  if (!st.cfg.check_invariants || st.cfg.bounded) return;
+  RLT_CHECK_MSG(r1_round(u1) == j && r1_round(u2) == j,
+                "Lemma 20 violated: player in round "
+                    << j << " read R1 tuples from rounds " << r1_round(u1)
+                    << " and " << r1_round(u2));
+}
+
+}  // namespace
+
+sim::Task host_body(sim::Proc& self, GameState& st, int i) {
+  ProcStatus& me = st.procs[static_cast<std::size_t>(i)];
+  for (int j = 1;; ++j) {
+    if (j > st.cfg.max_rounds) {
+      me.hit_round_cap = true;
+      co_return;
+    }
+    check_lemma17(st, j);
+    me.round = j;
+    // --- Phase 1 ---
+    co_await self.write(kR1, host_r1_value(i, j, st.cfg.bounded));  // line 3
+    if (i == 0) {
+      const int c = co_await self.flip_coin();  // line 6
+      st.coin_by_round[static_cast<std::size_t>(j)] = c;
+      co_await self.write(kC, c);  // line 7
+    }
+    // --- Phase 2 ---
+    co_await self.write(kR2, 0);                  // line 10
+    const Value v = co_await self.read(kR2);      // line 11
+    if (v < st.cfg.n - 2) {                       // line 12
+      me.exit_line = ExitLine::kHostCheck;        // line 13
+      me.exit_round = j;
+      break;
+    }
+  }
+  me.returned = true;  // line 16
+}
+
+sim::Task player_body(sim::Proc& self, GameState& st, int i) {
+  ProcStatus& me = st.procs[static_cast<std::size_t>(i)];
+  for (int j = 1;; ++j) {
+    if (j > st.cfg.max_rounds) {
+      me.hit_round_cap = true;
+      co_return;
+    }
+    me.round = j;
+    // --- Phase 1 ---
+    co_await self.write(kR1, kBot);              // line 19
+    co_await self.write(kC, kBot);               // line 20
+    const Value u1 = co_await self.read(kR1);    // line 21
+    const Value u2 = co_await self.read(kR1);    // line 22
+    const Value c = co_await self.read(kC);      // line 23
+    if (u1 == kBot || u2 == kBot || c == kBot) {  // line 24
+      me.exit_line = ExitLine::kBotCheck;         // line 25
+      me.exit_round = j;
+      break;
+    }
+    check_lemma18(st, j, c);
+    check_lemma20(st, j, u1, u2);
+    const Value want1 = host_r1_value(static_cast<int>(c), j, st.cfg.bounded);
+    const Value want2 =
+        host_r1_value(1 - static_cast<int>(c), j, st.cfg.bounded);
+    if (u1 != want1 || u2 != want2) {  // line 27
+      me.exit_line = ExitLine::kValueCheck;  // line 28
+      me.exit_round = j;
+      break;
+    }
+    // --- Phase 2 ---
+    check_lemma16(st, j);
+    co_await self.write(kR2, 0);              // line 31
+    Value v = co_await self.read(kR2);        // line 32
+    v = v + 1;                                // line 33
+    co_await self.write(kR2, v);              // line 34
+    me.increments_round = j;
+  }
+  me.returned = true;  // line 36
+}
+
+void setup_game(sim::Scheduler& sched, sim::Semantics semantics,
+                GameState& state) {
+  RLT_CHECK_MSG(state.cfg.n >= 3, "the game needs n >= 3 processes");
+  sched.add_register(kR1, semantics, kBot);
+  sched.add_register(kR2, semantics, 0);
+  sched.add_register(kC, semantics, kBot);
+  for (int i = 0; i < 2; ++i) {
+    sched.add_process("host-p" + std::to_string(i),
+                      [&state, i](sim::Proc& p) {
+                        return host_body(p, state, i);
+                      });
+  }
+  for (int i = 2; i < state.cfg.n; ++i) {
+    sched.add_process("player-p" + std::to_string(i),
+                      [&state, i](sim::Proc& p) {
+                        return player_body(p, state, i);
+                      });
+  }
+}
+
+}  // namespace rlt::game

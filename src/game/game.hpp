@@ -1,0 +1,85 @@
+// Algorithm 1 of the paper: the randomized game whose termination
+// separates linearizable from write strongly-linearizable registers.
+//
+// n >= 3 processes share three MWMR registers R1, R2, C.  Processes p0
+// and p1 are the "hosts", p2..p(n-1) the "players".  Each asynchronous
+// round has two phases:
+//
+//  Phase 1: host pi writes [i, j] into R1 (line 3); p0 additionally flips
+//    a coin and writes it into C (lines 6-7).  Each player writes ⊥ into
+//    R1 and C (lines 19-20), reads R1 twice (lines 21-22) and C once
+//    (line 23), and stays in the game only if it read [c, j] then
+//    [1-c, j] where c is the coin value it read (lines 24-29).
+//  Phase 2: every in-game player resets R2 to 0 and increments it
+//    (lines 31-34); each host resets R2, reads it, and stays only if it
+//    sees >= n-2 (lines 10-13) — proof that all players stayed.
+//
+// The processes are simulator coroutines; every shared-register access
+// and the coin flip is one adversary-visible step.  Optional runtime
+// checks assert the paper's safety lemmas (15-18) in every run.
+#pragma once
+
+#include <vector>
+
+#include "game/encoding.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rlt::game {
+
+/// Where a process left the game.
+enum class ExitLine {
+  kNone,          ///< Still in the game (or hit the round cap).
+  kHostCheck,     ///< Host exited at line 13 (saw R2 < n-2).
+  kBotCheck,      ///< Player exited at line 25 (read a ⊥).
+  kValueCheck,    ///< Player exited at line 28 (R1 values mismatched).
+};
+
+/// Per-process status, updated live by the coroutines.
+struct ProcStatus {
+  int round = 0;           ///< Round currently executing (1-based).
+  bool returned = false;   ///< Reached line 16 / 36.
+  bool hit_round_cap = false;
+  ExitLine exit_line = ExitLine::kNone;
+  int exit_round = 0;      ///< Round in which the exit happened.
+  int increments_round = 0;  ///< Players: last round with a line-34 write.
+};
+
+/// Game parameters.
+struct GameConfig {
+  int n = 5;                ///< Total processes (>= 3).
+  int max_rounds = 1000;    ///< Structural cap on the paper's infinite loop.
+  bool bounded = false;     ///< Appendix B bounded-register variant.
+  bool check_invariants = true;  ///< Assert Lemmas 15-18 at runtime.
+};
+
+/// Shared, live-updated state of one game execution.
+struct GameState {
+  GameConfig cfg;
+  std::vector<ProcStatus> procs;
+  /// p0's coin flip per round (index j, 1-based; -1 = not yet flipped).
+  std::vector<int> coin_by_round;
+
+  explicit GameState(const GameConfig& config)
+      : cfg(config),
+        procs(static_cast<std::size_t>(config.n)),
+        coin_by_round(static_cast<std::size_t>(config.max_rounds) + 2, -1) {}
+
+  /// All processes returned via exit (true termination, lines 16/36).
+  [[nodiscard]] bool all_returned() const;
+  /// Any process stopped only because of the structural round cap.
+  [[nodiscard]] bool any_capped() const;
+  /// Highest round any process entered.
+  [[nodiscard]] int rounds_reached() const;
+};
+
+/// Adds registers (R1, R2, C with the given semantics) and the n game
+/// processes to `sched`.  `state` must outlive the scheduler run.
+void setup_game(sim::Scheduler& sched, sim::Semantics semantics,
+                GameState& state);
+
+/// The host coroutine (pi, i in {0, 1}) — exposed for tests.
+sim::Task host_body(sim::Proc& self, GameState& state, int i);
+/// The player coroutine (pi, 2 <= i <= n-1) — exposed for tests.
+sim::Task player_body(sim::Proc& self, GameState& state, int i);
+
+}  // namespace rlt::game

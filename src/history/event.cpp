@@ -1,0 +1,35 @@
+#include "history/event.hpp"
+
+#include <ostream>
+
+namespace rlt::history {
+
+const char* to_string(OpKind kind) noexcept {
+  return kind == OpKind::kRead ? "read" : "write";
+}
+
+std::ostream& operator<<(std::ostream& os, const OpRecord& op) {
+  os << "op" << op.id << "[p" << op.process << " " << to_string(op.kind)
+     << "(R" << op.reg << (op.is_write() ? ")=" : ")->");
+  if (op.is_read() && op.pending()) {
+    os << '?';
+  } else {
+    os << op.value;
+  }
+  os << " @" << op.invoke << "..";
+  if (op.pending()) {
+    os << "pending";
+  } else {
+    os << op.response;
+  }
+  os << ']';
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& ev) {
+  os << (ev.kind == Event::Kind::kInvoke ? "inv" : "res") << "(op" << ev.op_id
+     << ")@" << ev.time;
+  return os;
+}
+
+}  // namespace rlt::history

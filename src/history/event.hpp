@@ -1,0 +1,89 @@
+// Operation records and events for register histories.
+//
+// A *history* (Herlihy & Wing) is a sequence of invocation and response
+// events of operations applied to shared objects.  This library works with
+// register histories only: operations are reads and writes on named
+// registers.  Register values are modeled uniformly as 64-bit integers;
+// richer payloads (tuples like the game's "[i, j]", vector-timestamped
+// values, ⊥) are encoded into int64 by the modules that need them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace rlt::history {
+
+/// Identifies a process (0-based).
+using ProcessId = int;
+
+/// Identifies a register within a history.
+using RegisterId = int;
+
+/// Register value.  Encodings for structured payloads live with their
+/// users (see game/encoding.hpp, registers/vector_ts.hpp).
+using Value = std::int64_t;
+
+/// Logical time of an event.  Times are the simulator's step counter (or
+/// the recorder's sequence counter for real-thread runs): all events in a
+/// history carry distinct, totally ordered times.
+using Time = std::uint64_t;
+
+/// Sentinel meaning "this operation has not responded (pending)".
+inline constexpr Time kNoTime = ~Time{0};
+
+/// Kind of a register operation.
+enum class OpKind : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] const char* to_string(OpKind kind) noexcept;
+
+/// A single operation: its interval [invoke, response] plus semantics.
+///
+/// For a write, `value` is the value written.  For a read, `value` is the
+/// value returned (meaningful only once the read has responded).
+struct OpRecord {
+  int id = -1;               ///< Dense index within its History.
+  ProcessId process = -1;    ///< Invoking process.
+  RegisterId reg = -1;       ///< Register operated on.
+  OpKind kind = OpKind::kRead;
+  Value value = 0;           ///< Written value / returned value.
+  Time invoke = 0;           ///< Invocation time.
+  Time response = kNoTime;   ///< Response time, kNoTime if pending.
+
+  [[nodiscard]] bool pending() const noexcept { return response == kNoTime; }
+  [[nodiscard]] bool is_write() const noexcept {
+    return kind == OpKind::kWrite;
+  }
+  [[nodiscard]] bool is_read() const noexcept { return kind == OpKind::kRead; }
+
+  /// Real-time precedence (Definition 1): this op's response occurs
+  /// before `other`'s invocation.
+  [[nodiscard]] bool precedes(const OpRecord& other) const noexcept {
+    return !pending() && response < other.invoke;
+  }
+
+  /// Two operations are concurrent iff neither precedes the other.
+  [[nodiscard]] bool concurrent_with(const OpRecord& other) const noexcept {
+    return !precedes(other) && !other.precedes(*this);
+  }
+
+  friend bool operator==(const OpRecord&, const OpRecord&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const OpRecord& op);
+
+/// An invocation or response event, used when histories are walked in
+/// event order (prefix enumeration, tree building).
+struct Event {
+  enum class Kind : std::uint8_t { kInvoke, kResponse };
+  Kind kind = Kind::kInvoke;
+  int op_id = -1;
+  Time time = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& ev);
+
+}  // namespace rlt::history

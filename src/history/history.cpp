@@ -1,0 +1,135 @@
+#include "history/history.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rlt::history {
+
+int History::add(OpRecord op) {
+  op.id = static_cast<int>(ops_.size());
+  ops_.push_back(op);
+  return op.id;
+}
+
+void History::complete_op(int id, Value result, Time now) {
+  RLT_CHECK(id >= 0 && id < static_cast<int>(ops_.size()));
+  OpRecord& op = ops_[static_cast<std::size_t>(id)];
+  RLT_CHECK_MSG(op.pending(), "op completed twice: op" << id);
+  RLT_CHECK_MSG(now > op.invoke, "response time not after invocation");
+  op.response = now;
+  if (op.is_read()) op.value = result;
+}
+
+Value History::initial(RegisterId reg) const {
+  const auto it = initial_.find(reg);
+  return it == initial_.end() ? Value{0} : it->second;
+}
+
+std::vector<Event> History::events() const {
+  std::vector<Event> evs;
+  evs.reserve(ops_.size() * 2);
+  for (const OpRecord& op : ops_) {
+    evs.push_back(Event{Event::Kind::kInvoke, op.id, op.invoke});
+    if (!op.pending()) {
+      evs.push_back(Event{Event::Kind::kResponse, op.id, op.response});
+    }
+  }
+  std::sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+    return a.time < b.time;
+  });
+  return evs;
+}
+
+History History::prefix_at(Time t) const {
+  History out;
+  out.initial_ = initial_;
+  for (const OpRecord& op : ops_) {
+    if (op.invoke > t) continue;
+    OpRecord copy = op;
+    copy.id = -1;  // re-assigned by add()
+    if (copy.response != kNoTime && copy.response > t) {
+      copy.response = kNoTime;
+      if (copy.is_read()) copy.value = 0;  // pending reads have no value
+    }
+    out.add(copy);
+  }
+  return out;
+}
+
+std::vector<History> History::all_prefixes(bool include_empty) const {
+  std::vector<History> out;
+  if (include_empty) out.push_back(prefix_at(0) /* may still be empty */);
+  if (include_empty && !out.back().empty()) out.pop_back();
+  for (const Event& ev : events()) out.push_back(prefix_at(ev.time));
+  return out;
+}
+
+History History::restrict_to_register(RegisterId reg,
+                                      std::vector<int>* mapping) const {
+  History out;
+  out.set_initial(reg, initial(reg));
+  if (mapping != nullptr) mapping->clear();
+  for (const OpRecord& op : ops_) {
+    if (op.reg != reg) continue;
+    OpRecord copy = op;
+    copy.id = -1;
+    out.add(copy);
+    if (mapping != nullptr) mapping->push_back(op.id);
+  }
+  return out;
+}
+
+std::vector<RegisterId> History::registers() const {
+  std::set<RegisterId> regs;
+  for (const OpRecord& op : ops_) regs.insert(op.reg);
+  return {regs.begin(), regs.end()};
+}
+
+void History::validate() const {
+  std::set<Time> times;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const OpRecord& op = ops_[i];
+    RLT_CHECK_MSG(op.id == static_cast<int>(i),
+                  "op id " << op.id << " at index " << i);
+    RLT_CHECK_MSG(times.insert(op.invoke).second,
+                  "duplicate event time " << op.invoke);
+    if (!op.pending()) {
+      RLT_CHECK_MSG(op.response > op.invoke,
+                    "response " << op.response << " not after invoke "
+                                << op.invoke << " for op" << op.id);
+      RLT_CHECK_MSG(times.insert(op.response).second,
+                    "duplicate event time " << op.response);
+    }
+  }
+}
+
+std::size_t History::completed_count() const noexcept {
+  std::size_t n = 0;
+  for (const OpRecord& op : ops_) {
+    if (!op.pending()) ++n;
+  }
+  return n;
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const History& h) {
+  std::vector<OpRecord> sorted = h.ops();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              return a.invoke < b.invoke;
+            });
+  os << "history{" << h.size() << " ops}\n";
+  for (const OpRecord& op : sorted) os << "  " << op << '\n';
+  return os;
+}
+
+}  // namespace rlt::history

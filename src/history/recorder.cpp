@@ -1,0 +1,51 @@
+#include "history/recorder.hpp"
+
+#include "util/assert.hpp"
+
+namespace rlt::history {
+
+OpHandle Recorder::begin_op(ProcessId p, RegisterId reg, OpKind kind,
+                            Value value, Time now) {
+  OpRecord op;
+  op.process = p;
+  op.reg = reg;
+  op.kind = kind;
+  op.value = kind == OpKind::kWrite ? value : Value{0};
+  op.invoke = now;
+  op.response = kNoTime;
+  return OpHandle{history_.add(op)};
+}
+
+void Recorder::end_op(OpHandle h, Value result, Time now) {
+  history_.complete_op(h.op_id, result, now);
+}
+
+OpHandle ConcurrentRecorder::begin_op(ProcessId p, RegisterId reg, OpKind kind,
+                                      Value value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  OpRecord op;
+  op.process = p;
+  op.reg = reg;
+  op.kind = kind;
+  op.value = kind == OpKind::kWrite ? value : Value{0};
+  op.invoke = ++clock_;
+  op.response = kNoTime;
+  return OpHandle{history_.add(op)};
+}
+
+void ConcurrentRecorder::end_op(OpHandle h, Value result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  history_.complete_op(h.op_id, result, ++clock_);
+}
+
+void ConcurrentRecorder::set_initial(RegisterId reg, Value v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  history_.set_initial(reg, v);
+}
+
+History ConcurrentRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+}  // namespace rlt::history

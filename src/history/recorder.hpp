@@ -1,0 +1,69 @@
+// Recorders capture operation invocations/responses into a History.
+//
+// Two flavors:
+//  * `Recorder` — single-threaded / simulator use. Times are supplied by
+//    the caller (the simulator's step counter), so the recorded history
+//    is deterministic.
+//  * `ConcurrentRecorder` — for real-thread register implementations.
+//    A mutex-protected sequence counter assigns event times; the total
+//    order it induces is consistent with real time because the counter
+//    increment happens inside the invocation/response call.
+#pragma once
+
+#include <mutex>
+
+#include "history/history.hpp"
+
+namespace rlt::history {
+
+/// Handle returned by begin_op; used to complete the operation.
+struct OpHandle {
+  int op_id = -1;
+};
+
+/// Deterministic recorder for simulator runs.  Not thread-safe.
+class Recorder {
+ public:
+  /// Records an invocation at time `now`.  For writes, `value` is the
+  /// written value; for reads it is ignored until completion.
+  OpHandle begin_op(ProcessId p, RegisterId reg, OpKind kind, Value value,
+                    Time now);
+
+  /// Records the response at time `now`.  For reads, `result` is the
+  /// returned value; for writes it is ignored.
+  void end_op(OpHandle h, Value result, Time now);
+
+  /// Declares a register's initial value (affects checking, not recording).
+  void set_initial(RegisterId reg, Value v) { history_.set_initial(reg, v); }
+
+  [[nodiscard]] const History& history() const noexcept { return history_; }
+  [[nodiscard]] History take() { return std::move(history_); }
+
+ private:
+  History history_;
+};
+
+/// Thread-safe recorder with an internal logical clock.
+///
+/// The clock ticks on every event, so all event times are distinct, and
+/// an operation that completes before another is invoked (in real time)
+/// is guaranteed a smaller response time than the other's invocation
+/// time — the recorded history's precedence relation is a sub-relation
+/// of real-time precedence, which is what linearizability checking needs.
+class ConcurrentRecorder {
+ public:
+  OpHandle begin_op(ProcessId p, RegisterId reg, OpKind kind, Value value);
+  void end_op(OpHandle h, Value result);
+
+  void set_initial(RegisterId reg, Value v);
+
+  /// Snapshot of the history so far. Pending ops appear as pending.
+  [[nodiscard]] History snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Time clock_ = 0;
+  History history_;
+};
+
+}  // namespace rlt::history

@@ -1,0 +1,175 @@
+#include "mp/abd.hpp"
+
+#include "util/assert.hpp"
+
+namespace rlt::mp {
+
+namespace {
+
+// Message grammar.
+constexpr std::int64_t kMsgWrite = 1;      // [token, ts, value]  (to server)
+constexpr std::int64_t kMsgWriteAck = 2;   // [token]             (to client)
+constexpr std::int64_t kMsgRead = 3;       // [token]             (to server)
+constexpr std::int64_t kMsgReadReply = 4;  // [token, ts, value]  (to client)
+
+}  // namespace
+
+/// The per-node server: stores the highest-timestamped pair seen and
+/// forwards client-addressed responses to the register's op machines.
+class AbdRegister::Server final : public Node {
+ public:
+  Server(AbdRegister& owner, Value initial) : owner_(owner), value_(initial) {}
+
+  void on_message(const Message& m) override {
+    switch (m.type) {
+      case kMsgWrite: {
+        const std::int64_t ts = m.payload[1];
+        if (ts > ts_) {
+          ts_ = ts;
+          value_ = m.payload[2];
+        }
+        owner_.net_.send(id_, m.from, kMsgWriteAck, {m.payload[0]});
+        break;
+      }
+      case kMsgRead:
+        owner_.net_.send(id_, m.from, kMsgReadReply,
+                         {m.payload[0], ts_, value_});
+        break;
+      case kMsgWriteAck:
+      case kMsgReadReply:
+        owner_.on_server_message(id_, m);
+        break;
+      default:
+        RLT_CHECK_MSG(false, "unknown ABD message type " << m.type);
+    }
+  }
+
+  void set_id(NodeId id) noexcept { id_ = id; }
+
+ private:
+  AbdRegister& owner_;
+  NodeId id_ = -1;
+  std::int64_t ts_ = 0;
+  Value value_;
+};
+
+AbdRegister::~AbdRegister() = default;
+
+AbdRegister::AbdRegister(Network& net, int n, NodeId writer, Value initial,
+                         bool read_write_back)
+    : net_(net), n_(n), writer_(writer), read_write_back_(read_write_back) {
+  RLT_CHECK_MSG(n >= 1, "need at least one server");
+  RLT_CHECK_MSG(writer >= 0 && writer < n, "writer must be one of the nodes");
+  recorder_.set_initial(0, initial);
+  for (int i = 0; i < n; ++i) {
+    servers_.push_back(std::make_unique<Server>(*this, initial));
+    const NodeId id = net_.add_node(*servers_.back());
+    RLT_CHECK_MSG(id == i, "ABD servers must be the first nodes added");
+    servers_.back()->set_id(id);
+  }
+}
+
+int AbdRegister::begin_write(Value v) {
+  RLT_CHECK_MSG(!write_pending_,
+                "ABD registers are single-writer: a write is already "
+                "pending (Observation 65)");
+  write_pending_ = true;
+  const int token = next_token_++;
+  ClientOp op;
+  op.kind = ClientOp::Kind::kWrite;
+  op.home = writer_;
+  op.hl = recorder_.begin_op(writer_, 0, history::OpKind::kWrite, v, tick());
+  ops_[token] = op;
+  ++writer_ts_;
+  net_.broadcast(writer_, kMsgWrite, {token, writer_ts_, v});
+  return token;
+}
+
+int AbdRegister::begin_read(NodeId reader) {
+  RLT_CHECK(reader >= 0 && reader < n_);
+  for (const auto& [t, op] : ops_) {
+    RLT_CHECK_MSG(op.completed || op.home != reader,
+                  "node " << reader << " already has an operation pending");
+  }
+  const int token = next_token_++;
+  ClientOp op;
+  op.kind = ClientOp::Kind::kReadQuery;
+  op.home = reader;
+  op.hl = recorder_.begin_op(reader, 0, history::OpKind::kRead, 0, tick());
+  ops_[token] = op;
+  net_.broadcast(reader, kMsgRead, {token});
+  return token;
+}
+
+void AbdRegister::on_server_message(NodeId at, const Message& m) {
+  const int token = static_cast<int>(m.payload[0]);
+  const auto it = ops_.find(token);
+  RLT_CHECK_MSG(it != ops_.end(), "response for unknown op token " << token);
+  ClientOp& op = it->second;
+  if (op.completed) return;  // stale ack/reply after quorum
+  RLT_CHECK_MSG(op.home == at, "response routed to the wrong node");
+
+  switch (op.kind) {
+    case ClientOp::Kind::kWrite:
+      RLT_CHECK(m.type == kMsgWriteAck);
+      if (++op.acks >= quorum()) {
+        op.completed = true;
+        write_pending_ = false;
+        recorder_.end_op(op.hl, 0, tick());
+      }
+      break;
+    case ClientOp::Kind::kReadQuery: {
+      RLT_CHECK(m.type == kMsgReadReply);
+      if (m.payload[1] > op.best_ts) {
+        op.best_ts = m.payload[1];
+        op.best_value = m.payload[2];
+      }
+      if (++op.acks >= quorum()) {
+        if (!read_write_back_) {
+          // Ablation: return immediately after the query phase.  Fast,
+          // but no longer linearizable across readers.
+          op.completed = true;
+          op.result = op.best_value;
+          recorder_.end_op(op.hl, op.result, tick());
+          break;
+        }
+        // Phase 2: write back the chosen pair before returning.
+        op.kind = ClientOp::Kind::kReadWriteBack;
+        op.acks = 0;
+        net_.broadcast(op.home, kMsgWrite, {token, op.best_ts, op.best_value});
+      }
+      break;
+    }
+    case ClientOp::Kind::kReadWriteBack:
+      // Stale phase-1 replies may still arrive after the quorum was
+      // reached and the op moved to its write-back phase; ignore them.
+      if (m.type == kMsgReadReply) return;
+      RLT_CHECK(m.type == kMsgWriteAck);
+      if (++op.acks >= quorum()) {
+        op.completed = true;
+        op.result = op.best_value;
+        recorder_.end_op(op.hl, op.result, tick());
+      }
+      break;
+  }
+}
+
+bool AbdRegister::done(int token) const {
+  const auto it = ops_.find(token);
+  RLT_CHECK(it != ops_.end());
+  return it->second.completed;
+}
+
+Value AbdRegister::result(int token) const {
+  const auto it = ops_.find(token);
+  RLT_CHECK(it != ops_.end() && it->second.completed);
+  return it->second.result;
+}
+
+int AbdRegister::pending_ops() const {
+  int pending = 0;
+  for (const auto& [t, op] : ops_) pending += op.completed ? 0 : 1;
+  return pending;
+}
+
+}  // namespace rlt::mp

@@ -1,0 +1,113 @@
+// The ABD algorithm [Attiya, Bar-Noy, Dolev 1995]: a linearizable SWMR
+// register in an asynchronous message-passing system with a minority of
+// crash faults.
+//
+// Every node runs a *server* storing the highest-timestamped (ts, value)
+// pair it has seen.  The (single) writer increments its timestamp, sends
+// WRITE(ts, v) to all nodes, and returns once a majority acknowledged.
+// A reader queries all nodes, takes the highest-timestamped pair from a
+// majority of replies, *writes it back* to a majority (the write-back
+// phase is what makes reads by multiple readers linearizable), and then
+// returns the value.
+//
+// Theorem 14 of the paper: this — like every linearizable SWMR register
+// implementation — is write strongly-linearizable, even though it is not
+// strongly linearizable.  bench/theorem14_abd and the mp tests check the
+// recorded histories with the generic checkers and the f* construction.
+//
+// Client operations are little state machines driven by message
+// deliveries; the driver (tests/benches) interleaves deliveries
+// adversarially or at random and may crash a minority of nodes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "history/recorder.hpp"
+#include "mp/network.hpp"
+
+namespace rlt::mp {
+
+using history::Value;
+
+/// One ABD-replicated SWMR register plus its client operations.
+class AbdRegister {
+ public:
+  /// Servers are nodes 0..n-1 of `net` (created here).  The writer
+  /// client lives at node `writer`; readers may be any node.
+  ///
+  /// `read_write_back` enables the second read phase (writing the chosen
+  /// pair back to a majority before returning).  Disabling it is an
+  /// ABLATION: the register stops being linearizable for multiple
+  /// readers — two sequential reads can observe new-then-old values
+  /// (tests/mp_abd_test.cpp hunts down a violating schedule, and
+  /// bench/theorem14_abd reports the ablation).  Keep it on.
+  AbdRegister(Network& net, int n, NodeId writer, Value initial,
+              bool read_write_back = true);
+
+  AbdRegister(const AbdRegister&) = delete;
+  AbdRegister& operator=(const AbdRegister&) = delete;
+  ~AbdRegister();  // defined out of line: Server is incomplete here
+
+  /// Starts a write (only the writer node; ABD is single-writer — calls
+  /// while another write is pending are illegal and throw).
+  /// Returns an operation token.
+  int begin_write(Value v);
+
+  /// Starts a read from node `reader`.  A node may run one op at a time.
+  int begin_read(NodeId reader);
+
+  /// True once the operation has committed (majority acks collected).
+  [[nodiscard]] bool done(int token) const;
+
+  /// The value a completed read returned.
+  [[nodiscard]] Value result(int token) const;
+
+  /// Number of operations still in flight.
+  [[nodiscard]] int pending_ops() const;
+
+  /// The recorded high-level history (register id 0; times are the
+  /// driver's logical clock: one tick per delivery or op begin).
+  [[nodiscard]] const history::History& hl_history() const {
+    return recorder_.history();
+  }
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  /// Majority threshold (quorum size).
+  [[nodiscard]] int quorum() const noexcept { return n_ / 2 + 1; }
+
+ private:
+  friend class AbdServer;
+  class Server;
+
+  struct ClientOp {
+    enum class Kind { kWrite, kReadQuery, kReadWriteBack };
+    Kind kind = Kind::kWrite;
+    NodeId home = -1;
+    history::OpHandle hl;
+    int acks = 0;
+    // Read state: best (ts, value) seen in the query phase.
+    std::int64_t best_ts = -1;
+    Value best_value = 0;
+    bool completed = false;
+    Value result = 0;
+  };
+
+  void on_server_message(NodeId at, const Message& m);
+  history::Time tick() { return ++clock_; }
+
+  Network& net_;
+  int n_;
+  NodeId writer_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  history::Recorder recorder_;
+  history::Time clock_ = 0;
+  std::map<int, ClientOp> ops_;  ///< token -> op
+  int next_token_ = 0;
+  std::int64_t writer_ts_ = 0;
+  bool write_pending_ = false;
+  bool read_write_back_ = true;
+};
+
+}  // namespace rlt::mp

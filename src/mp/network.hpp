@@ -1,0 +1,128 @@
+// Simulated asynchronous message-passing substrate for the ABD register.
+//
+// Reliable but asynchronous: messages are never lost or corrupted, but
+// the delivery order is chosen by the driver (adversarially or at
+// random), and nodes may crash (a crashed node silently drops incoming
+// messages and sends nothing).  This is the standard model under which
+// ABD implements linearizable SWMR registers when fewer than half the
+// nodes crash [Attiya, Bar-Noy, Dolev 1995].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::mp {
+
+using NodeId = int;
+
+/// A protocol message.  `type` and `payload` semantics belong to the
+/// protocol (see abd.cpp for ABD's message grammar).
+struct Message {
+  NodeId from = -1;
+  NodeId to = -1;
+  std::int64_t type = 0;
+  std::vector<std::int64_t> payload;
+  std::uint64_t seq = 0;  ///< Global send sequence number (determinism).
+};
+
+/// Message handler interface implemented by protocol nodes.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_message(const Message& m) = 0;
+};
+
+/// The network: in-flight message multiset plus crash faults.
+class Network {
+ public:
+  /// Registers a node; returns its id (dense, starting at 0).
+  NodeId add_node(Node& node) {
+    nodes_.push_back(&node);
+    crashed_.push_back(false);
+    return static_cast<NodeId>(nodes_.size()) - 1;
+  }
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+
+  /// Queues a message.  Sends from crashed nodes are dropped.
+  void send(NodeId from, NodeId to, std::int64_t type,
+            std::vector<std::int64_t> payload) {
+    RLT_CHECK(valid(from) && valid(to));
+    if (crashed_[static_cast<std::size_t>(from)]) return;
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = type;
+    m.payload = std::move(payload);
+    m.seq = ++sent_;
+    in_flight_.push_back(std::move(m));
+  }
+
+  /// Queues a message to every node (including the sender).
+  void broadcast(NodeId from, std::int64_t type,
+                 const std::vector<std::int64_t>& payload) {
+    for (NodeId to = 0; to < node_count(); ++to) {
+      send(from, to, type, payload);
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.size();
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Delivers the in-flight message at `index` (adversarial delivery).
+  /// Messages to crashed nodes are consumed without effect.
+  void deliver_at(std::size_t index) {
+    RLT_CHECK(index < in_flight_.size());
+    const Message m = std::move(in_flight_[index]);
+    in_flight_.erase(in_flight_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+    ++delivered_;
+    if (crashed_[static_cast<std::size_t>(m.to)]) return;
+    nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
+  }
+
+  /// Delivers one uniformly random in-flight message; false if none.
+  bool deliver_random(util::Rng& rng) {
+    if (in_flight_.empty()) return false;
+    deliver_at(static_cast<std::size_t>(rng.uniform(in_flight_.size())));
+    return true;
+  }
+
+  /// Crashes a node permanently.
+  void crash(NodeId n) {
+    RLT_CHECK(valid(n));
+    crashed_[static_cast<std::size_t>(n)] = true;
+  }
+  [[nodiscard]] bool crashed(NodeId n) const {
+    RLT_CHECK(valid(n));
+    return crashed_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] int crashed_count() const {
+    int c = 0;
+    for (const bool b : crashed_) c += b ? 1 : 0;
+    return c;
+  }
+
+ private:
+  [[nodiscard]] bool valid(NodeId n) const noexcept {
+    return n >= 0 && n < node_count();
+  }
+
+  std::vector<Node*> nodes_;
+  std::vector<bool> crashed_;
+  std::vector<Message> in_flight_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace rlt::mp

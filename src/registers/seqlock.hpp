@@ -1,0 +1,80 @@
+// A sequence-lock SWMR register for real-thread executions.
+//
+// The thread builds of Algorithms 2 and 4 need base SWMR registers whose
+// payload is a (value, timestamp) tuple — wider than any hardware atomic.
+// A seqlock gives a linearizable (indeed atomic) single-writer register:
+// the writer bumps the version to odd, publishes the words, bumps to
+// even; a reader retries until it sees a stable even version.  The writer
+// is wait-free; readers are obstruction-free (they retry only while the
+// writer is mid-publish), which matches Lamport's SWMR register model
+// well enough for stress testing and benchmarking.
+//
+// The payload is stored as relaxed std::atomic words with acquire/release
+// fences on the version counter (Boehm's seqlock recipe), so the
+// implementation is free of data races in the C++ memory model.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+namespace rlt::registers {
+
+template <class T>
+class SeqlockSWMR {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "seqlock payloads must be trivially copyable");
+
+ public:
+  explicit SeqlockSWMR(const T& initial) {
+    store_words(initial);
+  }
+
+  /// Single-writer write.  Callers must ensure at most one thread writes.
+  void write(const T& value) noexcept {
+    const std::uint64_t v = version_.load(std::memory_order_relaxed);
+    version_.store(v + 1, std::memory_order_relaxed);  // odd: in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    store_words(value);
+    version_.store(v + 2, std::memory_order_release);  // even: stable
+  }
+
+  /// Multi-reader read (retries while a write is in progress).
+  [[nodiscard]] T read() const noexcept {
+    for (;;) {
+      const std::uint64_t v1 = version_.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) continue;
+      std::array<std::uint64_t, kWords> buffer;
+      for (std::size_t i = 0; i < kWords; ++i) {
+        buffer[i] = words_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t v2 = version_.load(std::memory_order_relaxed);
+      if (v1 == v2) {
+        T out;
+        // Cast through void*: T is trivially copyable but may have
+        // default member initializers (non-trivial default ctor), which
+        // -Wclass-memaccess flags spuriously.
+        std::memcpy(static_cast<void*>(&out), buffer.data(), sizeof(T));
+        return out;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  void store_words(const T& value) noexcept {
+    std::array<std::uint64_t, kWords> buffer{};
+    std::memcpy(buffer.data(), static_cast<const void*>(&value), sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words_[i].store(buffer[i], std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint64_t> version_{0};
+  mutable std::array<std::atomic<std::uint64_t>, kWords> words_{};
+};
+
+}  // namespace rlt::registers

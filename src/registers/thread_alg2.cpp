@@ -1,0 +1,54 @@
+#include "registers/thread_alg2.hpp"
+
+#include "util/assert.hpp"
+
+namespace rlt::registers {
+
+ThreadAlg2Register::ThreadAlg2Register(int n, history::Value initial,
+                                       bool record)
+    : n_(n), record_(record) {
+  RLT_CHECK_MSG(n >= 1 && n <= kMaxThreadWriters,
+                "writer slots must be in [1, " << kMaxThreadWriters << ']');
+  recorder_.set_initial(0, initial);
+  Alg2Tuple init;
+  init.value = initial;  // timestamp [0 … 0] via zero-initialized ts
+  vals_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    vals_.push_back(std::make_unique<SeqlockSWMR<Alg2Tuple>>(init));
+  }
+}
+
+void ThreadAlg2Register::write(int k, history::Value v) {
+  RLT_CHECK_MSG(k >= 0 && k < n_, "writer slot out of range");
+  history::OpHandle h;
+  if (record_) h = recorder_.begin_op(k, 0, history::OpKind::kWrite, v);
+
+  // Lines 1-7: form new_ts one entry at a time.
+  Alg2Tuple fresh;
+  fresh.value = v;
+  for (int i = 0; i < n_; ++i) {
+    const Alg2Tuple t = vals_[static_cast<std::size_t>(i)]->read();
+    fresh.ts[i] = i == k ? t.ts[i] + 1 : t.ts[i];
+  }
+  // Line 8: publish.
+  vals_[static_cast<std::size_t>(k)]->write(fresh);
+
+  if (record_) recorder_.end_op(h, 0);
+}
+
+history::Value ThreadAlg2Register::read(int reader) {
+  history::OpHandle h;
+  if (record_) h = recorder_.begin_op(reader, 0, history::OpKind::kRead, 0);
+
+  // Lines 11-15: read every Val[i]; return the lexicographic max.
+  Alg2Tuple best = vals_[0]->read();
+  for (int i = 1; i < n_; ++i) {
+    const Alg2Tuple t = vals_[static_cast<std::size_t>(i)]->read();
+    if (best.ts_less(t, n_)) best = t;
+  }
+
+  if (record_) recorder_.end_op(h, best.value);
+  return best.value;
+}
+
+}  // namespace rlt::registers

@@ -1,0 +1,65 @@
+// Real-thread build of Algorithm 2 (write strongly-linearizable MWMR
+// register from SWMR registers), over seqlock base registers.
+//
+// Used by the std::thread stress tests (recorded histories are checked by
+// the linearizability and WSL checkers) and by the perf benches that
+// measure the cost of vector timestamps (O(n) entries per operation)
+// against Algorithm 4's scalar Lamport clocks — the paper's "achieving
+// write strong-linearizability is harder" claim, in nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "history/recorder.hpp"
+#include "registers/seqlock.hpp"
+
+namespace rlt::registers {
+
+/// Maximum writer slots of the thread builds (compile-time payload size).
+inline constexpr int kMaxThreadWriters = 8;
+
+/// The tuple stored in each base register Val[k].
+struct Alg2Tuple {
+  history::Value value = 0;
+  std::uint64_t ts[kMaxThreadWriters] = {};
+
+  /// Lexicographic timestamp comparison over the first n entries.
+  [[nodiscard]] bool ts_less(const Alg2Tuple& other, int n) const noexcept {
+    for (int i = 0; i < n; ++i) {
+      if (ts[i] != other.ts[i]) return ts[i] < other.ts[i];
+    }
+    return false;
+  }
+};
+
+/// Thread build of Algorithm 2.
+class ThreadAlg2Register {
+ public:
+  /// `record`: capture every operation into the concurrent recorder (for
+  /// checker-validated stress tests); disable for perf benches.
+  ThreadAlg2Register(int n, history::Value initial, bool record = true);
+
+  /// Algorithm 2's write, called from writer thread `k` (0 <= k < n).
+  void write(int k, history::Value v);
+
+  /// Algorithm 2's read, callable from any thread. `reader` is only used
+  /// to label the recorded history.
+  [[nodiscard]] history::Value read(int reader);
+
+  /// Recorded high-level history snapshot (register id 0).
+  [[nodiscard]] history::History history_snapshot() const {
+    return recorder_.snapshot();
+  }
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+ private:
+  int n_;
+  bool record_;
+  std::vector<std::unique_ptr<SeqlockSWMR<Alg2Tuple>>> vals_;
+  history::ConcurrentRecorder recorder_;
+};
+
+}  // namespace rlt::registers

@@ -1,0 +1,58 @@
+#include "registers/thread_alg4.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rlt::registers {
+
+ThreadAlg4Register::ThreadAlg4Register(int n, history::Value initial,
+                                       bool record)
+    : n_(n), record_(record) {
+  RLT_CHECK_MSG(n >= 1, "need at least one writer slot");
+  recorder_.set_initial(0, initial);
+  vals_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Alg4Tuple init;
+    init.value = initial;
+    init.sq = 0;
+    init.pid = i;  // Val[i] initialized to (0, <0, i>)
+    vals_.push_back(std::make_unique<SeqlockSWMR<Alg4Tuple>>(init));
+  }
+}
+
+void ThreadAlg4Register::write(int k, history::Value v) {
+  RLT_CHECK_MSG(k >= 0 && k < n_, "writer slot out of range");
+  history::OpHandle h;
+  if (record_) h = recorder_.begin_op(k, 0, history::OpKind::kWrite, v);
+
+  // Lines 1-4: new_sq = 1 + max sq across Val[-].
+  std::int64_t max_sq = 0;
+  for (int i = 0; i < n_; ++i) {
+    max_sq = std::max(max_sq, vals_[static_cast<std::size_t>(i)]->read().sq);
+  }
+  // Lines 5-6: publish (v, <new_sq, k>).
+  Alg4Tuple fresh;
+  fresh.value = v;
+  fresh.sq = max_sq + 1;
+  fresh.pid = k;
+  vals_[static_cast<std::size_t>(k)]->write(fresh);
+
+  if (record_) recorder_.end_op(h, 0);
+}
+
+history::Value ThreadAlg4Register::read(int reader) {
+  history::OpHandle h;
+  if (record_) h = recorder_.begin_op(reader, 0, history::OpKind::kRead, 0);
+
+  Alg4Tuple best = vals_[0]->read();
+  for (int i = 1; i < n_; ++i) {
+    const Alg4Tuple t = vals_[static_cast<std::size_t>(i)]->read();
+    if (best.ts_less(t)) best = t;
+  }
+
+  if (record_) recorder_.end_op(h, best.value);
+  return best.value;
+}
+
+}  // namespace rlt::registers

@@ -1,0 +1,71 @@
+// Real-thread build of Algorithm 4 (Lamport-clock MWMR register from
+// SWMR registers) — the linearizable-but-not-WSL baseline, plus a locked
+// register for perf comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "history/recorder.hpp"
+#include "registers/seqlock.hpp"
+
+namespace rlt::registers {
+
+/// The tuple stored in each of Algorithm 4's base registers.
+struct Alg4Tuple {
+  history::Value value = 0;
+  std::int64_t sq = 0;
+  std::int32_t pid = 0;
+
+  [[nodiscard]] bool ts_less(const Alg4Tuple& other) const noexcept {
+    if (sq != other.sq) return sq < other.sq;
+    return pid < other.pid;
+  }
+};
+
+/// Thread build of Algorithm 4.
+class ThreadAlg4Register {
+ public:
+  ThreadAlg4Register(int n, history::Value initial, bool record = true);
+
+  /// Algorithm 4's write, called from writer thread `k`.
+  void write(int k, history::Value v);
+  /// Algorithm 4's read, callable from any thread.
+  [[nodiscard]] history::Value read(int reader);
+
+  [[nodiscard]] history::History history_snapshot() const {
+    return recorder_.snapshot();
+  }
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+ private:
+  int n_;
+  bool record_;
+  std::vector<std::unique_ptr<SeqlockSWMR<Alg4Tuple>>> vals_;
+  history::ConcurrentRecorder recorder_;
+};
+
+/// Mutex-protected MWMR register: the trivially-atomic baseline for the
+/// perf benches (not built from SWMR registers; included to calibrate
+/// what the SWMR constructions cost relative to plain mutual exclusion).
+class LockedMwmrRegister {
+ public:
+  explicit LockedMwmrRegister(history::Value initial) : value_(initial) {}
+
+  void write(history::Value v) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+  [[nodiscard]] history::Value read() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  history::Value value_;
+};
+
+}  // namespace rlt::registers

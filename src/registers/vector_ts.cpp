@@ -1,0 +1,69 @@
+#include "registers/vector_ts.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rlt::registers {
+
+VectorTs VectorTs::zeros(int n) {
+  VectorTs ts;
+  ts.entries_.assign(static_cast<std::size_t>(n), 0);
+  return ts;
+}
+
+VectorTs VectorTs::infinite(int n) {
+  VectorTs ts;
+  ts.entries_.assign(static_cast<std::size_t>(n), kInf);
+  return ts;
+}
+
+bool VectorTs::complete() const noexcept {
+  for (const std::uint64_t e : entries_) {
+    if (e == kInf) return false;
+  }
+  return true;
+}
+
+std::strong_ordering VectorTs::compare(const VectorTs& other) const {
+  // Sizes must match in well-formed use; shorter compares less on prefix
+  // equality (mirrors std::lexicographical_compare_three_way).
+  const std::size_t n = std::min(entries_.size(), other.entries_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (entries_[i] != other.entries_[i]) {
+      return entries_[i] < other.entries_[i] ? std::strong_ordering::less
+                                             : std::strong_ordering::greater;
+    }
+  }
+  return entries_.size() <=> other.entries_.size();
+}
+
+std::string VectorTs::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorTs& ts) {
+  os << '[';
+  for (int i = 0; i < ts.size(); ++i) {
+    if (i > 0) os << ',';
+    if (ts[i] == VectorTs::kInf) {
+      os << "inf";
+    } else {
+      os << ts[i];
+    }
+  }
+  return os << ']';
+}
+
+std::string LamportTs::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const LamportTs& ts) {
+  return os << "<" << ts.sq << ',' << ts.pid << '>';
+}
+
+}  // namespace rlt::registers

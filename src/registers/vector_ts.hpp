@@ -1,0 +1,74 @@
+// Timestamps for the MWMR-from-SWMR register constructions.
+//
+//  * `VectorTs` — Algorithm 2's vector timestamps.  Entries start at ∞
+//    ("[∞, …, ∞]") and are filled in one at a time while a write
+//    operation scans Val[1..n]; comparing *partially formed* timestamps
+//    lexicographically (∞ greater than everything) is exactly what lets
+//    Algorithm 3 order concurrent writes on-line (Figure 3).
+//  * `LamportTs` — Algorithm 4's Lamport-clock timestamps ⟨sq, pid⟩,
+//    ordered lexicographically.  Sufficient for linearizability
+//    (Theorem 12) but not for write strong-linearizability (Theorem 13).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlt::registers {
+
+/// A vector timestamp of fixed length n with ∞-able entries.
+class VectorTs {
+ public:
+  /// The ∞ sentinel; greater than every finite entry.
+  static constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+  VectorTs() = default;
+  /// n zero entries (the initial tuple's timestamp "[0 … 0]").
+  static VectorTs zeros(int n);
+  /// n ∞ entries (a write's new_ts before any entry is set, line 9).
+  static VectorTs infinite(int n);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(entries_.size());
+  }
+  [[nodiscard]] std::uint64_t operator[](int i) const {
+    return entries_.at(static_cast<std::size_t>(i));
+  }
+  void set(int i, std::uint64_t v) {
+    entries_.at(static_cast<std::size_t>(i)) = v;
+  }
+
+  /// True iff no entry is ∞ (the timestamp is fully formed).
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Lexicographic order, ∞ greatest (Definition 22 / Observation 23).
+  [[nodiscard]] std::strong_ordering compare(const VectorTs& other) const;
+
+  friend bool operator==(const VectorTs&, const VectorTs&) = default;
+  friend std::strong_ordering operator<=>(const VectorTs& a,
+                                          const VectorTs& b) {
+    return a.compare(b);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> entries_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorTs& ts);
+
+/// Algorithm 4's ⟨sq, pid⟩ timestamp.
+struct LamportTs {
+  std::int64_t sq = 0;
+  int pid = 0;
+
+  friend auto operator<=>(const LamportTs&, const LamportTs&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const LamportTs& ts);
+
+}  // namespace rlt::registers

@@ -1,0 +1,6 @@
+// Intentionally almost empty: the generic adversaries are header-only.
+// This translation unit exists so the build exposes a stable object for
+// the component and to anchor the vtable-less classes' documentation.
+#include "sim/adversary.hpp"
+
+namespace rlt::sim {}  // namespace rlt::sim

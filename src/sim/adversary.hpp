@@ -1,0 +1,81 @@
+// Generic adversaries: random strong adversary and round-robin scheduler.
+//
+// The paper-specific adversaries (Theorem 6's scripted schedule and the
+// best-effort adaptive adversary used to measure termination under write
+// strong-linearizability) live in src/game/.
+#pragma once
+
+#include "sim/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::sim {
+
+/// A strong adversary choosing uniformly at random among all enabled
+/// actions.  Random scheduling is a fair-in-expectation stress schedule:
+/// every pending response eventually fires with probability 1.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  std::optional<Action> choose(Scheduler& sched) override {
+    std::vector<Action> actions = sched.enabled_actions();
+    if (actions.empty()) return std::nullopt;
+    return actions[rng_.uniform(actions.size())];
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Replays a fixed sequence of process steps (atomic-register runs only:
+/// no pending operations exist, so steps are the only actions).  Used to
+/// construct exact schedules such as Figure 4's histories G, H1, H2.
+class FixedStepAdversary final : public Adversary {
+ public:
+  explicit FixedStepAdversary(std::vector<ProcessId> steps)
+      : steps_(std::move(steps)) {}
+
+  std::optional<Action> choose(Scheduler& sched) override {
+    RLT_CHECK_MSG(sched.pending_ops().empty(),
+                  "FixedStepAdversary requires atomic base registers");
+    if (next_ >= steps_.size()) return std::nullopt;
+    return Action::step(steps_[next_++]);
+  }
+
+ private:
+  std::vector<ProcessId> steps_;
+  std::size_t next_ = 0;
+};
+
+/// Deterministic round-robin over processes; pending operations are
+/// responded as soon as they appear (first enumerated choice).  With
+/// atomic registers this is a plain round-robin scheduler.
+class RoundRobinAdversary final : public Adversary {
+ public:
+  std::optional<Action> choose(Scheduler& sched) override {
+    // Respond the oldest pending op first, taking its first choice.
+    const auto pending = sched.pending_ops();
+    if (!pending.empty()) {
+      const PendingOpInfo& info = pending.front();
+      auto choices = sched.choices_for(info.op_id);
+      RLT_CHECK_MSG(!choices.empty(), "pending op with no choices");
+      return Action::respond(info.process, info.op_id,
+                             std::move(choices.front()));
+    }
+    const int n = sched.process_count();
+    for (int i = 0; i < n; ++i) {
+      const ProcessId p = static_cast<ProcessId>((next_ + i) % n);
+      if (!sched.process_done(p) && !sched.process_blocked(p)) {
+        next_ = (p + 1) % n;
+        return Action::step(p);
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace rlt::sim

@@ -1,0 +1,75 @@
+// Minimal coroutine generator, used to express scripted adversaries as
+// linear code (`co_yield action;`) instead of hand-rolled state machines.
+// The Theorem 6 adversary mirrors the paper's Figure 1/2 schedule line by
+// line this way.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace rlt::sim {
+
+template <class T>
+class [[nodiscard]] Generator {
+ public:
+  struct promise_type {
+    std::optional<T> current;
+    std::exception_ptr exception;
+
+    Generator get_return_object() {
+      return Generator(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T value) {
+      current = std::move(value);
+      return {};
+    }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Generator() = default;
+  explicit Generator(Handle h) noexcept : handle_(h) {}
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  Generator(Generator&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  Generator& operator=(Generator&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Generator() { destroy(); }
+
+  /// Advances to the next co_yield.  Returns false when the generator is
+  /// exhausted.  Rethrows exceptions from the generator body.
+  bool advance() {
+    if (!handle_ || handle_.done()) return false;
+    handle_.promise().current.reset();
+    handle_.resume();
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return handle_.promise().current.has_value();
+  }
+
+  /// The value produced by the last successful advance().
+  [[nodiscard]] T& value() { return *handle_.promise().current; }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace rlt::sim

@@ -1,0 +1,93 @@
+// "Only linearizable" register semantics (see regmodel.hpp).
+//
+// The adversary's freedom: a pending operation responds when the
+// adversary says so, and a read may return ANY value for which a legal
+// linearization of the register's (windowed) history still exists.  In
+// particular the relative order of concurrent writes stays undecided
+// until some read forces it — the "off-line" linearization freedom that
+// Theorem 6's adversary exploits after seeing the coin flip.
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sim/regmodel.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::sim {
+
+namespace {
+
+class LinearizableModel final : public WindowedModel {
+ public:
+  std::vector<ResponseChoice> response_choices(int op_id, Time now) override {
+    const int wid = window_id_of(op_id);
+    const history::OpRecord& op = window().op(wid);
+    std::vector<ResponseChoice> choices;
+    if (op.is_write()) {
+      // Completing a write never constrains the past: every linearization
+      // of the current window remains legal when the write's interval
+      // closes now (the new response time only affects operations invoked
+      // later).  One choice, no decision content.
+      ResponseChoice c;
+      c.value = op.value;
+      c.label = "complete-write";
+      choices.push_back(std::move(c));
+      return choices;
+    }
+    // Reads: any value with a feasible linearization.
+    std::set<Value> candidates(initial_values().begin(),
+                               initial_values().end());
+    for (const history::OpRecord& w : window().ops()) {
+      if (w.is_write()) candidates.insert(w.value);
+    }
+    for (const Value v : candidates) {
+      if (feasible_with_completion(wid, v, now,
+                                   checker::WriteOrderMode::kFree, {})) {
+        ResponseChoice c;
+        c.value = v;
+        std::ostringstream label;
+        label << "read->" << v;
+        c.label = label.str();
+        choices.push_back(std::move(c));
+      }
+    }
+    RLT_CHECK_MSG(!choices.empty(),
+                  "linearizable model: read has no feasible value — bug");
+    return choices;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "linearizable{window=" << window().size() << " ops, pre-window in {";
+    for (std::size_t i = 0; i < initial_values().size(); ++i) {
+      os << (i == 0 ? "" : ",") << initial_values()[i];
+    }
+    os << "}}";
+    return os.str();
+  }
+
+ protected:
+  void apply_choice(int /*window_id*/,
+                    const ResponseChoice& choice) override {
+    RLT_CHECK_MSG(choice.commit_extension.empty(),
+                  "linearizable registers have no committed write order");
+  }
+
+  void collapse_hook() override {
+    const std::set<Value> finals =
+        window_final_values(checker::WriteOrderMode::kFree, {});
+    RLT_CHECK_MSG(!finals.empty(),
+                  "quiescent window has no feasible final value — bug");
+    initial_values_.assign(finals.begin(), finals.end());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RegisterModel> make_linearizable_model(Value initial) {
+  auto model = std::make_unique<LinearizableModel>();
+  model->set_initial(initial);
+  return model;
+}
+
+}  // namespace rlt::sim

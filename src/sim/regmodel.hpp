@@ -1,0 +1,160 @@
+// Register semantic models: the three register behaviours the paper
+// compares, as pluggable simulator objects.
+//
+//  * `AtomicModel` — operations take effect instantaneously at invocation
+//    (Section 2.1).  No pending operations ever exist.
+//  * `LinearizableModel` — operations span intervals; the adversary picks
+//    any response for which a legal linearization of the register's
+//    history still exists ("off-line" freedom: the relative order of
+//    concurrent writes can stay undecided until a read forces it).  This
+//    is the weakest behaviour consistent with Definition 2 and therefore
+//    the strongest adversary, matching Theorem 6's quantification.
+//  * `WslModel` — like LinearizableModel, but the register maintains an
+//    append-only *committed write sequence*: a write must be committed no
+//    later than its response, and every response choice must admit a
+//    linearization whose write subsequence is exactly the committed
+//    sequence (Definition 4 made operational; see DESIGN.md §5).
+//
+// Complexity note: the WSL model's response-choice menu for a write
+// enumerates every ordered commitment batch over the currently
+// *uncommitted* writes — factorial in their count, by design (the
+// adversary is entitled to the full choice space).  Schedules that keep
+// many same-register writes pending and uncommitted simultaneously
+// explode; adversaries should respond writes promptly (the paper's
+// schedules all do), and tests keep concurrent-writer counts small.
+//
+// Models keep a *window* of recent operations plus a set of possible
+// pre-window values.  When a register becomes quiescent (no pending ops)
+// the window is collapsed into the set of feasible final values, keeping
+// solver calls small even in unbounded executions (Theorem 6's infinite
+// run).  Collapsing is sound because every pre-collapse operation
+// real-time-precedes every post-collapse one, so the only information the
+// future needs is the set of values the register may still hold.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/lin_solver.hpp"
+#include "history/history.hpp"
+#include "sim/types.hpp"
+
+namespace rlt::sim {
+
+/// Interface of a register semantic model (one instance per register).
+class RegisterModel {
+ public:
+  virtual ~RegisterModel() = default;
+
+  /// The register's initial value (Definition 2, property 3).
+  virtual void set_initial(Value v) = 0;
+
+  /// Notifies the model of an invocation.  Returns the result immediately
+  /// if the model completes operations instantaneously (atomic model);
+  /// std::nullopt if the operation is now pending.
+  virtual std::optional<Value> on_invoke(int op_id, ProcessId p, OpKind kind,
+                                         Value value, Time now) = 0;
+
+  /// All ways the model is willing to complete pending op `op_id` at time
+  /// `now`.  Never empty for a write.  May be empty for a read only if
+  /// the model is mid-constrained (does not happen for these models:
+  /// a read can always return *some* feasible value).
+  virtual std::vector<ResponseChoice> response_choices(int op_id,
+                                                       Time now) = 0;
+
+  /// Applies one of the choices returned by `response_choices`; returns
+  /// the operation's result value (reads) or the written value (writes).
+  virtual Value on_respond(int op_id, const ResponseChoice& choice,
+                           Time now) = 0;
+
+  /// Pending operations on this register.
+  [[nodiscard]] virtual std::vector<PendingOpInfo> pending() const = 0;
+
+  /// Human-readable state dump for debugging and benchmarks.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Invoked by the scheduler after events; models may compact state.
+  virtual void maybe_collapse() {}
+};
+
+/// Common machinery for interval-based models (linearizable and WSL):
+/// window history, id mapping, and quiescence collapsing.
+class WindowedModel : public RegisterModel {
+ public:
+  void set_initial(Value v) override;
+
+  std::optional<Value> on_invoke(int op_id, ProcessId p, OpKind kind,
+                                 Value value, Time now) override;
+  Value on_respond(int op_id, const ResponseChoice& choice,
+                   Time now) override;
+  [[nodiscard]] std::vector<PendingOpInfo> pending() const override;
+  void maybe_collapse() override;
+
+  /// The set of values the register may hold before the current window
+  /// (singleton until a collapse preserves adversary freedom).
+  [[nodiscard]] const std::vector<Value>& initial_values() const noexcept {
+    return initial_values_;
+  }
+
+ protected:
+  /// Subclass hook: commitment bookkeeping etc. `window_id` is the op's
+  /// id inside `window_`.
+  virtual void apply_choice(int window_id, const ResponseChoice& choice) = 0;
+
+  /// Subclass hook called on collapse, before the window is cleared.
+  virtual void collapse_hook() = 0;
+
+  /// Subclass access to the window.
+  [[nodiscard]] const history::History& window() const noexcept {
+    return window_;
+  }
+  [[nodiscard]] int window_id_of(int global_op_id) const;
+  [[nodiscard]] int global_id_of(int window_id) const;
+
+  /// Feasible final values of the current window under `mode`/`exact`.
+  [[nodiscard]] std::set<Value> window_final_values(
+      checker::WriteOrderMode mode, const std::vector<int>& exact) const;
+
+  /// Solves the window with an op hypothetically completed.
+  [[nodiscard]] bool feasible_with_completion(
+      int window_id, Value read_value, Time now, checker::WriteOrderMode mode,
+      const std::vector<int>& exact_window_order) const;
+
+  history::History window_;
+  std::vector<Value> initial_values_{0};
+  std::vector<int> window_to_global_;   ///< window id -> global op id
+  std::vector<PendingOpInfo> pending_;  ///< keyed by global op id
+};
+
+/// Atomic registers: reads/writes are instantaneous (Section 2.1).
+class AtomicModel final : public RegisterModel {
+ public:
+  void set_initial(Value v) override { value_ = v; }
+  std::optional<Value> on_invoke(int op_id, ProcessId p, OpKind kind,
+                                 Value value, Time now) override;
+  std::vector<ResponseChoice> response_choices(int, Time) override {
+    return {};
+  }
+  Value on_respond(int, const ResponseChoice&, Time) override;
+  [[nodiscard]] std::vector<PendingOpInfo> pending() const override {
+    return {};
+  }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  Value value_ = 0;
+};
+
+/// Factory helpers.
+std::unique_ptr<RegisterModel> make_atomic_model(Value initial);
+std::unique_ptr<RegisterModel> make_linearizable_model(Value initial);
+std::unique_ptr<RegisterModel> make_wsl_model(Value initial);
+
+/// The three semantics, for parameterized tests and benches.
+enum class Semantics { kAtomic, kLinearizable, kWriteStrong };
+[[nodiscard]] const char* to_string(Semantics s) noexcept;
+std::unique_ptr<RegisterModel> make_model(Semantics s, Value initial);
+
+}  // namespace rlt::sim

@@ -1,0 +1,142 @@
+// Coroutine task types for simulated processes.
+//
+// A simulated process is a C++20 coroutine that `co_await`s one awaitable
+// per primitive step (shared-register operation, coin flip, or plain
+// yield).  The scheduler resumes the coroutine one step at a time; the
+// adversary chooses which process advances, giving step-level control of
+// the interleaving — the standard asynchronous shared-memory model.
+//
+// Tasks nest: an implemented-register operation (Algorithm 2's write is a
+// loop of n base-register reads plus one write) is a `ValueTask<T>`
+// co_awaited by the process body.  Suspending on a primitive awaitable
+// anywhere in the stack suspends the whole process; the scheduler resumes
+// the innermost ("leaf") coroutine, tracked by the owning Proc.  Subtask
+// completion transfers control back to the parent symmetrically, all
+// within one scheduler step — returning from a sub-operation is not a
+// shared-memory step.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace rlt::sim {
+
+namespace task_detail {
+
+/// Resumes the continuation (if any) when a task finishes.
+template <class Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    const auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <class T>
+struct PromiseStorage {
+  std::optional<T> value;
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct PromiseStorage<void> {
+  void return_void() noexcept {}
+};
+
+}  // namespace task_detail
+
+/// A (possibly value-returning) coroutine task.  Eagerly suspended; the
+/// first resume comes from the scheduler (root tasks) or from being
+/// co_awaited (subtasks).
+template <class T>
+class [[nodiscard]] BasicTask {
+ public:
+  struct promise_type : task_detail::PromiseStorage<T> {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    BasicTask get_return_object() {
+      return BasicTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    task_detail::FinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  BasicTask() = default;
+  explicit BasicTask(Handle h) noexcept : handle_(h) {}
+  BasicTask(const BasicTask&) = delete;
+  BasicTask& operator=(const BasicTask&) = delete;
+  BasicTask(BasicTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  BasicTask& operator=(BasicTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~BasicTask() { destroy(); }
+
+  [[nodiscard]] bool done() const noexcept {
+    return !handle_ || handle_.done();
+  }
+
+  [[nodiscard]] Handle handle() const noexcept { return handle_; }
+
+  /// Rethrows an exception captured by the (finished) coroutine, if any.
+  void check_exception() const {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the
+  /// awaiter when it finishes, yielding its return value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle inner;
+      bool await_ready() const noexcept { return !inner || inner.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> outer) noexcept {
+        inner.promise().continuation = outer;
+        return inner;
+      }
+      T await_resume() {
+        if (inner.promise().exception) {
+          std::rethrow_exception(inner.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*inner.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+/// Root process task.
+using Task = BasicTask<void>;
+
+/// Value-returning subtask (implemented-register operations).
+template <class T>
+using ValueTask = BasicTask<T>;
+
+}  // namespace rlt::sim

@@ -1,0 +1,216 @@
+// Write strongly-linearizable register semantics (see regmodel.hpp).
+//
+// Operational form of Definition 4: the register maintains an append-only
+// *committed write sequence*.  Whenever a write responds it must already
+// be committed — so the response choices for a write enumerate the
+// ordered selections of uncommitted writes (containing the responding
+// one) that can be appended while a legal linearization with EXACTLY that
+// write order still exists.  A read may return the value of an
+// uncommitted pending write, but doing so forces that write (and any
+// predecessors the adversary chooses) to be committed at the read's
+// response.
+//
+// The crux of Lemma 19 becomes mechanical here: when p0's write of [0,j]
+// responds BEFORE the coin flip, the adversary must choose the relative
+// order of the concurrent write [1,j] now; it cannot retroactively pick
+// the order after seeing the coin.
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "sim/regmodel.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::sim {
+
+namespace {
+
+class WslModel final : public WindowedModel {
+ public:
+  std::vector<ResponseChoice> response_choices(int op_id, Time now) override {
+    const int wid = window_id_of(op_id);
+    const history::OpRecord& op = window().op(wid);
+    std::vector<ResponseChoice> choices;
+
+    if (op.is_write()) {
+      if (std::find(committed_.begin(), committed_.end(), wid) !=
+          committed_.end()) {
+        // Already committed (a read returned this write's value earlier
+        // and forced the commitment).  Responding decides nothing more.
+        RLT_CHECK_MSG(
+            feasible_with_completion(wid, op.value, now,
+                                     checker::WriteOrderMode::kExact,
+                                     committed_),
+            "WSL model: committed write response infeasible — bug");
+        ResponseChoice c;
+        c.value = op.value;
+        c.label = "complete-committed-write";
+        choices.push_back(std::move(c));
+        return choices;
+      }
+      // Enumerate ordered selections of uncommitted writes containing the
+      // responding write; each selection is a candidate commitment batch.
+      for_each_selection(uncommitted_writes(), [&](const std::vector<int>& s) {
+        if (std::find(s.begin(), s.end(), wid) == s.end()) return;
+        std::vector<int> exact = committed_;
+        exact.insert(exact.end(), s.begin(), s.end());
+        if (!feasible_with_completion(wid, op.value, now,
+                                      checker::WriteOrderMode::kExact,
+                                      exact)) {
+          return;
+        }
+        ResponseChoice c;
+        c.value = op.value;
+        c.commit_extension = to_global(s);
+        c.label = "commit" + render(s);
+        choices.push_back(std::move(c));
+      });
+      RLT_CHECK_MSG(!choices.empty(),
+                    "WSL model: write has no feasible commitment — bug");
+      return choices;
+    }
+
+    // Reads: (value, commitment extension) pairs.  The empty extension is
+    // considered too (value determined by already-committed writes).
+    std::set<Value> candidates(initial_values().begin(),
+                               initial_values().end());
+    for (const history::OpRecord& w : window().ops()) {
+      if (w.is_write()) candidates.insert(w.value);
+    }
+    const auto try_selection = [&](const std::vector<int>& s) {
+      std::vector<int> exact = committed_;
+      exact.insert(exact.end(), s.begin(), s.end());
+      for (const Value v : candidates) {
+        if (feasible_with_completion(wid, v, now,
+                                     checker::WriteOrderMode::kExact,
+                                     exact)) {
+          ResponseChoice c;
+          c.value = v;
+          c.commit_extension = to_global(s);
+          std::ostringstream label;
+          label << "read->" << v << (s.empty() ? "" : " commit" + render(s));
+          c.label = label.str();
+          choices.push_back(std::move(c));
+        }
+      }
+    };
+    try_selection({});
+    for_each_selection(uncommitted_writes(), try_selection);
+    RLT_CHECK_MSG(!choices.empty(),
+                  "WSL model: read has no feasible response — bug");
+    return choices;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "wsl{window=" << window().size() << " ops, committed=[";
+    for (std::size_t i = 0; i < committed_.size(); ++i) {
+      os << (i == 0 ? "" : ",") << 'w' << global_id_of(committed_[i]);
+    }
+    os << "], pre-window in {";
+    for (std::size_t i = 0; i < initial_values().size(); ++i) {
+      os << (i == 0 ? "" : ",") << initial_values()[i];
+    }
+    os << "}}";
+    return os.str();
+  }
+
+  /// The committed write order, as global history op ids (introspection
+  /// for adversaries and tests).
+  [[nodiscard]] std::vector<int> committed_global() const {
+    return to_global(committed_);
+  }
+
+ protected:
+  void apply_choice(int /*window_id*/, const ResponseChoice& choice) override {
+    for (const int global : choice.commit_extension) {
+      const int wid = window_id_of(global);
+      const history::OpRecord& op = window().op(wid);
+      RLT_CHECK_MSG(op.is_write(), "cannot commit a read");
+      RLT_CHECK_MSG(std::find(committed_.begin(), committed_.end(), wid) ==
+                        committed_.end(),
+                    "write committed twice");
+      committed_.push_back(wid);
+    }
+  }
+
+  void collapse_hook() override {
+    // At quiescence every write has responded, hence is committed.
+    std::size_t write_count = 0;
+    for (const history::OpRecord& op : window().ops()) {
+      if (op.is_write()) ++write_count;
+    }
+    RLT_CHECK_MSG(write_count == committed_.size(),
+                  "quiescent WSL register with uncommitted writes — bug");
+    Value final_value = initial_values_.front();
+    RLT_CHECK_MSG(initial_values_.size() == 1,
+                  "WSL pre-window value must be determined");
+    if (!committed_.empty()) {
+      final_value = window().op(committed_.back()).value;
+    }
+    initial_values_ = {final_value};
+    committed_.clear();
+  }
+
+ private:
+  [[nodiscard]] std::vector<int> uncommitted_writes() const {
+    std::vector<int> out;
+    for (const history::OpRecord& op : window().ops()) {
+      if (op.is_write() && std::find(committed_.begin(), committed_.end(),
+                                     op.id) == committed_.end()) {
+        out.push_back(op.id);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<int> to_global(const std::vector<int>& wids) const {
+    std::vector<int> out;
+    out.reserve(wids.size());
+    for (const int wid : wids) out.push_back(global_id_of(wid));
+    return out;
+  }
+
+  [[nodiscard]] std::string render(const std::vector<int>& wids) const {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < wids.size(); ++i) {
+      os << (i == 0 ? "" : ",") << 'w' << global_id_of(wids[i]);
+    }
+    os << ']';
+    return os.str();
+  }
+
+  /// Enumerates every non-empty ordered selection of `candidates`.
+  static void for_each_selection(
+      const std::vector<int>& candidates,
+      const std::function<void(const std::vector<int>&)>& fn) {
+    std::vector<int> current;
+    std::vector<bool> used(candidates.size(), false);
+    const std::function<void()> rec = [&]() {
+      if (!current.empty()) fn(current);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (used[i]) continue;
+        used[i] = true;
+        current.push_back(candidates[i]);
+        rec();
+        current.pop_back();
+        used[i] = false;
+      }
+    };
+    rec();
+  }
+
+  std::vector<int> committed_;  ///< window ids, committed order
+};
+
+}  // namespace
+
+std::unique_ptr<RegisterModel> make_wsl_model(Value initial) {
+  auto model = std::make_unique<WslModel>();
+  model->set_initial(initial);
+  return model;
+}
+
+}  // namespace rlt::sim

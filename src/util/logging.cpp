@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace rlt::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::ostream* g_stream = &std::cerr;
+std::mutex g_emit_mutex;
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_stream(std::ostream& os) noexcept { g_stream = &os; }
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  (*g_stream) << "[rlt " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace rlt::util

@@ -1,0 +1,54 @@
+// Minimal leveled logger used by benches and examples for human-readable
+// progress output.  Library code (simulator, checkers, registers) never
+// logs on hot paths; diagnostics are returned as values (certificates,
+// statistics structs) instead.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace rlt::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Sink for log output; defaults to std::cerr. Not thread-safe to swap
+/// while logging (set once at startup).
+void set_log_stream(std::ostream& os) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: `LogLine(LogLevel::kInfo) << "x=" << x;`
+/// emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, os_.str());
+  }
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+inline LogLine log_debug() { return LogLine(LogLevel::kDebug); }
+inline LogLine log_info() { return LogLine(LogLevel::kInfo); }
+inline LogLine log_warn() { return LogLine(LogLevel::kWarn); }
+inline LogLine log_error() { return LogLine(LogLevel::kError); }
+
+}  // namespace rlt::util

@@ -1,0 +1,193 @@
+// Tests for Algorithm 1 and its adversaries — the paper's Theorem 6 /
+// Theorem 7 / Corollary 8 separation, plus the Appendix B bounded
+// variant and the Lemma 15-18 runtime invariants.
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.hpp"
+#include "game/game_runner.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::game {
+namespace {
+
+GameConfig config(int n, int max_rounds, bool bounded = false) {
+  GameConfig cfg;
+  cfg.n = n;
+  cfg.max_rounds = max_rounds;
+  cfg.bounded = bounded;
+  cfg.check_invariants = true;  // Lemmas 15-18 assert in every run
+  return cfg;
+}
+
+// ---------- Theorem 6: linearizable registers, no termination ----------
+
+TEST(Theorem6, AdversaryPreventsTerminationForever) {
+  // The scripted adversary drives every process through `max_rounds`
+  // full rounds — nobody ever exits, whatever the coin flips were.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GameRunResult r = run_scripted_game(
+        config(5, 40), sim::Semantics::kLinearizable,
+        CommitStrategy::kRandomOrder, seed);
+    ASSERT_FALSE(r.terminated) << "seed " << seed;
+    ASSERT_EQ(r.rounds_reached, 40) << "seed " << seed;
+  }
+}
+
+TEST(Theorem6, WorksForVariousProcessCounts) {
+  for (const int n : {3, 4, 6, 9}) {
+    const GameRunResult r =
+        run_scripted_game(config(n, 15), sim::Semantics::kLinearizable,
+                          CommitStrategy::kHostZeroFirst, 7);
+    EXPECT_FALSE(r.terminated) << "n=" << n;
+    EXPECT_EQ(r.rounds_reached, 15) << "n=" << n;
+  }
+}
+
+TEST(Theorem6, CoinOutcomesAreIrrelevantToSurvival) {
+  // Both coin outcomes occur across rounds, yet every round survives —
+  // the adversary adapts the linearization after seeing the coin.
+  const GameRunResult r = run_scripted_game(
+      config(4, 60), sim::Semantics::kLinearizable,
+      CommitStrategy::kRandomOrder, 3);
+  ASSERT_FALSE(r.terminated);
+  int zeros = 0;
+  int ones = 0;
+  for (int j = 1; j <= 60; ++j) {
+    if (r.coins[static_cast<std::size_t>(j)] == 0) ++zeros;
+    if (r.coins[static_cast<std::size_t>(j)] == 1) ++ones;
+  }
+  EXPECT_GT(zeros, 5);
+  EXPECT_GT(ones, 5);
+}
+
+TEST(Theorem6, BoundedVariantBehavesIdentically) {
+  // Appendix B: R1 carries only 0/1/⊥ — same non-termination.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const GameRunResult r = run_scripted_game(
+        config(5, 25, /*bounded=*/true), sim::Semantics::kLinearizable,
+        CommitStrategy::kRandomOrder, seed);
+    ASSERT_FALSE(r.terminated) << "seed " << seed;
+    ASSERT_EQ(r.rounds_reached, 25) << "seed " << seed;
+  }
+}
+
+// ---------- Theorem 7: WSL registers, termination w.p. 1 ----------
+
+TEST(Theorem7, WslRegistersForceTermination) {
+  for (const CommitStrategy strat :
+       {CommitStrategy::kHostZeroFirst, CommitStrategy::kHostOneFirst,
+        CommitStrategy::kRandomOrder, CommitStrategy::kAlternate}) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const GameRunResult r = run_scripted_game(
+          config(5, 200), sim::Semantics::kWriteStrong, strat, seed);
+      ASSERT_TRUE(r.terminated)
+          << to_string(strat) << " seed " << seed;
+      ASSERT_GT(r.termination_round, 0);
+    }
+  }
+}
+
+TEST(Theorem7, TerminationRoundsAreGeometricallyBounded) {
+  // Lemma 19: each round dies with probability >= 1/2, so the mean
+  // termination round is <= 2 and P(round > 10) is negligible.
+  const TerminationDistribution dist = measure_termination_rounds(
+      config(5, 400), sim::Semantics::kWriteStrong,
+      CommitStrategy::kRandomOrder, 1000, 300);
+  EXPECT_EQ(dist.capped_runs, 0);
+  EXPECT_GT(dist.mean_round, 1.0);
+  EXPECT_LT(dist.mean_round, 3.5);  // generous slack around E[X]=2
+  // Survival beyond k rounds should decay roughly like 2^-k.
+  ASSERT_GT(dist.survival.size(), 1u);
+  if (dist.survival.size() > 6) {
+    EXPECT_LT(dist.survival[6], 0.15);
+  }
+}
+
+TEST(Theorem7, BoundedVariantTerminatesToo) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GameRunResult r = run_scripted_game(
+        config(5, 200, /*bounded=*/true), sim::Semantics::kWriteStrong,
+        CommitStrategy::kRandomOrder, seed);
+    ASSERT_TRUE(r.terminated) << "seed " << seed;
+  }
+}
+
+TEST(Theorem7, FixedStrategiesDieWhenCoinMismatches) {
+  // With kHostZeroFirst the game dies exactly at the first round whose
+  // coin is 1 (the adversary committed [0,j] first, coin said to need
+  // [1,j] first).
+  const GameRunResult r = run_scripted_game(
+      config(4, 300), sim::Semantics::kWriteStrong,
+      CommitStrategy::kHostZeroFirst, 11);
+  ASSERT_TRUE(r.terminated);
+  for (int j = 1; j < r.termination_round; ++j) {
+    EXPECT_EQ(r.coins[static_cast<std::size_t>(j)], 0) << "round " << j;
+  }
+  EXPECT_EQ(r.coins[static_cast<std::size_t>(r.termination_round)], 1);
+}
+
+// ---------- Atomic registers ----------
+
+TEST(AtomicGame, TerminatesUnderRandomSchedules) {
+  int terminated = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GameRunResult r =
+        run_random_game(config(4, 500), sim::Semantics::kAtomic, seed);
+    if (r.terminated) ++terminated;
+  }
+  // Random schedules make survival of even one round unlikely.
+  EXPECT_GE(terminated, 18);
+}
+
+TEST(RandomAdversary, GameTerminatesEvenWithLinearizableRegisters) {
+  // A *random* adversary is not the clever Theorem 6 adversary: the
+  // game almost surely dies quickly (the separation needs adversarial
+  // scheduling, not just weak registers).
+  int terminated = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const GameRunResult r = run_random_game(
+        config(4, 300), sim::Semantics::kLinearizable, seed);
+    if (r.terminated) ++terminated;
+  }
+  EXPECT_GE(terminated, 8);
+}
+
+// ---------- Recorded histories stay linearizable ----------
+
+TEST(GameHistories, PerRegisterHistoriesAreLinearizable) {
+  // Short scripted run; every register's recorded history must satisfy
+  // Definition 2 (the models enforce it on-line; re-check off-line).
+  GameConfig cfg = config(4, 2);
+  sim::Scheduler sched(5);
+  GameState state(cfg);
+  setup_game(sched, sim::Semantics::kLinearizable, state);
+  GameScriptAdversary adversary(cfg, CommitStrategy::kRandomOrder, 5);
+  sched.run(adversary, 100000);
+  const auto result = checker::check_linearizable(sched.global_history());
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(GameHistories, LemmaInvariantsHoldAcrossSemantics) {
+  // Lemmas 15-18 are asserted inside the game bodies; a violation would
+  // throw. Exercise all semantics and several seeds.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_NO_THROW((void)run_random_game(config(5, 100),
+                                          sim::Semantics::kAtomic, seed));
+    EXPECT_NO_THROW((void)run_random_game(
+        config(5, 50), sim::Semantics::kLinearizable, seed));
+    EXPECT_NO_THROW((void)run_scripted_game(config(5, 50),
+                                            sim::Semantics::kWriteStrong,
+                                            CommitStrategy::kRandomOrder,
+                                            seed));
+  }
+}
+
+TEST(GameConfigChecks, RejectsTooFewProcesses) {
+  sim::Scheduler sched(1);
+  GameState state(config(2, 5));
+  EXPECT_THROW(setup_game(sched, sim::Semantics::kAtomic, state),
+               util::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace rlt::game

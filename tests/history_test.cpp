@@ -1,0 +1,173 @@
+// Tests for the history model: operation records, prefixes, recorders.
+#include <gtest/gtest.h>
+
+#include "history/recorder.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::history {
+namespace {
+
+OpRecord make_op(int process, RegisterId reg, OpKind kind, Value v,
+                 Time invoke, Time response) {
+  OpRecord op;
+  op.process = process;
+  op.reg = reg;
+  op.kind = kind;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  return op;
+}
+
+TEST(OpRecord, PrecedenceIsStrictRealTime) {
+  const OpRecord a = make_op(0, 0, OpKind::kWrite, 1, 1, 5);
+  const OpRecord b = make_op(1, 0, OpKind::kRead, 0, 6, 9);
+  const OpRecord c = make_op(2, 0, OpKind::kRead, 0, 3, 8);
+  EXPECT_TRUE(a.precedes(b));
+  EXPECT_FALSE(b.precedes(a));
+  EXPECT_FALSE(a.precedes(c));  // overlap
+  EXPECT_TRUE(a.concurrent_with(c));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(OpRecord, PendingNeverPrecedes) {
+  const OpRecord p = make_op(0, 0, OpKind::kWrite, 1, 1, kNoTime);
+  const OpRecord q = make_op(1, 0, OpKind::kRead, 0, 100, 200);
+  EXPECT_TRUE(p.pending());
+  EXPECT_FALSE(p.precedes(q));
+  EXPECT_TRUE(p.concurrent_with(q));
+}
+
+TEST(History, AddAssignsDenseIds) {
+  History h;
+  EXPECT_EQ(h.add(make_op(0, 0, OpKind::kWrite, 1, 1, 2)), 0);
+  EXPECT_EQ(h.add(make_op(1, 0, OpKind::kRead, 1, 3, 4)), 1);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.completed_count(), 2u);
+  h.validate();
+}
+
+TEST(History, CompleteOpSetsReadValue) {
+  History h;
+  const int id = h.add(make_op(0, 0, OpKind::kRead, 0, 1, kNoTime));
+  EXPECT_EQ(h.completed_count(), 0u);
+  h.complete_op(id, 42, 5);
+  EXPECT_EQ(h.op(id).value, 42);
+  EXPECT_EQ(h.op(id).response, 5u);
+  EXPECT_THROW(h.complete_op(id, 0, 9), util::InvariantViolation);
+}
+
+TEST(History, CompleteOpKeepsWriteValue) {
+  History h;
+  const int id = h.add(make_op(0, 0, OpKind::kWrite, 7, 1, kNoTime));
+  h.complete_op(id, 999, 5);
+  EXPECT_EQ(h.op(id).value, 7);
+}
+
+TEST(History, ValidateRejectsDuplicateTimes) {
+  History h;
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 1, 2));
+  h.add(make_op(1, 0, OpKind::kWrite, 2, 2, 5));  // invoke collides
+  EXPECT_THROW(h.validate(), util::InvariantViolation);
+}
+
+TEST(History, EventsAreTimeSorted) {
+  History h;
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 5, 9));
+  h.add(make_op(1, 0, OpKind::kRead, 1, 2, 7));
+  const auto evs = h.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_LT(evs[i - 1].time, evs[i].time);
+  }
+  EXPECT_EQ(evs.front().time, 2u);
+  EXPECT_EQ(evs.back().time, 9u);
+}
+
+TEST(History, PrefixTruncatesAndPends) {
+  History h;
+  h.set_initial(0, -5);
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 1, 10));
+  h.add(make_op(1, 0, OpKind::kRead, 1, 2, 4));
+  h.add(make_op(2, 0, OpKind::kRead, 1, 20, 22));
+
+  const History p = h.prefix_at(5);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.op(0).pending());             // write cut at response
+  EXPECT_FALSE(p.op(1).pending());            // read completed by t=5
+  EXPECT_EQ(p.op(1).value, 1);
+  EXPECT_EQ(p.initial(0), -5);
+
+  const History p2 = h.prefix_at(3);
+  ASSERT_EQ(p2.size(), 2u);
+  EXPECT_TRUE(p2.op(1).pending());
+  EXPECT_EQ(p2.op(1).value, 0);  // pending reads lose their value
+}
+
+TEST(History, AllPrefixesEndsWithFullHistory) {
+  History h;
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 1, 4));
+  h.add(make_op(1, 0, OpKind::kRead, 1, 2, 6));
+  const auto prefixes = h.all_prefixes();
+  ASSERT_EQ(prefixes.size(), 4u);  // one per event
+  EXPECT_EQ(prefixes.back(), h);
+  EXPECT_EQ(prefixes.front().size(), 1u);
+}
+
+TEST(History, RestrictToRegisterMapsIds) {
+  History h;
+  h.set_initial(3, 9);
+  h.add(make_op(0, 3, OpKind::kWrite, 1, 1, 2));
+  h.add(make_op(0, 5, OpKind::kWrite, 2, 3, 4));
+  h.add(make_op(1, 3, OpKind::kRead, 1, 5, 6));
+  std::vector<int> mapping;
+  const History sub = h.restrict_to_register(3, &mapping);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(mapping, (std::vector<int>{0, 2}));
+  EXPECT_EQ(sub.initial(3), 9);
+  EXPECT_EQ(h.registers(), (std::vector<RegisterId>{3, 5}));
+}
+
+TEST(Recorder, RecordsInvokeAndResponse) {
+  Recorder rec;
+  const OpHandle h = rec.begin_op(2, 0, OpKind::kRead, 0, 10);
+  rec.end_op(h, 33, 12);
+  const History& hist = rec.history();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.op(0).process, 2);
+  EXPECT_EQ(hist.op(0).value, 33);
+  EXPECT_EQ(hist.op(0).invoke, 10u);
+  EXPECT_EQ(hist.op(0).response, 12u);
+}
+
+TEST(ConcurrentRecorder, AssignsMonotoneDistinctTimes) {
+  ConcurrentRecorder rec;
+  const OpHandle a = rec.begin_op(0, 0, OpKind::kWrite, 5);
+  const OpHandle b = rec.begin_op(1, 0, OpKind::kRead, 0);
+  rec.end_op(a, 0);
+  rec.end_op(b, 5);
+  const History h = rec.snapshot();
+  h.validate();
+  EXPECT_LT(h.op(0).invoke, h.op(1).invoke);
+  EXPECT_LT(h.op(1).invoke, h.op(0).response);
+  EXPECT_LT(h.op(0).response, h.op(1).response);
+}
+
+TEST(ConcurrentRecorder, SnapshotShowsPendingOps) {
+  ConcurrentRecorder rec;
+  (void)rec.begin_op(0, 0, OpKind::kWrite, 5);
+  const History h = rec.snapshot();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.op(0).pending());
+}
+
+TEST(History, PrintingIsStable) {
+  History h;
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 1, 2));
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("op0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlt::history

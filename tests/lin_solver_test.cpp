@@ -1,0 +1,256 @@
+// Tests for the backtracking linearization solver — the single source of
+// truth for register feasibility used by checkers and simulator models.
+#include <gtest/gtest.h>
+
+#include "checker/lin_solver.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::checker {
+namespace {
+
+using history::History;
+using history::kNoTime;
+using history::OpRecord;
+
+int add(History& h, int process, OpKind kind, Value v, Time invoke,
+        Time response) {
+  OpRecord op;
+  op.process = process;
+  op.reg = 0;
+  op.kind = kind;
+  op.value = v;
+  op.invoke = invoke;
+  op.response = response;
+  return h.add(op);
+}
+
+LinSolution solve_free(const History& h) {
+  LinProblem p;
+  p.history = &h;
+  return solve(p);
+}
+
+TEST(LinSolver, EmptyHistoryIsFeasible) {
+  History h;
+  const LinSolution s = solve_free(h);
+  EXPECT_TRUE(s.ok);
+  EXPECT_TRUE(s.order.empty());
+}
+
+TEST(LinSolver, SequentialWriteRead) {
+  History h;
+  add(h, 0, OpKind::kWrite, 7, 1, 2);
+  add(h, 1, OpKind::kRead, 7, 3, 4);
+  const LinSolution s = solve_free(h);
+  ASSERT_TRUE(s.ok);
+  EXPECT_EQ(s.order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.final_value, 7);
+}
+
+TEST(LinSolver, ReadOfInitialValue) {
+  History h;
+  h.set_initial(0, 9);
+  add(h, 0, OpKind::kRead, 9, 1, 2);
+  EXPECT_TRUE(solve_free(h).ok);
+}
+
+TEST(LinSolver, StaleReadAfterWriteIsInfeasible) {
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 7, 1, 2);
+  add(h, 1, OpKind::kRead, 0, 3, 4);  // must see 7, claims 0
+  EXPECT_FALSE(solve_free(h).ok);
+}
+
+TEST(LinSolver, ConcurrentWriteAllowsEitherReadValue) {
+  for (const Value claimed : {0, 7}) {
+    History h;
+    h.set_initial(0, 0);
+    add(h, 0, OpKind::kWrite, 7, 1, 10);  // overlaps the read
+    add(h, 1, OpKind::kRead, claimed, 2, 5);
+    EXPECT_TRUE(solve_free(h).ok) << "claimed " << claimed;
+  }
+}
+
+TEST(LinSolver, NewOldInversionWithinOneReaderIsInfeasible) {
+  // Reader sees the new value and then, in a later read, the old one.
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 7, 1, 20);
+  add(h, 1, OpKind::kRead, 7, 2, 5);
+  add(h, 1, OpKind::kRead, 0, 6, 9);
+  EXPECT_FALSE(solve_free(h).ok);
+}
+
+TEST(LinSolver, NewOldInversionAcrossOverlappingReadersIsFeasible) {
+  // r' responds after r but overlaps the write: may linearize before it.
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 7, 5, 20);
+  add(h, 1, OpKind::kRead, 7, 6, 10);   // r   -> new
+  add(h, 2, OpKind::kRead, 0, 4, 15);   // r'  -> old, overlaps write
+  EXPECT_TRUE(solve_free(h).ok);
+}
+
+TEST(LinSolver, PendingWriteMayBeReadOrIgnored) {
+  // Pending write: a read may return it (linearize the write first)...
+  {
+    History h;
+    add(h, 0, OpKind::kWrite, 7, 1, kNoTime);
+    add(h, 1, OpKind::kRead, 7, 2, 5);
+    EXPECT_TRUE(solve_free(h).ok);
+  }
+  // ...or never observe it.
+  {
+    History h;
+    h.set_initial(0, 0);
+    add(h, 0, OpKind::kWrite, 7, 1, kNoTime);
+    add(h, 1, OpKind::kRead, 0, 2, 5);
+    EXPECT_TRUE(solve_free(h).ok);
+  }
+}
+
+TEST(LinSolver, RealTimeOrderOfWritesIsRespected) {
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 1, 1, 2);
+  add(h, 1, OpKind::kWrite, 2, 3, 4);
+  add(h, 2, OpKind::kRead, 1, 5, 6);  // stale: w1 precedes w2 precedes read
+  EXPECT_FALSE(solve_free(h).ok);
+}
+
+TEST(LinSolver, ExactOrderMatchingHistoryIsFeasible) {
+  History h;
+  add(h, 0, OpKind::kWrite, 1, 1, 2);
+  add(h, 1, OpKind::kWrite, 2, 3, 4);
+  LinProblem p;
+  p.history = &h;
+  p.mode = WriteOrderMode::kExact;
+  p.exact_write_order = {0, 1};
+  EXPECT_TRUE(solve(p).ok);
+  p.exact_write_order = {1, 0};  // contradicts real time
+  EXPECT_FALSE(solve(p).ok);
+}
+
+TEST(LinSolver, ExactOrderMustCoverCompletedWrites) {
+  History h;
+  add(h, 0, OpKind::kWrite, 1, 1, 2);
+  LinProblem p;
+  p.history = &h;
+  p.mode = WriteOrderMode::kExact;
+  p.exact_write_order = {};  // omits a completed write
+  EXPECT_FALSE(solve(p).ok);
+}
+
+TEST(LinSolver, ExactOrderIncludesListedPendingWrites) {
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 7, 1, kNoTime);  // pending
+  add(h, 1, OpKind::kRead, 7, 2, 5);
+  LinProblem p;
+  p.history = &h;
+  p.mode = WriteOrderMode::kExact;
+  p.exact_write_order = {0};
+  const LinSolution s = solve(p);
+  ASSERT_TRUE(s.ok);
+  EXPECT_EQ(s.order.size(), 2u);
+
+  // Excluding the pending write makes the read's value impossible.
+  p.exact_write_order = {};
+  EXPECT_FALSE(solve(p).ok);
+}
+
+TEST(LinSolver, ExactOrderConcurrentWritesBothDirections) {
+  History h;
+  add(h, 0, OpKind::kWrite, 1, 1, 10);
+  add(h, 1, OpKind::kWrite, 2, 2, 12);  // concurrent
+  for (const auto& order :
+       {std::vector<int>{0, 1}, std::vector<int>{1, 0}}) {
+    LinProblem p;
+    p.history = &h;
+    p.mode = WriteOrderMode::kExact;
+    p.exact_write_order = order;
+    EXPECT_TRUE(solve(p).ok);
+  }
+}
+
+TEST(LinSolver, MultipleInitialValues) {
+  History h;
+  add(h, 0, OpKind::kRead, 5, 1, 2);
+  LinProblem p;
+  p.history = &h;
+  p.initial_values = std::vector<Value>{1, 5, 9};
+  const LinSolution s = solve(p);
+  ASSERT_TRUE(s.ok);
+  EXPECT_EQ(s.initial_used, 5);
+  p.initial_values = std::vector<Value>{1, 9};
+  EXPECT_FALSE(solve(p).ok);
+}
+
+TEST(LinSolver, FinalValuesEnumeration) {
+  // Two concurrent completed writes: either may be last.
+  History h;
+  add(h, 0, OpKind::kWrite, 1, 1, 10);
+  add(h, 1, OpKind::kWrite, 2, 2, 12);
+  LinProblem p;
+  p.history = &h;
+  const std::set<Value> finals = feasible_final_values(p);
+  EXPECT_EQ(finals, (std::set<Value>{1, 2}));
+}
+
+TEST(LinSolver, FinalValuesWithPendingWriteIncludePreState) {
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 7, 1, kNoTime);
+  LinProblem p;
+  p.history = &h;
+  const std::set<Value> finals = feasible_final_values(p);
+  EXPECT_EQ(finals, (std::set<Value>{0, 7}));
+}
+
+TEST(LinSolver, FinalValuesConstrainedByReads) {
+  // Read of 2 after both writes completed: 2 must be last.
+  History h;
+  add(h, 0, OpKind::kWrite, 1, 1, 10);
+  add(h, 1, OpKind::kWrite, 2, 2, 12);
+  add(h, 2, OpKind::kRead, 2, 13, 14);
+  LinProblem p;
+  p.history = &h;
+  const std::set<Value> finals = feasible_final_values(p);
+  EXPECT_EQ(finals, (std::set<Value>{2}));
+}
+
+TEST(LinSolver, RejectsOversizedHistories) {
+  History h;
+  for (int i = 0; i < 65; ++i) {
+    add(h, 0, OpKind::kWrite, i, 2 * i + 1, 2 * i + 2);
+  }
+  LinProblem p;
+  p.history = &h;
+  EXPECT_THROW((void)solve(p), util::InvariantViolation);
+}
+
+TEST(LinSolver, DuplicateValuesAreHandled) {
+  // Two writes of the same value; read can be served by either.
+  History h;
+  add(h, 0, OpKind::kWrite, 5, 1, 10);
+  add(h, 1, OpKind::kWrite, 5, 2, 12);
+  add(h, 2, OpKind::kRead, 5, 3, 9);
+  EXPECT_TRUE(solve_free(h).ok);
+}
+
+TEST(LinSolver, WitnessIsAlwaysLegal) {
+  // The returned order must itself pass the sequential validator.
+  History h;
+  h.set_initial(0, 0);
+  add(h, 0, OpKind::kWrite, 1, 1, 8);
+  add(h, 1, OpKind::kWrite, 2, 2, 9);
+  add(h, 2, OpKind::kRead, 1, 3, 7);
+  add(h, 2, OpKind::kRead, 2, 10, 12);
+  const LinSolution s = solve_free(h);
+  ASSERT_TRUE(s.ok);
+  EXPECT_TRUE(is_legal_sequential(h, s.order).ok);
+}
+
+}  // namespace
+}  // namespace rlt::checker

@@ -1,0 +1,270 @@
+// Tests for the message-passing substrate, the ABD register, and the
+// executable Theorem 14 (f* construction).
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.hpp"
+#include "checker/wsl_checker.hpp"
+#include "mp/abd.hpp"
+#include "mp/f_star.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::mp {
+namespace {
+
+class EchoNode final : public Node {
+ public:
+  void on_message(const Message& m) override { received.push_back(m); }
+  std::vector<Message> received;
+};
+
+TEST(Network, DeliversInChosenOrder) {
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  net.send(ia, ib, 1, {10});
+  net.send(ia, ib, 2, {20});
+  ASSERT_EQ(net.in_flight(), 2u);
+  net.deliver_at(1);  // out of order
+  net.deliver_at(0);
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].type, 2);
+  EXPECT_EQ(b.received[1].type, 1);
+  EXPECT_EQ(net.messages_delivered(), 2u);
+}
+
+TEST(Network, CrashedNodesDropTraffic) {
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  net.crash(ib);
+  net.send(ia, ib, 1, {});
+  net.deliver_at(0);
+  EXPECT_TRUE(b.received.empty());  // dropped at delivery
+  net.send(ib, ia, 1, {});          // dropped at send
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(net.crashed_count(), 1);
+}
+
+TEST(Network, BroadcastReachesEveryNodeIncludingSender) {
+  Network net;
+  EchoNode nodes[3];
+  for (EchoNode& n : nodes) net.add_node(n);
+  net.broadcast(0, 9, {1, 2});
+  EXPECT_EQ(net.in_flight(), 3u);
+  while (net.in_flight() > 0) net.deliver_at(0);
+  for (EchoNode& n : nodes) {
+    ASSERT_EQ(n.received.size(), 1u);
+    EXPECT_EQ(n.received[0].payload, (std::vector<std::int64_t>{1, 2}));
+  }
+}
+
+/// Drives the network until the given op completes (FIFO-ish random).
+void drive_until_done(Network& net, AbdRegister& reg, int token,
+                      util::Rng& rng, int max_steps = 100000) {
+  for (int i = 0; i < max_steps && !reg.done(token); ++i) {
+    if (!net.deliver_random(rng)) break;
+  }
+}
+
+TEST(Abd, SequentialWriteThenRead) {
+  Network net;
+  AbdRegister reg(net, 3, /*writer=*/0, /*initial=*/7);
+  util::Rng rng(1);
+  const int w = reg.begin_write(42);
+  drive_until_done(net, reg, w, rng);
+  ASSERT_TRUE(reg.done(w));
+  const int r = reg.begin_read(1);
+  drive_until_done(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  EXPECT_EQ(reg.result(r), 42);
+}
+
+TEST(Abd, ReadOfInitialValue) {
+  Network net;
+  AbdRegister reg(net, 5, 0, 7);
+  util::Rng rng(2);
+  const int r = reg.begin_read(3);
+  drive_until_done(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  EXPECT_EQ(reg.result(r), 7);
+}
+
+TEST(Abd, ToleratesMinorityCrashes) {
+  Network net;
+  AbdRegister reg(net, 5, 0, 0);
+  util::Rng rng(3);
+  net.crash(3);
+  net.crash(4);  // 2 < majority of 5
+  const int w = reg.begin_write(9);
+  drive_until_done(net, reg, w, rng);
+  ASSERT_TRUE(reg.done(w));
+  const int r = reg.begin_read(1);
+  drive_until_done(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  EXPECT_EQ(reg.result(r), 9);
+}
+
+TEST(Abd, MajorityCrashStallsOperationsForever) {
+  Network net;
+  AbdRegister reg(net, 5, 0, 0);
+  util::Rng rng(4);
+  net.crash(1);
+  net.crash(2);
+  net.crash(3);  // majority gone
+  const int w = reg.begin_write(9);
+  drive_until_done(net, reg, w, rng);
+  EXPECT_FALSE(reg.done(w));  // pending forever — liveness needs a quorum
+  EXPECT_EQ(reg.pending_ops(), 1);
+}
+
+TEST(Abd, RejectsConcurrentWrites) {
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  (void)reg.begin_write(1);
+  EXPECT_THROW((void)reg.begin_write(2), util::InvariantViolation);
+}
+
+/// A randomized ABD workload: interleaves write/read starts with message
+/// deliveries; returns the recorded history.
+history::History random_abd_run(std::uint64_t seed, int n, int crashes) {
+  Network net;
+  AbdRegister reg(net, n, 0, 0);
+  util::Rng rng(seed);
+  int writes_left = 3;
+  int reads_left = 4;
+  Value next_value = 1;
+  std::vector<int> write_tokens;
+  std::vector<int> read_tokens;
+  std::vector<NodeId> free_readers;
+  for (int i = 1; i < n; ++i) free_readers.push_back(i);
+  int crashed = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t pick = rng.uniform(10);
+    if (pick == 0 && writes_left > 0) {
+      // The single writer starts a new write only when idle.
+      const bool writer_busy =
+          !write_tokens.empty() && !reg.done(write_tokens.back());
+      if (!writer_busy) {
+        write_tokens.push_back(reg.begin_write(next_value++));
+        --writes_left;
+        continue;
+      }
+    }
+    if (pick == 1 && reads_left > 0 && !free_readers.empty()) {
+      const NodeId reader = free_readers.back();
+      free_readers.pop_back();
+      read_tokens.push_back(reg.begin_read(reader));
+      --reads_left;
+      continue;
+    }
+    if (pick == 2 && crashed < crashes) {
+      // Crash a non-writer node (keeps the workload flowing).
+      const NodeId victim = 1 + static_cast<NodeId>(rng.uniform(
+                                    static_cast<std::uint64_t>(n - 1)));
+      if (!net.crashed(victim)) {
+        net.crash(victim);
+        ++crashed;
+      }
+      continue;
+    }
+    if (!net.deliver_random(rng)) {
+      if (writes_left == 0 && reads_left == 0) break;
+    }
+  }
+  return reg.hl_history();
+}
+
+class AbdSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbdSweep, HistoriesAreLinearizable) {
+  const history::History h = random_abd_run(GetParam(), 5, 0);
+  h.validate();
+  const auto lin = checker::check_linearizable(h);
+  ASSERT_TRUE(lin.ok) << lin.error << '\n' << h.to_string();
+}
+
+TEST_P(AbdSweep, HistoriesAreWriteStronglyLinearizable) {
+  // Theorem 14: ABD (a linearizable SWMR implementation) is WSL.
+  const history::History h = random_abd_run(GetParam(), 5, 0);
+  const auto wsl = checker::check_write_strong_linearizable(h);
+  ASSERT_TRUE(wsl.ok) << wsl.explanation << '\n' << h.to_string();
+}
+
+TEST_P(AbdSweep, FStarConstructionVerifies) {
+  const history::History h = random_abd_run(GetParam(), 5, 0);
+  const SwmrWslCheck chk = check_swmr_write_strong(h);
+  ASSERT_TRUE(chk.ok) << chk.error << '\n' << h.to_string();
+  EXPECT_GT(chk.prefixes_checked, 0u);
+}
+
+TEST_P(AbdSweep, CrashyHistoriesStayCorrect) {
+  const history::History h = random_abd_run(GetParam() + 1000, 5, 2);
+  h.validate();
+  ASSERT_TRUE(checker::check_linearizable(h).ok) << h.to_string();
+  ASSERT_TRUE(checker::check_write_strong_linearizable(h).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbdSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(FStar, DropsTrailingPendingWrite) {
+  history::History h;
+  history::OpRecord w;
+  w.process = 0;
+  w.reg = 0;
+  w.kind = history::OpKind::kWrite;
+  w.value = 1;
+  w.invoke = 1;
+  w.response = history::kNoTime;
+  h.add(w);
+  EXPECT_EQ(f_star(h, {0}), std::vector<int>{});
+  // A completed write stays.
+  history::History h2;
+  w.response = 5;
+  h2.add(w);
+  EXPECT_EQ(f_star(h2, {0}), std::vector<int>{0});
+}
+
+TEST(FStar, RejectsConcurrentWriters) {
+  history::History h;
+  history::OpRecord w;
+  w.reg = 0;
+  w.kind = history::OpKind::kWrite;
+  w.process = 0;
+  w.value = 1;
+  w.invoke = 1;
+  w.response = 10;
+  h.add(w);
+  w.process = 1;
+  w.value = 2;
+  w.invoke = 5;
+  w.response = 15;
+  h.add(w);
+  EXPECT_THROW((void)check_swmr_write_strong(h), util::InvariantViolation);
+}
+
+TEST(Abd, MessageComplexityPerOperation) {
+  // Writes cost 2n messages (n requests + n acks); reads cost 4n
+  // (query round trip + write-back round trip).
+  Network net;
+  AbdRegister reg(net, 5, 0, 0);
+  util::Rng rng(8);
+  const std::uint64_t before_w = net.messages_sent();
+  const int w = reg.begin_write(1);
+  drive_until_done(net, reg, w, rng);
+  while (net.in_flight() > 0) net.deliver_at(0);  // flush stragglers
+  EXPECT_EQ(net.messages_sent() - before_w, 10u);
+  const std::uint64_t before_r = net.messages_sent();
+  const int r = reg.begin_read(2);
+  drive_until_done(net, reg, r, rng);
+  while (net.in_flight() > 0) net.deliver_at(0);
+  EXPECT_EQ(net.messages_sent() - before_r, 20u);
+}
+
+}  // namespace
+}  // namespace rlt::mp

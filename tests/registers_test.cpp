@@ -1,0 +1,334 @@
+// Tests for the MWMR-from-SWMR register constructions (simulator
+// builds): Algorithm 2 + Algorithm 3 (Theorem 10, Figure 3) and
+// Algorithm 4 (Theorems 12-13, Figure 4), plus timestamp semantics.
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.hpp"
+#include "checker/strong_checker.hpp"
+#include "checker/wsl_checker.hpp"
+#include "registers/alg2_register.hpp"
+#include "registers/alg3_linearizer.hpp"
+#include "registers/alg4_register.hpp"
+#include "sim/adversary.hpp"
+
+namespace rlt::registers {
+namespace {
+
+// ---------- vector timestamps ----------
+
+TEST(VectorTs, LexicographicOrderWithInfinity) {
+  VectorTs complete = VectorTs::zeros(3);
+  complete.set(0, 1);
+  VectorTs partial = VectorTs::infinite(3);
+  partial.set(0, 0);
+  // [0,inf,inf] < [1,0,0]: first entry decides.
+  EXPECT_TRUE(partial.compare(complete) == std::strong_ordering::less);
+  // [1,inf,inf] > [1,0,0]: inf beats 0 at entry 1.
+  VectorTs partial2 = VectorTs::infinite(3);
+  partial2.set(0, 1);
+  EXPECT_TRUE(partial2.compare(complete) == std::strong_ordering::greater);
+  // All-inf beats everything complete.
+  EXPECT_TRUE(VectorTs::infinite(3).compare(complete) == std::strong_ordering::greater);
+}
+
+TEST(VectorTs, TotalOrderProperties) {
+  VectorTs a = VectorTs::zeros(2);
+  VectorTs b = VectorTs::zeros(2);
+  EXPECT_EQ(a.compare(b), std::strong_ordering::equal);
+  b.set(1, 3);
+  EXPECT_TRUE(a.compare(b) == std::strong_ordering::less);
+  EXPECT_TRUE(b.compare(a) == std::strong_ordering::greater);
+}
+
+TEST(VectorTs, CompletenessAndPrinting) {
+  VectorTs ts = VectorTs::infinite(2);
+  EXPECT_FALSE(ts.complete());
+  ts.set(0, 4);
+  ts.set(1, 5);
+  EXPECT_TRUE(ts.complete());
+  EXPECT_EQ(ts.to_string(), "[4,5]");
+  EXPECT_EQ(VectorTs::infinite(1).to_string(), "[inf]");
+}
+
+TEST(LamportTsTest, LexOrder) {
+  EXPECT_LT((LamportTs{1, 2}), (LamportTs{2, 0}));
+  EXPECT_LT((LamportTs{1, 0}), (LamportTs{1, 2}));
+  EXPECT_EQ((LamportTs{1, 1}), (LamportTs{1, 1}));
+}
+
+// ---------- shared fixtures ----------
+
+sim::Task alg2_writer(sim::Proc& p, SimAlg2Register& r, int slot,
+                      int writes) {
+  for (int i = 0; i < writes; ++i) {
+    co_await r.write(p, slot, 100 * (slot + 1) + i);
+  }
+}
+
+sim::Task alg2_reader(sim::Proc& p, SimAlg2Register& r, int reads) {
+  for (int i = 0; i < reads; ++i) {
+    (void)co_await r.read(p);
+  }
+}
+
+sim::Task alg4_writer(sim::Proc& p, SimAlg4Register& r, int slot,
+                      history::Value v) {
+  co_await r.write(p, slot, v);
+}
+
+sim::Task alg4_write_then_read(sim::Proc& p, SimAlg4Register& r, int slot,
+                               history::Value v, bool do_write) {
+  if (do_write) co_await r.write(p, slot, v);
+  (void)co_await r.read(p);
+}
+
+sim::Task alg2_rwr(sim::Proc& p, SimAlg2Register& r, history::Value* out) {
+  *out = co_await r.read(p);   // initial
+  co_await r.write(p, 0, 42);
+  *out = co_await r.read(p);   // own write
+}
+
+sim::Task alg2_maybe_write_then_read(sim::Proc& p, SimAlg2Register& r,
+                                     bool with_write) {
+  if (with_write) co_await r.write(p, 2, 300);
+  (void)co_await r.read(p);
+}
+
+sim::Task alg4_two_writes_slot0(sim::Proc& p, SimAlg4Register& r) {
+  co_await r.write(p, 0, 11);
+  co_await r.write(p, 0, 22);
+}
+
+sim::Task alg4_two_reads(sim::Proc& p, SimAlg4Register& r) {
+  (void)co_await r.read(p);
+  (void)co_await r.read(p);
+}
+
+// ---------- Algorithm 2 (Theorem 10) ----------
+
+TEST(Alg2, SequentialSemantics) {
+  sim::Scheduler sched(1);
+  SimAlg2Register reg(sched, 2, 100, 7);
+  history::Value seen = -1;
+  sched.add_process("w", [&reg, &seen](sim::Proc& p) {
+    return alg2_rwr(p, reg, &seen);
+  });
+  sim::RoundRobinAdversary adv;
+  ASSERT_EQ(sched.run(adv), sim::RunOutcome::kAllDone);
+  EXPECT_EQ(seen, 42);
+  EXPECT_TRUE(checker::check_linearizable(reg.hl_history()).ok);
+}
+
+class Alg2RandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg2RandomSweep, LinearizableWslAndAlg3Verified) {
+  const std::uint64_t seed = GetParam();
+  sim::Scheduler sched(seed);
+  SimAlg2Register reg(sched, 3, 100, 0);
+  for (int w = 0; w < 3; ++w) {
+    sched.add_process("w", [&reg, w](sim::Proc& p) {
+      return alg2_writer(p, reg, w, 2);
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    sched.add_process("r",
+                      [&reg](sim::Proc& p) { return alg2_reader(p, reg, 2); });
+  }
+  sim::RandomAdversary adv(seed * 7 + 1);
+  ASSERT_EQ(sched.run(adv, 100000), sim::RunOutcome::kAllDone);
+
+  // Independent off-line checks of the implemented register's history.
+  const auto lin = checker::check_linearizable(reg.hl_history());
+  EXPECT_TRUE(lin.ok) << lin.error;
+  const auto wsl = checker::check_write_strong_linearizable(reg.hl_history());
+  EXPECT_TRUE(wsl.ok) << wsl.explanation;
+
+  // Theorem 10 via Algorithm 3: (L) and the prefix property (P) on every
+  // trace prefix.
+  const Alg3Verification ver = verify_alg3_wsl(reg.trace(), reg.hl_history());
+  EXPECT_TRUE(ver.ok) << ver.error;
+  EXPECT_GT(ver.prefixes_checked, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Alg2RandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(Alg2, Figure3PartialTimestampOrdering) {
+  // Figure 3's situation: w2 completes while w1 and w3 are mid-scan;
+  // w1's partial timestamp at that moment is bigger than w2's (so w1 is
+  // linearized later), w3's is smaller (so w3 joins B_i and is
+  // linearized before w2)... the exact shape depends on entries read,
+  // which we reproduce by controlling the step schedule.
+  sim::Scheduler sched(1);
+  SimAlg2Register reg(sched, 3, 100, 0);
+  for (int w = 0; w < 3; ++w) {
+    sched.add_process("w", [&reg, w](sim::Proc& p) {
+      return alg2_writer(p, reg, w, 1);
+    });
+  }
+  // w0 reads Val[0]; w2 reads Val[0..2] and publishes; w1 publishes
+  // after w2; w0 finishes last.
+  sim::FixedStepAdversary adv({
+      0,              // w0: begin, read Val[0]
+      2, 2, 2, 2,     // w2: full scan + publish
+      1, 1, 1, 1, 1,  // w1: full scan + publish + return
+      0, 0, 0, 0,     // w0: finish scan, publish, return
+      2,              // w2: return
+  });
+  sched.run(adv, 100);
+  const Alg3Result out = run_alg3(reg.trace());
+  ASSERT_EQ(out.write_sequence.size(), 3u);
+  // Every write made it into WS and the result is a legal linearization.
+  const Alg3Verification ver = verify_alg3_wsl(reg.trace(), reg.hl_history());
+  EXPECT_TRUE(ver.ok) << ver.error;
+}
+
+TEST(Alg2, BranchingSchedulesRemainWsl) {
+  // The Figure 4 branching experiment applied to Algorithm 2: unlike
+  // Algorithm 4, the common prefix admits a commitment consistent with
+  // both continuations (Theorem 10 guarantees it).
+  const auto run = [](bool h2) {
+    sim::Scheduler sched(1);
+    auto reg = std::make_unique<SimAlg2Register>(sched, 3, 100, 0);
+    sched.add_process("p0", [&r = *reg](sim::Proc& p) -> sim::Task {
+      return alg2_writer(p, r, 0, 1);
+    });
+    sched.add_process("p1", [&r = *reg](sim::Proc& p) {
+      return alg2_writer(p, r, 1, 1);
+    });
+    sched.add_process("p2", [&r = *reg, h2](sim::Proc& p) {
+      return alg2_maybe_write_then_read(p, r, h2);
+    });
+    std::vector<int> steps = {0, 0, 1, 1, 1, 1, 1};
+    if (!h2) {
+      steps.insert(steps.end(), {0, 0, 0, 2, 2, 2, 2});
+    } else {
+      steps.insert(steps.end(), {2, 2, 2, 2, 0, 0, 0, 2, 2, 2, 2});
+    }
+    sim::FixedStepAdversary adv(steps);
+    sched.run(adv, 1000);
+    return reg->hl_history();
+  };
+  const auto h1 = run(false);
+  const auto h2 = run(true);
+  const auto wsl = checker::check_write_strong_linearizable(
+      std::vector<history::History>{h1, h2});
+  EXPECT_TRUE(wsl.ok) << wsl.explanation;
+}
+
+TEST(Alg2, RejectsConcurrentWritesOnOneSlot) {
+  sim::Scheduler sched(1);
+  SimAlg2Register reg(sched, 2, 100, 0);
+  for (int i = 0; i < 2; ++i) {
+    sched.add_process("w", [&reg](sim::Proc& p) {
+      return alg2_writer(p, reg, /*slot=*/0, 1);  // both use slot 0
+    });
+  }
+  sim::RandomAdversary adv(3);
+  EXPECT_THROW(sched.run(adv), util::InvariantViolation);
+}
+
+// ---------- Algorithm 4 (Theorems 12-13) ----------
+
+class Alg4RandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Alg4RandomSweep, IsLinearizable) {
+  const std::uint64_t seed = GetParam();
+  sim::Scheduler sched(seed);
+  SimAlg4Register reg(sched, 3, 100, 0);
+  for (int w = 0; w < 3; ++w) {
+    sched.add_process("w", [&reg, w](sim::Proc& p) {
+      return alg4_write_then_read(p, reg, w, 100 * (w + 1), true);
+    });
+  }
+  sim::RandomAdversary adv(seed * 13 + 5);
+  ASSERT_EQ(sched.run(adv, 100000), sim::RunOutcome::kAllDone);
+  const auto lin = checker::check_linearizable(reg.hl_history());
+  EXPECT_TRUE(lin.ok) << lin.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Alg4RandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+/// Builds the two histories of Figure 4 (Theorem 13) from real runs of
+/// Algorithm 4 under exact schedules.
+history::History fig4_history(bool h2) {
+  sim::Scheduler sched(1);
+  auto reg = std::make_unique<SimAlg4Register>(sched, 3, 100, 0);
+  sched.add_process("p0", [&r = *reg](sim::Proc& p) {
+    return alg4_writer(p, r, 0, 10);  // w1 writes v
+  });
+  sched.add_process("p1", [&r = *reg](sim::Proc& p) {
+    return alg4_writer(p, r, 1, 20);  // w2 writes v'
+  });
+  sched.add_process("p2", [&r = *reg, h2](sim::Proc& p) {
+    return alg4_write_then_read(p, r, 2, 30, h2);  // (w3;) r
+  });
+  std::vector<int> steps = {0, 0, 1, 1, 1, 1, 1};  // G
+  if (!h2) {
+    steps.insert(steps.end(), {0, 0, 0, 2, 2, 2, 2});
+  } else {
+    steps.insert(steps.end(), {2, 2, 2, 2, 0, 0, 0, 2, 2, 2, 2});
+  }
+  sim::FixedStepAdversary adv(steps);
+  sched.run(adv, 1000);
+  return reg->hl_history();
+}
+
+TEST(Alg4, Figure4HistoriesMatchThePaper) {
+  const history::History h1 = fig4_history(false);
+  const history::History h2 = fig4_history(true);
+  // H1's read returns w2's value; H2's read returns w1's value.
+  EXPECT_EQ(h1.op(2).value, 20);
+  EXPECT_EQ(h2.op(3).value, 10);
+  // Both are linearizable (Theorem 12)...
+  EXPECT_TRUE(checker::check_linearizable(h1).ok);
+  EXPECT_TRUE(checker::check_linearizable(h2).ok);
+  // ...and share the prefix G (same events up to w2's completion).
+  EXPECT_EQ(h1.prefix_at(15), h2.prefix_at(15));
+}
+
+TEST(Alg4, Theorem13NoWriteStrongLinearization) {
+  const history::History h1 = fig4_history(false);
+  const history::History h2 = fig4_history(true);
+  const auto wsl = checker::check_write_strong_linearizable(
+      std::vector<history::History>{h1, h2});
+  ASSERT_FALSE(wsl.ok);
+  EXPECT_NE(wsl.explanation.find("no write strong-linearization"),
+            std::string::npos);
+  // A fortiori not strongly linearizable.
+  const auto strong = checker::check_strong_linearizable(
+      std::vector<history::History>{h1, h2});
+  EXPECT_FALSE(strong.ok);
+}
+
+TEST(Alg4, SingleRunsAreOftenWslButTheSetIsNot) {
+  // Each Figure 4 history alone passes Definition 4 — the failure is a
+  // property of the prefix-closed SET (needs both branches).
+  EXPECT_TRUE(checker::check_write_strong_linearizable(fig4_history(false)).ok);
+  EXPECT_TRUE(checker::check_write_strong_linearizable(fig4_history(true)).ok);
+}
+
+TEST(Alg4, SwmrRestrictionIsWsl) {
+  // Theorem 14 cross-check: Algorithm 4 used by a single writer gives
+  // WSL histories (any linearizable SWMR register is WSL).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::Scheduler sched(seed);
+    SimAlg4Register reg(sched, 3, 100, 0);
+    sched.add_process("w", [&reg](sim::Proc& p) {
+      return alg4_two_writes_slot0(p, reg);
+    });
+    for (int i = 0; i < 2; ++i) {
+      sched.add_process("r",
+                        [&reg](sim::Proc& p) { return alg4_two_reads(p, reg); });
+    }
+    sim::RandomAdversary adv(seed + 77);
+    ASSERT_EQ(sched.run(adv, 100000), sim::RunOutcome::kAllDone);
+    const auto wsl =
+        checker::check_write_strong_linearizable(reg.hl_history());
+    EXPECT_TRUE(wsl.ok) << "seed " << seed << ": " << wsl.explanation;
+  }
+}
+
+}  // namespace
+}  // namespace rlt::registers

@@ -1,0 +1,164 @@
+// Real-thread stress tests: seqlock SWMR base registers and the thread
+// builds of Algorithms 2 and 4.  Recorded histories are validated by the
+// off-line checkers (linearizability for both; Definition 4 for
+// Algorithm 2's histories).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "checker/lin_checker.hpp"
+#include "checker/wsl_checker.hpp"
+#include "registers/seqlock.hpp"
+#include "registers/thread_alg2.hpp"
+#include "registers/thread_alg4.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::registers {
+namespace {
+
+TEST(Seqlock, SingleThreadedRoundTrip) {
+  struct Payload {
+    std::int64_t a;
+    std::int64_t b;
+    std::int64_t c;
+  };
+  SeqlockSWMR<Payload> reg(Payload{1, 2, 3});
+  const Payload p0 = reg.read();
+  EXPECT_EQ(p0.a, 1);
+  EXPECT_EQ(p0.c, 3);
+  reg.write(Payload{4, 5, 6});
+  const Payload p1 = reg.read();
+  EXPECT_EQ(p1.a, 4);
+  EXPECT_EQ(p1.b, 5);
+}
+
+TEST(Seqlock, ReadersNeverSeeTornWrites) {
+  // The writer stores (i, 2i, 3i); any torn read would break the
+  // arithmetic relation between the fields.
+  struct Triple {
+    std::int64_t x;
+    std::int64_t y;
+    std::int64_t z;
+  };
+  SeqlockSWMR<Triple> reg(Triple{0, 0, 0});
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&reg, &stop, &violations] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Triple v = reg.read();
+        if (v.y != 2 * v.x || v.z != 3 * v.x) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::int64_t i = 1; i <= 20000; ++i) {
+    reg.write(Triple{i, 2 * i, 3 * i});
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Seqlock, ReadsAreMonotoneForSingleWriter) {
+  SeqlockSWMR<std::int64_t> reg(0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> regressions{0};
+  std::thread reader([&reg, &stop, &regressions] {
+    std::int64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t v = reg.read();
+      if (v < last) regressions.fetch_add(1);
+      last = v;
+    }
+  });
+  for (std::int64_t i = 1; i <= 50000; ++i) reg.write(i);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(regressions.load(), 0);
+}
+
+/// Runs a small concurrent workload against a thread register build and
+/// returns the recorded history (kept small enough for the checkers).
+template <class Register>
+history::History stress(Register& reg, int writers, int writes_each,
+                        int readers, int reads_each) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers + readers));
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&reg, w, writes_each] {
+      for (int i = 0; i < writes_each; ++i) {
+        reg.write(w, 100 * (w + 1) + i);
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&reg, r, reads_each, writers] {
+      for (int i = 0; i < reads_each; ++i) {
+        (void)reg.read(writers + r);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return reg.history_snapshot();
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, Alg2HistoriesAreLinearizableAndWsl) {
+  ThreadAlg2Register reg(3, 0);
+  const history::History h = stress(reg, 3, 3, 2, 4);
+  h.validate();
+  const auto lin = checker::check_linearizable(h);
+  ASSERT_TRUE(lin.ok) << lin.error << '\n' << h.to_string();
+  const auto wsl = checker::check_write_strong_linearizable(h);
+  EXPECT_TRUE(wsl.ok) << wsl.explanation << '\n' << h.to_string();
+}
+
+TEST_P(ThreadSweep, Alg4HistoriesAreLinearizable) {
+  ThreadAlg4Register reg(3, 0);
+  const history::History h = stress(reg, 3, 3, 2, 4);
+  h.validate();
+  const auto lin = checker::check_linearizable(h);
+  ASSERT_TRUE(lin.ok) << lin.error << '\n' << h.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, ThreadSweep, ::testing::Range(0, 10));
+
+TEST(ThreadAlg2, SequentialSemantics) {
+  ThreadAlg2Register reg(2, 5, /*record=*/false);
+  EXPECT_EQ(reg.read(0), 5);
+  reg.write(0, 10);
+  EXPECT_EQ(reg.read(1), 10);
+  reg.write(1, 20);
+  EXPECT_EQ(reg.read(0), 20);
+}
+
+TEST(ThreadAlg4, SequentialSemantics) {
+  ThreadAlg4Register reg(2, 5, /*record=*/false);
+  EXPECT_EQ(reg.read(0), 5);
+  reg.write(0, 10);
+  EXPECT_EQ(reg.read(1), 10);
+  reg.write(1, 20);
+  EXPECT_EQ(reg.read(0), 20);
+}
+
+TEST(ThreadAlg2, RejectsTooManyWriters) {
+  EXPECT_THROW(ThreadAlg2Register(kMaxThreadWriters + 1, 0),
+               util::InvariantViolation);
+}
+
+TEST(LockedRegister, BasicSemantics) {
+  LockedMwmrRegister reg(3);
+  EXPECT_EQ(reg.read(), 3);
+  reg.write(9);
+  EXPECT_EQ(reg.read(), 9);
+}
+
+}  // namespace
+}  // namespace rlt::registers
