@@ -1,0 +1,318 @@
+#include "sweep/scenario.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "checker/lin_checker.hpp"
+#include "checker/wsl_checker.hpp"
+#include "mp/abd.hpp"
+#include "mp/network.hpp"
+#include "registers/alg2_register.hpp"
+#include "registers/alg4_register.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
+#include "sweep/fnv.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::sweep {
+namespace {
+
+using history::History;
+using history::Value;
+
+/// Distinct written values per (writer role, write index): keeps reads
+/// unambiguous, which keeps the solver's search space small.
+Value written_value(int role, int i) { return 100 * (role + 1) + i; }
+
+// ---- simulator process bodies ------------------------------------------
+//
+// Free coroutine functions (not capturing lambdas): parameters are copied
+// into the coroutine frame, per the CP.51 note on Scheduler::add_process.
+
+sim::Task modeled_proc(sim::Proc& p, int role, int writes) {
+  for (int i = 0; i < writes; ++i) {
+    co_await p.write(0, written_value(role, i));
+  }
+  (void)co_await p.read(0);
+}
+
+/// Shared body for the implemented MWMR registers (Algorithms 2 and 4
+/// expose the same write(slot)/read interface).
+template <class Reg>
+sim::Task implemented_proc(sim::Proc& p, Reg& r, int slot, int writes) {
+  for (int i = 0; i < writes; ++i) {
+    co_await r.write(p, slot, written_value(slot, i));
+  }
+  (void)co_await r.read(p);
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
+  if (s.adversary == AdversaryKind::kRandom) {
+    // Decorrelate the schedule stream from the scheduler's coin stream.
+    return std::make_unique<sim::RandomAdversary>(s.seed * kFnvPrime + 1);
+  }
+  return std::make_unique<sim::RoundRobinAdversary>();
+}
+
+/// Applies the checks the scenario's semantics promise, on the
+/// single-register high-level history `h`.
+void check_history(const History& h, bool expect_wsl, ScenarioResult& out) {
+  const checker::LinCheckResult lin = checker::check_linearizable(h);
+  if (!lin.ok) {
+    out.verdict = Verdict::kViolation;
+    out.detail = "linearizability violated: " + lin.error;
+    return;
+  }
+  if (expect_wsl) {
+    const checker::WslCheckResult wsl =
+        checker::check_write_strong_linearizable(h);
+    if (!wsl.ok) {
+      out.verdict = Verdict::kViolation;
+      out.detail = "write strong-linearizability violated: " +
+                   wsl.explanation;
+      return;
+    }
+  }
+  out.verdict = Verdict::kOk;
+}
+
+void finish_sim(sim::Scheduler& sched, sim::RunOutcome outcome,
+                const History& h, bool expect_wsl, ScenarioResult& out) {
+  out.steps = sched.actions_applied();
+  out.ops = h.completed_count();
+  out.history_hash = hash_history(h);
+  if (outcome != sim::RunOutcome::kAllDone) {
+    out.verdict = Verdict::kError;
+    out.detail = std::string("run ended early: ") + sim::to_string(outcome);
+    return;
+  }
+  check_history(h, expect_wsl, out);
+}
+
+void run_modeled(const Scenario& s, ScenarioResult& out) {
+  sim::Scheduler sched(s.seed);
+  sched.add_register(0, s.semantics, 0);
+  for (int p = 0; p < s.processes; ++p) {
+    const int writes = s.writes_per_process;
+    sched.add_process("p" + std::to_string(p), [p, writes](sim::Proc& pr) {
+      return modeled_proc(pr, p, writes);
+    });
+  }
+  auto adv = make_adversary(s);
+  const sim::RunOutcome outcome = sched.run(*adv, s.max_actions);
+  finish_sim(sched, outcome, sched.global_history(),
+             s.semantics == sim::Semantics::kWriteStrong, out);
+}
+
+/// Drives Algorithm 2 (`expect_wsl=true`, per Theorem 10) or Algorithm 4
+/// (`expect_wsl=false`: Theorem 13 denies WSL as a set property, so only
+/// plain linearizability is asserted per run).
+template <class Reg>
+void run_implemented(const Scenario& s, bool expect_wsl,
+                     ScenarioResult& out) {
+  sim::Scheduler sched(s.seed);
+  Reg reg(sched, s.processes, /*first_base=*/100, /*initial=*/0);
+  for (int p = 0; p < s.processes; ++p) {
+    const int writes = s.writes_per_process;
+    sched.add_process("p" + std::to_string(p),
+                      [&reg, p, writes](sim::Proc& pr) {
+                        return implemented_proc(pr, reg, p, writes);
+                      });
+  }
+  auto adv = make_adversary(s);
+  const sim::RunOutcome outcome = sched.run(*adv, s.max_actions);
+  finish_sim(sched, outcome, reg.hl_history(), expect_wsl, out);
+}
+
+void run_abd(const Scenario& s, ScenarioResult& out) {
+  // Node 0 is the (single) writer; every node finishes with reads.  The
+  // per-node programs are fixed; the adversary controls when operations
+  // start and in which order messages are delivered.
+  mp::Network net;
+  mp::AbdRegister reg(net, s.processes, /*writer=*/0, /*initial=*/0);
+  util::Rng rng(s.seed * kFnvPrime + 2);
+
+  struct Program {
+    std::deque<Value> writes;  ///< Remaining writes (writer node only).
+    int reads = 0;             ///< Remaining reads.
+    int token = -1;            ///< In-flight op token, -1 if none.
+  };
+  std::vector<Program> prog(static_cast<std::size_t>(s.processes));
+  for (int i = 0; i < s.writes_per_process; ++i) {
+    prog[0].writes.push_back(written_value(0, i));
+  }
+  for (int n = 0; n < s.processes; ++n) {
+    prog[static_cast<std::size_t>(n)].reads = (n == 0) ? 1 : 2;
+  }
+
+  auto idle_with_work = [&](int n) {
+    Program& pr = prog[static_cast<std::size_t>(n)];
+    if (pr.token >= 0) return false;
+    return !pr.writes.empty() || pr.reads > 0;
+  };
+  auto start_op = [&](int n) {
+    Program& pr = prog[static_cast<std::size_t>(n)];
+    if (!pr.writes.empty()) {
+      pr.token = reg.begin_write(pr.writes.front());
+      pr.writes.pop_front();
+    } else {
+      pr.token = reg.begin_read(n);
+      --pr.reads;
+    }
+  };
+
+  int rr_next = 0;
+  std::uint64_t iterations = 0;
+  bool budget_exhausted = false;
+  for (;;) {
+    // Retire finished operations.
+    for (Program& pr : prog) {
+      if (pr.token >= 0 && reg.done(pr.token)) pr.token = -1;
+    }
+    std::vector<int> startable;
+    for (int n = 0; n < s.processes; ++n) {
+      if (idle_with_work(n)) startable.push_back(n);
+    }
+    const bool flying = net.in_flight() > 0;
+    if (startable.empty() && !flying) break;  // all programs complete
+    if (++iterations > s.max_actions) {
+      budget_exhausted = true;
+      break;
+    }
+    if (s.adversary == AdversaryKind::kRoundRobin) {
+      // Conservative schedule: drain the network oldest-first; start
+      // operations round-robin only when it is quiet.
+      if (flying) {
+        net.deliver_at(0);
+      } else {
+        while (!idle_with_work(rr_next)) rr_next = (rr_next + 1) % s.processes;
+        start_op(rr_next);
+        rr_next = (rr_next + 1) % s.processes;
+      }
+    } else {
+      // Random schedule: bias toward deliveries, but keep starting new
+      // operations while messages fly so operations genuinely overlap.
+      const bool start = !startable.empty() && (!flying || rng.chance(1, 3));
+      if (start) {
+        start_op(startable[rng.uniform(startable.size())]);
+      } else {
+        net.deliver_random(rng);
+      }
+    }
+  }
+
+  const History& h = reg.hl_history();
+  out.steps = net.messages_delivered();
+  out.ops = h.completed_count();
+  out.history_hash = hash_history(h);
+  if (budget_exhausted) {
+    out.verdict = Verdict::kError;
+    out.detail = "ABD driver exhausted its action budget";
+    return;
+  }
+  // Theorem 14: linearizable SWMR implementations (ABD included) are
+  // write strongly-linearizable, so both checks must pass.
+  check_history(h, /*expect_wsl=*/true, out);
+}
+
+}  // namespace
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kModeled: return "modeled";
+    case Algorithm::kAlg2: return "alg2";
+    case Algorithm::kAlg4: return "alg4";
+    case Algorithm::kAbd: return "abd";
+  }
+  return "?";
+}
+
+const char* to_string(AdversaryKind a) noexcept {
+  switch (a) {
+    case AdversaryKind::kRandom: return "rand";
+    case AdversaryKind::kRoundRobin: return "rr";
+  }
+  return "?";
+}
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kViolation: return "VIOLATION";
+    case Verdict::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string Scenario::key() const {
+  std::ostringstream os;
+  os << to_string(algorithm);
+  if (algorithm == Algorithm::kModeled) {
+    os << '-' << sim::to_string(semantics);
+  }
+  os << '/' << to_string(adversary) << "/p" << processes << "/w"
+     << writes_per_process << "/seed" << seed;
+  return os.str();
+}
+
+std::uint64_t hash_history(const History& h) {
+  std::uint64_t out = kFnvOffset;
+  for (const history::RegisterId reg : h.registers()) {
+    fnv_mix_u64(out, static_cast<std::uint64_t>(reg));
+    fnv_mix_u64(out, static_cast<std::uint64_t>(h.initial(reg)));
+  }
+  for (const history::OpRecord& op : h.ops()) {
+    fnv_mix_u64(out, static_cast<std::uint64_t>(op.process));
+    fnv_mix_u64(out, static_cast<std::uint64_t>(op.reg));
+    fnv_mix_u64(out, op.kind == history::OpKind::kWrite ? 1 : 0);
+    fnv_mix_u64(out, static_cast<std::uint64_t>(op.value));
+    fnv_mix_u64(out, op.invoke);
+    fnv_mix_u64(out, op.response);
+  }
+  return out;
+}
+
+ScenarioResult run_scenario(const Scenario& s) {
+  ScenarioResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    // Inside the try: bad programmatic configs become kError verdicts,
+    // per this function's no-throw contract (the CLI validates earlier).
+    RLT_CHECK_MSG(s.processes >= 1 && s.processes <= 64,
+                  "scenario processes out of range");
+    RLT_CHECK_MSG(s.writes_per_process >= 0, "negative writes_per_process");
+    switch (s.algorithm) {
+      case Algorithm::kModeled:
+        run_modeled(s, out);
+        break;
+      case Algorithm::kAlg2:
+        run_implemented<registers::SimAlg2Register>(s, /*expect_wsl=*/true,
+                                                    out);
+        break;
+      case Algorithm::kAlg4:
+        run_implemented<registers::SimAlg4Register>(s, /*expect_wsl=*/false,
+                                                    out);
+        break;
+      case Algorithm::kAbd:
+        run_abd(s, out);
+        break;
+    }
+  } catch (const std::exception& e) {
+    out.verdict = Verdict::kError;
+    out.detail = std::string("exception: ") + e.what();
+  } catch (...) {
+    out.verdict = Verdict::kError;
+    out.detail = "unknown exception";
+  }
+  out.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return out;
+}
+
+}  // namespace rlt::sweep

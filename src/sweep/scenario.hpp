@@ -1,0 +1,101 @@
+// One sweep scenario: a fully determined point in the cross-product
+//
+//   register semantics × algorithm × process count × adversary × seed
+//
+// explored by the sweep engine (src/sweep/sweep.hpp).  Each scenario is
+// an independent deterministic simulation: build the system, drive it
+// with a seeded adversary, record the high-level history, and validate
+// it with the checker the scenario's semantics call for.  Re-running a
+// scenario with the same config yields the identical history and
+// therefore the identical `ScenarioResult` fingerprint — the property
+// the sweep digest rests on.
+//
+// Scenario families (the `Algorithm` axis):
+//
+//  * kModeled — processes operate directly on one *modeled* register
+//    (sim/regmodel.hpp); the `semantics` axis selects atomic /
+//    linearizable / write strongly-linearizable behaviour.  Checked with
+//    `check_linearizable`, plus the WSL tree checker when the model
+//    promises write strong-linearizability.
+//  * kAlg2 — the paper's Algorithm 2 (vector-timestamp WSL MWMR register
+//    from atomic SWMR bases).  Checked linearizable AND write strongly
+//    linearizable (Theorem 10).
+//  * kAlg4 — Algorithm 4 (Lamport-clock register): linearizable
+//    (Theorem 12) but not WSL, so only `check_linearizable` applies.
+//  * kAbd — the ABD message-passing register driven by a seeded delivery
+//    schedule.  Checked linearizable (its histories are also WSL by
+//    Theorem 14, and we check that too: single-writer runs keep the tree
+//    search tiny).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/regmodel.hpp"
+
+namespace rlt::sweep {
+
+/// Which register construction the scenario exercises.
+enum class Algorithm : std::uint8_t { kModeled, kAlg2, kAlg4, kAbd };
+
+[[nodiscard]] const char* to_string(Algorithm a) noexcept;
+
+/// How the scenario's run is scheduled.  For simulator scenarios these
+/// map to sim::RandomAdversary / sim::RoundRobinAdversary; for ABD,
+/// kRandom delivers uniformly random in-flight messages and starts
+/// client operations at random moments, while kRoundRobin drains the
+/// network oldest-message-first and rotates operation starts.
+enum class AdversaryKind : std::uint8_t { kRandom, kRoundRobin };
+
+[[nodiscard]] const char* to_string(AdversaryKind a) noexcept;
+
+/// A fully determined scenario configuration.
+struct Scenario {
+  Algorithm algorithm = Algorithm::kModeled;
+  /// Register semantics; meaningful for kModeled only (implemented
+  /// registers fix their own base-object semantics: atomic).
+  sim::Semantics semantics = sim::Semantics::kAtomic;
+  AdversaryKind adversary = AdversaryKind::kRandom;
+  int processes = 3;
+  std::uint64_t seed = 0;
+  /// Writes performed by each writer role (reads are derived: every
+  /// process finishes with one read; see scenario.cpp).
+  int writes_per_process = 2;
+  /// Safety cap on simulator actions / network deliveries.
+  std::uint64_t max_actions = 1'000'000;
+
+  /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42".  Used in
+  /// reports and mixed into the sweep digest.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Outcome classification of one scenario run.
+enum class Verdict : std::uint8_t {
+  kOk,         ///< Ran to completion; every applicable check passed.
+  kViolation,  ///< A checker rejected the recorded history.
+  kError,      ///< The run itself failed (budget exhausted, exception).
+};
+
+[[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+/// What one scenario produced.  All fields except `wall_ns` are pure
+/// functions of the Scenario; `wall_ns` is measured and therefore
+/// excluded from digests.
+struct ScenarioResult {
+  Verdict verdict = Verdict::kError;
+  std::uint64_t steps = 0;        ///< Adversary actions / deliveries.
+  std::uint64_t ops = 0;          ///< Completed high-level operations.
+  std::uint64_t history_hash = 0; ///< FNV-1a over the recorded history.
+  std::uint64_t wall_ns = 0;      ///< Measured; NOT part of any digest.
+  std::string detail;             ///< Failure explanation (empty if kOk).
+};
+
+/// Runs one scenario to completion.  Deterministic: identical `s` gives
+/// identical results (modulo wall_ns).  Never throws; exceptions become
+/// Verdict::kError.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& s);
+
+/// Deterministic 64-bit fingerprint of a history (op tuples in id order).
+[[nodiscard]] std::uint64_t hash_history(const history::History& h);
+
+}  // namespace rlt::sweep

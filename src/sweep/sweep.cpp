@@ -1,0 +1,133 @@
+#include "sweep/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "sweep/fnv.hpp"
+#include "sweep/pool.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::sweep {
+namespace {
+
+constexpr std::size_t kMaxReportedFailures = 16;
+
+/// Enumeration materializes the full cross-product; refuse sizes that
+/// would exhaust memory before a single scenario runs.  (Streaming
+/// enumeration is the ROADMAP answer for sweeps beyond this.)
+constexpr std::uint64_t kMaxScenarios = 10'000'000;
+
+}  // namespace
+
+std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
+  RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
+  std::uint64_t configs = 0;
+  for (const Algorithm alg : o.algorithms) {
+    configs += alg == Algorithm::kModeled ? o.semantics.size() : 1;
+  }
+  configs *= o.adversaries.size() * o.process_counts.size();
+  const std::uint64_t seeds = o.seed_end - o.seed_begin;
+  RLT_CHECK_MSG(seeds == 0 || configs <= kMaxScenarios / seeds,
+                "sweep cross-product exceeds the scenario limit; narrow "
+                "the seed range or axes");
+  std::vector<Scenario> out;
+  out.reserve(configs * seeds);
+  for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
+    for (const Algorithm alg : o.algorithms) {
+      // Non-modeled algorithms ignore the semantics axis; emit them once.
+      const std::size_t sem_count =
+          alg == Algorithm::kModeled ? o.semantics.size() : 1;
+      for (std::size_t si = 0; si < sem_count; ++si) {
+        for (const AdversaryKind adv : o.adversaries) {
+          for (const int procs : o.process_counts) {
+            Scenario s;
+            s.algorithm = alg;
+            s.semantics = alg == Algorithm::kModeled ? o.semantics[si]
+                                                     : sim::Semantics::kAtomic;
+            s.adversary = adv;
+            s.processes = procs;
+            s.seed = seed;
+            s.writes_per_process = o.writes_per_process;
+            s.max_actions = o.max_actions_per_scenario;
+            out.push_back(s);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string SweepSummary::stable_text() const {
+  std::ostringstream os;
+  os << "scenarios " << scenarios << '\n'
+     << "ok " << ok << '\n'
+     << "violations " << violations << '\n'
+     << "errors " << errors << '\n'
+     << "steps " << total_steps << '\n'
+     << "ops " << total_ops << '\n'
+     << "digest " << std::hex << digest << std::dec << '\n';
+  for (const std::string& f : failures) os << "failure " << f << '\n';
+  return os.str();
+}
+
+SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<Scenario> scenarios = enumerate_scenarios(o);
+  std::vector<ScenarioResult> results(scenarios.size());
+
+  std::uint64_t steal_count = 0;
+  {
+    WorkStealingPool pool(o.threads);
+    std::atomic<std::uint64_t> completed{0};
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      pool.submit([&scenarios, &results, &completed, progress_every, i] {
+        results[i] = run_scenario(scenarios[i]);
+        const std::uint64_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress_every > 0 && done % progress_every == 0) {
+          std::cerr << "[sweep] " << done << " scenarios done\n";
+        }
+      });
+    }
+    pool.wait_idle();
+    steal_count = pool.steals();
+  }
+
+  // Deterministic fold: enumeration order, no wall-clock fields.
+  SweepSummary sum;
+  sum.digest = kFnvOffset;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    ++sum.scenarios;
+    switch (r.verdict) {
+      case Verdict::kOk: ++sum.ok; break;
+      case Verdict::kViolation: ++sum.violations; break;
+      case Verdict::kError: ++sum.errors; break;
+    }
+    sum.total_steps += r.steps;
+    sum.total_ops += r.ops;
+    sum.wall_ns_total += r.wall_ns;
+    if (r.wall_ns > sum.wall_ns_max) sum.wall_ns_max = r.wall_ns;
+    fnv_mix_str(sum.digest, scenarios[i].key());
+    fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.verdict));
+    fnv_mix_u64(sum.digest, r.steps);
+    fnv_mix_u64(sum.digest, r.ops);
+    fnv_mix_u64(sum.digest, r.history_hash);
+    if (r.verdict != Verdict::kOk &&
+        sum.failures.size() < kMaxReportedFailures) {
+      sum.failures.push_back(scenarios[i].key() + ": [" +
+                             to_string(r.verdict) + "] " + r.detail);
+    }
+  }
+  sum.steals = steal_count;
+  sum.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return sum;
+}
+
+}  // namespace rlt::sweep

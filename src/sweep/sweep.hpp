@@ -1,0 +1,80 @@
+// The scenario-sweep engine: grind the cross-product
+//
+//   register semantics × algorithm × adversary × process count × seed
+//
+// through `run_scenario` on a work-stealing thread pool, validate every
+// recorded history, and fold the results into a *stable digest*: a
+// 64-bit fingerprint that is a pure function of the sweep options —
+// independent of thread count, scheduling, and machine — because every
+// per-scenario fingerprint is deterministic and the fold happens in
+// scenario-index order.  Two runs with the same options must print the
+// same digest; a digest change means behaviour changed somewhere in the
+// simulator, a register algorithm, or a checker.
+//
+// This is the repo's scenario-diversity workhorse: later PRs point it at
+// bigger cross-products (sharded across machines, batched seeds) and
+// diff digests across commits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hpp"
+
+namespace rlt::sweep {
+
+/// The cross-product to sweep plus execution knobs.
+struct SweepOptions {
+  std::vector<Algorithm> algorithms = {Algorithm::kModeled, Algorithm::kAlg2,
+                                       Algorithm::kAlg4, Algorithm::kAbd};
+  /// Semantics axis; applies to Algorithm::kModeled scenarios only
+  /// (implemented registers fix their own base semantics).
+  std::vector<sim::Semantics> semantics = {sim::Semantics::kAtomic,
+                                           sim::Semantics::kLinearizable,
+                                           sim::Semantics::kWriteStrong};
+  std::vector<AdversaryKind> adversaries = {AdversaryKind::kRandom,
+                                            AdversaryKind::kRoundRobin};
+  std::vector<int> process_counts = {3};
+  std::uint64_t seed_begin = 0;  ///< Inclusive.
+  std::uint64_t seed_end = 10;   ///< Exclusive.
+  int writes_per_process = 2;
+  std::uint64_t max_actions_per_scenario = 1'000'000;
+  int threads = 1;
+};
+
+/// Materializes the cross-product, seeds outermost so that consecutive
+/// task ids cover different configs (better tail behaviour under
+/// stealing).  Order is deterministic; the digest folds in this order.
+[[nodiscard]] std::vector<Scenario> enumerate_scenarios(const SweepOptions& o);
+
+/// Aggregated outcome of a sweep.
+struct SweepSummary {
+  std::uint64_t scenarios = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t total_steps = 0;  ///< Sum of adversary actions/deliveries.
+  std::uint64_t total_ops = 0;    ///< Sum of completed high-level ops.
+  /// Stable digest over (key, verdict, steps, ops, history_hash) of every
+  /// scenario in enumeration order.  Excludes all wall-clock fields.
+  std::uint64_t digest = 0;
+  /// Measured, NOT digest material:
+  std::uint64_t wall_ns_total = 0;  ///< Sum over scenarios (cpu-ish time).
+  std::uint64_t wall_ns_max = 0;    ///< Slowest single scenario.
+  std::uint64_t elapsed_ns = 0;     ///< End-to-end sweep wall clock.
+  std::uint64_t steals = 0;         ///< Pool steal count (scheduling info).
+  /// key + detail for the first few non-ok scenarios, enumeration order.
+  std::vector<std::string> failures;
+
+  /// The deterministic part, one line per field, byte-identical across
+  /// runs with equal options.  (Timing fields are deliberately absent.)
+  [[nodiscard]] std::string stable_text() const;
+};
+
+/// Runs the sweep on `o.threads` pool workers.  `progress_every` > 0
+/// prints a line to stderr every that-many completed scenarios.
+[[nodiscard]] SweepSummary run_sweep(const SweepOptions& o,
+                                     std::uint64_t progress_every = 0);
+
+}  // namespace rlt::sweep

@@ -2,8 +2,12 @@
 // truth for register feasibility used by checkers and simulator models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "checker/lin_solver.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace rlt::checker {
 namespace {
@@ -237,6 +241,144 @@ TEST(LinSolver, DuplicateValuesAreHandled) {
   add(h, 1, OpKind::kWrite, 5, 2, 12);
   add(h, 2, OpKind::kRead, 5, 3, 9);
   EXPECT_TRUE(solve_free(h).ok);
+}
+
+// ---------- brute-force cross-check (property test) ----------
+//
+// On random small single-register histories, `solve` must agree with an
+// exhaustive oracle that tries every candidate linearization directly
+// against the sequential spec: every subset of pending writes (pending
+// reads are never linearizable; completed ops are mandatory) in every
+// permutation, validated by `is_legal_sequential` — the definitional
+// checker, shared with no part of the backtracking search.
+
+bool oracle_linearizable(const History& h) {
+  std::vector<int> mandatory;
+  std::vector<int> pending_writes;
+  for (const OpRecord& op : h.ops()) {
+    if (!op.pending()) {
+      mandatory.push_back(op.id);
+    } else if (op.is_write()) {
+      pending_writes.push_back(op.id);
+    }
+  }
+  const std::size_t subsets = std::size_t{1} << pending_writes.size();
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<int> candidate = mandatory;
+    for (std::size_t b = 0; b < pending_writes.size(); ++b) {
+      if (mask & (std::size_t{1} << b)) candidate.push_back(pending_writes[b]);
+    }
+    std::sort(candidate.begin(), candidate.end());
+    do {
+      if (is_legal_sequential(h, candidate).ok) return true;
+    } while (std::next_permutation(candidate.begin(), candidate.end()));
+  }
+  return false;
+}
+
+/// A random well-formed single-register history: up to 3 processes, each
+/// with sequential operations, at most `max_ops` operations, values drawn
+/// from a small domain so duplicate-value corner cases occur often.
+History random_history(util::Rng& rng, int max_ops) {
+  History h;
+  h.set_initial(0, 0);
+  const int processes = 1 + static_cast<int>(rng.uniform(3));
+  const int target_ops = 1 + static_cast<int>(rng.uniform(
+                                 static_cast<std::uint64_t>(max_ops)));
+  std::vector<int> open_op(static_cast<std::size_t>(processes), -1);
+  Time now = 0;
+  int started = 0;
+  // Interleave invocations and responses event by event; whatever is
+  // still open when we stop remains pending.
+  while (true) {
+    std::vector<int> can_invoke;
+    std::vector<int> can_respond;
+    for (int p = 0; p < processes; ++p) {
+      if (open_op[static_cast<std::size_t>(p)] >= 0) {
+        can_respond.push_back(p);
+      } else if (started < target_ops) {
+        can_invoke.push_back(p);
+      }
+    }
+    if (can_invoke.empty() && can_respond.empty()) break;
+    // Stop early sometimes so pending tails are common.
+    if (can_invoke.empty() && rng.chance(1, 4)) break;
+    const bool invoke =
+        !can_invoke.empty() && (can_respond.empty() || rng.chance(1, 2));
+    ++now;
+    if (invoke) {
+      const int p = can_invoke[rng.uniform(can_invoke.size())];
+      OpRecord op;
+      op.process = p;
+      op.reg = 0;
+      op.kind = rng.chance(1, 2) ? OpKind::kWrite : OpKind::kRead;
+      // Values in {0,1,2}: collisions with other writes and the initial
+      // value are frequent, which is the solver's hard regime.
+      op.value = static_cast<Value>(rng.uniform(3));
+      op.invoke = now;
+      op.response = kNoTime;
+      open_op[static_cast<std::size_t>(p)] = h.add(op);
+      ++started;
+    } else {
+      const int p = can_respond[rng.uniform(can_respond.size())];
+      const int id = open_op[static_cast<std::size_t>(p)];
+      // Completed reads claim a random value — roughly half the
+      // histories are infeasible, exercising both oracle verdicts.
+      h.complete_op(id, static_cast<Value>(rng.uniform(3)), now);
+      open_op[static_cast<std::size_t>(p)] = -1;
+    }
+  }
+  return h;
+}
+
+TEST(LinSolverOracle, SolverAgreesWithBruteForceOnRandomHistories) {
+  util::Rng rng(20260730);
+  int feasible = 0;
+  int infeasible = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/7);
+    ASSERT_LE(h.size(), 7u);
+    const bool expected = oracle_linearizable(h);
+    const LinSolution got = solve_free(h);
+    ASSERT_EQ(got.ok, expected)
+        << "solver disagrees with brute-force oracle on trial " << trial
+        << ":\n" << h.to_string();
+    if (expected) {
+      ++feasible;
+      // The witness must itself satisfy the sequential spec.
+      EXPECT_TRUE(is_legal_sequential(h, got.order).ok)
+          << "illegal witness on trial " << trial << ":\n" << h.to_string();
+    } else {
+      ++infeasible;
+    }
+  }
+  // The generator must exercise both verdicts substantially.
+  EXPECT_GE(feasible, 50);
+  EXPECT_GE(infeasible, 50);
+}
+
+TEST(LinSolverOracle, AgreesUnderMultipleInitialValues) {
+  // Same cross-check with the simulator's collapsed-past extension:
+  // several allowed initial values.  The oracle runs once per candidate
+  // initial value on a copy whose initial is overwritten.
+  util::Rng rng(987654321);
+  for (int trial = 0; trial < 150; ++trial) {
+    History h = random_history(rng, /*max_ops=*/6);
+    const std::vector<Value> initials = {1, 2};
+    LinProblem p;
+    p.history = &h;
+    p.initial_values = initials;
+    const bool got = solve(p).ok;
+    bool expected = false;
+    for (const Value init : initials) {
+      History copy = h;
+      copy.set_initial(0, init);
+      expected = expected || oracle_linearizable(copy);
+    }
+    ASSERT_EQ(got, expected)
+        << "initial-values disagreement on trial " << trial << ":\n"
+        << h.to_string();
+  }
 }
 
 TEST(LinSolver, WitnessIsAlwaysLegal) {

@@ -212,7 +212,9 @@ TEST(WslModel, CommittedOrderSurvivesCollapse) {
   RandomAdversary adv(99);
   EXPECT_EQ(sched.run(adv), RunOutcome::kAllDone);
   // Reads are monotone: v1=10 implies v2 in {10, 20}; v1=20 implies v2=20.
-  if (v1 == 20) EXPECT_EQ(v2, 20);
+  if (v1 == 20) {
+    EXPECT_EQ(v2, 20);
+  }
   sched.global_history().validate();
 }
 

@@ -1,0 +1,234 @@
+// Tests for the parallel scenario-sweep engine (src/sweep/): the
+// work-stealing pool, single-scenario determinism, and the sweep-level
+// digest guarantees (same options => byte-identical summary, regardless
+// of thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sweep/pool.hpp"
+#include "sweep/scenario.hpp"
+#include "sweep/sweep.hpp"
+
+namespace rlt::sweep {
+namespace {
+
+// ---------- work-stealing pool ----------
+
+TEST(Pool, RunsEveryTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(Pool, TasksMaySubmitTasks) {
+  WorkStealingPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(Pool, WaitIdleIsReusable) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Pool, SingleThreadPoolStillCompletes) {
+  WorkStealingPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.steals(), 0u);  // nobody to steal from
+}
+
+TEST(Pool, StealsWhenAWorkerIsBusy) {
+  // Occupy worker 0 with a task that spins until four later tasks have
+  // run, then submit those four: round-robin places T1,T3 on worker 1
+  // and T2,T4 on (busy) worker 0, so worker 1 can only finish the batch
+  // — and release worker 0 — by stealing T2 and T4 from worker 0's queue.
+  WorkStealingPool pool(2);
+  std::atomic<bool> t0_running{false};
+  std::atomic<int> others_done{0};
+  pool.submit([&t0_running, &others_done] {  // T0 -> worker 0
+    t0_running.store(true);
+    while (others_done.load() < 4) std::this_thread::yield();
+  });
+  while (!t0_running.load()) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i) {  // T1..T4
+    pool.submit([&others_done] { others_done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(others_done.load(), 4);
+  EXPECT_GE(pool.steals(), 2u);
+}
+
+TEST(Pool, TaskExceptionSurfacesInWaitIdle) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 10);  // the throwing task killed nothing else
+  // The exception was consumed; the pool remains usable.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 11);
+}
+
+// ---------- scenario enumeration ----------
+
+TEST(Enumerate, CrossProductSizeAndOrderAreStable) {
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 3;
+  o.process_counts = {2, 3};
+  // modeled contributes |semantics| configs; alg2/alg4/abd one each:
+  // (3 + 3) * |adversaries|=2 * |process_counts|=2 * seeds=3.
+  const std::vector<Scenario> all = enumerate_scenarios(o);
+  EXPECT_EQ(all.size(), (3u + 3u) * 2u * 2u * 3u);
+  // Seeds are the outermost axis (consecutive tasks differ in config).
+  EXPECT_EQ(all.front().seed, 0u);
+  EXPECT_EQ(all.back().seed, 2u);
+  // Keys are unique.
+  std::set<std::string> keys;
+  for (const Scenario& s : all) keys.insert(s.key());
+  EXPECT_EQ(keys.size(), all.size());
+}
+
+// ---------- single-scenario determinism ----------
+
+TEST(Scenario, RerunIsBitIdentical) {
+  for (const Algorithm alg : {Algorithm::kModeled, Algorithm::kAlg2,
+                              Algorithm::kAlg4, Algorithm::kAbd}) {
+    Scenario s;
+    s.algorithm = alg;
+    s.semantics = sim::Semantics::kLinearizable;
+    s.adversary = AdversaryKind::kRandom;
+    s.processes = 3;
+    s.seed = 12345;
+    const ScenarioResult a = run_scenario(s);
+    const ScenarioResult b = run_scenario(s);
+    EXPECT_EQ(a.verdict, Verdict::kOk) << s.key() << ": " << a.detail;
+    EXPECT_EQ(a.verdict, b.verdict) << s.key();
+    EXPECT_EQ(a.steps, b.steps) << s.key();
+    EXPECT_EQ(a.ops, b.ops) << s.key();
+    EXPECT_EQ(a.history_hash, b.history_hash) << s.key();
+  }
+}
+
+TEST(Scenario, DifferentSeedsReachDifferentHistories) {
+  // Not guaranteed for every pair, but across 20 seeds the random
+  // adversary must produce more than one distinct interleaving.
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Scenario s;
+    s.algorithm = Algorithm::kModeled;
+    s.semantics = sim::Semantics::kLinearizable;
+    s.adversary = AdversaryKind::kRandom;
+    s.processes = 3;
+    s.seed = seed;
+    const ScenarioResult r = run_scenario(s);
+    ASSERT_EQ(r.verdict, Verdict::kOk) << r.detail;
+    hashes.insert(r.history_hash);
+  }
+  EXPECT_GT(hashes.size(), 1u);
+}
+
+TEST(Scenario, InvalidConfigIsAnErrorNotACrash) {
+  // run_scenario's contract: never throws, bad configs become kError —
+  // including ones only a programmatic caller (not the CLI) can build.
+  for (const Algorithm alg : {Algorithm::kModeled, Algorithm::kAlg2,
+                              Algorithm::kAlg4, Algorithm::kAbd}) {
+    Scenario s;
+    s.algorithm = alg;
+    s.processes = 0;
+    const ScenarioResult r = run_scenario(s);
+    EXPECT_EQ(r.verdict, Verdict::kError) << to_string(alg);
+    EXPECT_FALSE(r.detail.empty()) << to_string(alg);
+  }
+}
+
+TEST(Scenario, ExhaustedBudgetIsAnErrorNotACrash) {
+  Scenario s;
+  s.algorithm = Algorithm::kAlg2;
+  s.processes = 3;
+  s.seed = 1;
+  s.max_actions = 3;  // far too small to finish
+  const ScenarioResult r = run_scenario(s);
+  EXPECT_EQ(r.verdict, Verdict::kError);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+// ---------- sweep smoke + digest determinism ----------
+
+SweepOptions small_sweep(int threads) {
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 6;
+  o.process_counts = {2, 3};
+  o.threads = threads;
+  return o;
+}
+
+TEST(Sweep, SmokeAllScenariosPassOnFourThreads) {
+  const SweepSummary sum = run_sweep(small_sweep(4));
+  EXPECT_EQ(sum.scenarios, (3u + 3u) * 2u * 2u * 6u);
+  EXPECT_EQ(sum.ok, sum.scenarios)
+      << (sum.failures.empty() ? "" : sum.failures.front());
+  EXPECT_EQ(sum.violations, 0u);
+  EXPECT_EQ(sum.errors, 0u);
+  EXPECT_GT(sum.total_steps, 0u);
+  EXPECT_GT(sum.total_ops, 0u);
+}
+
+TEST(Sweep, BackToBackRunsEmitIdenticalDigests) {
+  const SweepSummary a = run_sweep(small_sweep(4));
+  const SweepSummary b = run_sweep(small_sweep(4));
+  EXPECT_EQ(a.digest, b.digest);
+  // Byte-identical deterministic summary section, not just the digest.
+  EXPECT_EQ(a.stable_text(), b.stable_text());
+}
+
+TEST(Sweep, DigestIsIndependentOfThreadCount) {
+  const SweepSummary seq = run_sweep(small_sweep(1));
+  const SweepSummary par = run_sweep(small_sweep(4));
+  EXPECT_EQ(seq.stable_text(), par.stable_text());
+}
+
+TEST(Sweep, DigestDependsOnTheSeedRange) {
+  SweepOptions a = small_sweep(2);
+  SweepOptions b = small_sweep(2);
+  b.seed_begin = 6;
+  b.seed_end = 12;
+  EXPECT_NE(run_sweep(a).digest, run_sweep(b).digest);
+}
+
+}  // namespace
+}  // namespace rlt::sweep

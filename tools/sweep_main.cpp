@@ -1,0 +1,229 @@
+// sweep_main — CLI driver for the parallel scenario-sweep engine.
+//
+// Runs the cross-product of register semantics × algorithm × adversary ×
+// process count × seed, validating every recorded history with the
+// appropriate checker, and prints an aggregate summary whose digest is a
+// pure function of the flags: back-to-back runs with identical flags
+// emit byte-identical digest sections regardless of --threads.
+//
+// Examples:
+//   sweep_main --processes 3 --seeds 0:1000 --threads 8
+//   sweep_main --algorithms alg2,abd --adversaries rand --seeds 0:50
+//   sweep_main --semantics wsl --processes 2,3,4 --writes 1 --seeds 7:9
+//
+// Exit status: 0 when every scenario verdict is ok; 1 on violations or
+// errors; 2 on bad usage.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using rlt::sweep::AdversaryKind;
+using rlt::sweep::Algorithm;
+using rlt::sweep::SweepOptions;
+using rlt::sweep::SweepSummary;
+
+[[noreturn]] void usage(int code) {
+  std::cerr <<
+      "usage: sweep_main [options]\n"
+      "  --algorithms LIST   comma list of modeled,alg2,alg4,abd "
+      "(default: all)\n"
+      "  --semantics LIST    comma list of atomic,lin,wsl — the register\n"
+      "                      models swept for 'modeled' scenarios "
+      "(default: all)\n"
+      "  --adversaries LIST  comma list of rand,rr (default: both)\n"
+      "  --processes LIST    comma list of process counts (default: 3)\n"
+      "  --seeds A:B         seed range, A inclusive, B exclusive "
+      "(default: 0:10)\n"
+      "  --writes N          writes per writer role (default: 2)\n"
+      "  --threads N         pool worker threads (default: 1)\n"
+      "  --max-actions N     per-scenario action budget (default: 1000000)\n"
+      "  --progress N        progress line every N scenarios (default: off)\n"
+      "  --list              print the scenario keys and exit\n"
+      "  --help              this text\n";
+  std::exit(code);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+[[noreturn]] void bad_value(const std::string& flag, const std::string& v) {
+  std::cerr << "sweep_main: bad value '" << v << "' for " << flag << "\n";
+  usage(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& v) {
+  // Digits only: std::stoull would silently wrap "-1" to 2^64-1.
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    bad_value(flag, v);
+  }
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t x = std::stoull(v, &pos);
+    if (pos != v.size()) bad_value(flag, v);
+    return x;
+  } catch (...) {
+    bad_value(flag, v);
+  }
+}
+
+void parse_algorithms(const std::string& v, SweepOptions& o) {
+  o.algorithms.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "modeled") o.algorithms.push_back(Algorithm::kModeled);
+    else if (name == "alg2") o.algorithms.push_back(Algorithm::kAlg2);
+    else if (name == "alg4") o.algorithms.push_back(Algorithm::kAlg4);
+    else if (name == "abd") o.algorithms.push_back(Algorithm::kAbd);
+    else bad_value("--algorithms", name);
+  }
+  if (o.algorithms.empty()) bad_value("--algorithms", v);
+}
+
+void parse_semantics(const std::string& v, SweepOptions& o) {
+  o.semantics.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "atomic") {
+      o.semantics.push_back(rlt::sim::Semantics::kAtomic);
+    } else if (name == "lin" || name == "linearizable") {
+      o.semantics.push_back(rlt::sim::Semantics::kLinearizable);
+    } else if (name == "wsl") {
+      o.semantics.push_back(rlt::sim::Semantics::kWriteStrong);
+    } else {
+      bad_value("--semantics", name);
+    }
+  }
+  if (o.semantics.empty()) bad_value("--semantics", v);
+}
+
+void parse_adversaries(const std::string& v, SweepOptions& o) {
+  o.adversaries.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "rand" || name == "random") {
+      o.adversaries.push_back(AdversaryKind::kRandom);
+    } else if (name == "rr" || name == "roundrobin") {
+      o.adversaries.push_back(AdversaryKind::kRoundRobin);
+    } else {
+      bad_value("--adversaries", name);
+    }
+  }
+  if (o.adversaries.empty()) bad_value("--adversaries", v);
+}
+
+void parse_processes(const std::string& v, SweepOptions& o) {
+  o.process_counts.clear();
+  for (const std::string& item : split_csv(v)) {
+    const std::uint64_t n = parse_u64("--processes", item);
+    if (n < 1 || n > 16) bad_value("--processes", item);
+    o.process_counts.push_back(static_cast<int>(n));
+  }
+  if (o.process_counts.empty()) bad_value("--processes", v);
+}
+
+void parse_seeds(const std::string& v, SweepOptions& o) {
+  const std::size_t colon = v.find(':');
+  if (colon == std::string::npos) {
+    // Single value N means the one-seed range N:N+1 (reject UINT64_MAX:
+    // N+1 would wrap to 0 and trip the reversed-range invariant).
+    o.seed_begin = parse_u64("--seeds", v);
+    if (o.seed_begin == std::numeric_limits<std::uint64_t>::max()) {
+      bad_value("--seeds", v);
+    }
+    o.seed_end = o.seed_begin + 1;
+    return;
+  }
+  o.seed_begin = parse_u64("--seeds", v.substr(0, colon));
+  o.seed_end = parse_u64("--seeds", v.substr(colon + 1));
+  if (o.seed_end < o.seed_begin) bad_value("--seeds", v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts;
+  bool list_only = false;
+  std::uint64_t progress_every = 0;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "sweep_main: " << a << " needs a value\n";
+        usage(2);
+      }
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--list") list_only = true;
+    else if (a == "--algorithms") parse_algorithms(next(), opts);
+    else if (a == "--semantics") parse_semantics(next(), opts);
+    else if (a == "--adversaries") parse_adversaries(next(), opts);
+    else if (a == "--processes") parse_processes(next(), opts);
+    else if (a == "--seeds") parse_seeds(next(), opts);
+    else if (a == "--writes") {
+      // <= 99 keeps written_value()'s per-(role, index) encoding free of
+      // cross-role collisions (values are 100*(role+1)+i).
+      opts.writes_per_process =
+          static_cast<int>(parse_u64("--writes", next()));
+      if (opts.writes_per_process < 1 || opts.writes_per_process > 99) {
+        bad_value("--writes", args[i]);
+      }
+    } else if (a == "--threads") {
+      // Upper bound keeps a typo from asking the OS for an absurd number
+      // of threads.
+      opts.threads = static_cast<int>(parse_u64("--threads", next()));
+      if (opts.threads < 1 || opts.threads > 1024) {
+        bad_value("--threads", args[i]);
+      }
+    } else if (a == "--max-actions") {
+      opts.max_actions_per_scenario = parse_u64("--max-actions", next());
+    } else if (a == "--progress") {
+      progress_every = parse_u64("--progress", next());
+    } else {
+      std::cerr << "sweep_main: unknown flag " << a << "\n";
+      usage(2);
+    }
+  }
+
+  SweepSummary sum;
+  try {
+    if (list_only) {
+      for (const rlt::sweep::Scenario& s :
+           rlt::sweep::enumerate_scenarios(opts)) {
+        std::cout << s.key() << "\n";
+      }
+      return 0;
+    }
+    sum = rlt::sweep::run_sweep(opts, progress_every);
+  } catch (const std::exception& e) {
+    // Oversized cross-products and thread-spawn failures land here.
+    std::cerr << "sweep_main: " << e.what() << "\n";
+    return 2;
+  }
+
+  // Deterministic section first (byte-identical across runs), then
+  // timing, which naturally varies.
+  std::cout << sum.stable_text();
+  std::cout << "--- timing (not digest material) ---\n"
+            << "elapsed_ms " << sum.elapsed_ns / 1'000'000 << "\n"
+            << "scenario_ms_total " << sum.wall_ns_total / 1'000'000 << "\n"
+            << "scenario_ms_max " << sum.wall_ns_max / 1'000'000 << "\n"
+            << "threads " << opts.threads << "\n"
+            << "steals " << sum.steals << "\n";
+
+  return (sum.violations == 0 && sum.errors == 0) ? 0 : 1;
+}
