@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_test.dir/tests/ablation_test.cpp.o"
+  "CMakeFiles/ablation_test.dir/tests/ablation_test.cpp.o.d"
+  "ablation_test"
+  "ablation_test.pdb"
+  "ablation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollary9_composition.dir/bench/corollary9_composition.cpp.o"
+  "CMakeFiles/bench_corollary9_composition.dir/bench/corollary9_composition.cpp.o.d"
+  "bench/bench_corollary9_composition"
+  "bench/bench_corollary9_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollary9_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_nontermination.dir/bench/fig1_2_nontermination.cpp.o"
+  "CMakeFiles/bench_fig1_2_nontermination.dir/bench/fig1_2_nontermination.cpp.o.d"
+  "bench/bench_fig1_2_nontermination"
+  "bench/bench_fig1_2_nontermination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_nontermination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_2_nontermination.
+# This may be replaced when dependencies are built.

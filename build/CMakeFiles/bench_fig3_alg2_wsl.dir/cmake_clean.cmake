@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_alg2_wsl.dir/bench/fig3_alg2_wsl.cpp.o"
+  "CMakeFiles/bench_fig3_alg2_wsl.dir/bench/fig3_alg2_wsl.cpp.o.d"
+  "bench/bench_fig3_alg2_wsl"
+  "bench/bench_fig3_alg2_wsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_alg2_wsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_theorem13.dir/bench/fig4_theorem13.cpp.o"
+  "CMakeFiles/bench_fig4_theorem13.dir/bench/fig4_theorem13.cpp.o.d"
+  "bench/bench_fig4_theorem13"
+  "bench/bench_fig4_theorem13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_theorem13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_abd.dir/bench/perf_abd.cpp.o"
+  "CMakeFiles/bench_perf_abd.dir/bench/perf_abd.cpp.o.d"
+  "bench/bench_perf_abd"
+  "bench/bench_perf_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_checker.dir/bench/perf_checker.cpp.o"
+  "CMakeFiles/bench_perf_checker.dir/bench/perf_checker.cpp.o.d"
+  "bench/bench_perf_checker"
+  "bench/bench_perf_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

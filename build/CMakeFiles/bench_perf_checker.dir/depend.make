@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_perf_checker.
+# This may be replaced when dependencies are built.

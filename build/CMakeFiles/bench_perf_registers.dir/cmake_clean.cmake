@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_registers.dir/bench/perf_registers.cpp.o"
+  "CMakeFiles/bench_perf_registers.dir/bench/perf_registers.cpp.o.d"
+  "bench/bench_perf_registers"
+  "bench/bench_perf_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

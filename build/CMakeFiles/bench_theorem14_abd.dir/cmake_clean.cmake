@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem14_abd.dir/bench/theorem14_abd.cpp.o"
+  "CMakeFiles/bench_theorem14_abd.dir/bench/theorem14_abd.cpp.o.d"
+  "bench/bench_theorem14_abd"
+  "bench/bench_theorem14_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem14_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem7_termination.dir/bench/theorem7_termination.cpp.o"
+  "CMakeFiles/bench_theorem7_termination.dir/bench/theorem7_termination.cpp.o.d"
+  "bench/bench_theorem7_termination"
+  "bench/bench_theorem7_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem7_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem7_termination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_test.dir/tests/checker_test.cpp.o"
+  "CMakeFiles/checker_test.dir/tests/checker_test.cpp.o.d"
+  "checker_test"
+  "checker_test.pdb"
+  "checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

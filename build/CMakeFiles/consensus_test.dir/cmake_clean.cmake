@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_test.dir/tests/consensus_test.cpp.o"
+  "CMakeFiles/consensus_test.dir/tests/consensus_test.cpp.o.d"
+  "consensus_test"
+  "consensus_test.pdb"
+  "consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_abd_demo.dir/examples/abd_demo.cpp.o"
+  "CMakeFiles/example_abd_demo.dir/examples/abd_demo.cpp.o.d"
+  "examples/example_abd_demo"
+  "examples/example_abd_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_abd_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checker_demo.dir/examples/checker_demo.cpp.o"
+  "CMakeFiles/example_checker_demo.dir/examples/checker_demo.cpp.o.d"
+  "examples/example_checker_demo"
+  "examples/example_checker_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checker_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

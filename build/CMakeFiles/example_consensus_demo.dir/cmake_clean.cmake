@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consensus_demo.dir/examples/consensus_demo.cpp.o"
+  "CMakeFiles/example_consensus_demo.dir/examples/consensus_demo.cpp.o.d"
+  "examples/example_consensus_demo"
+  "examples/example_consensus_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consensus_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

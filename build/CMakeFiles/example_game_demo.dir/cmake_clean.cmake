@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_game_demo.dir/examples/game_demo.cpp.o"
+  "CMakeFiles/example_game_demo.dir/examples/game_demo.cpp.o.d"
+  "examples/example_game_demo"
+  "examples/example_game_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_game_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

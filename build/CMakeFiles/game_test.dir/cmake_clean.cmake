@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_test.dir/tests/game_test.cpp.o"
+  "CMakeFiles/game_test.dir/tests/game_test.cpp.o.d"
+  "game_test"
+  "game_test.pdb"
+  "game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_test.dir/tests/history_test.cpp.o"
+  "CMakeFiles/history_test.dir/tests/history_test.cpp.o.d"
+  "history_test"
+  "history_test.pdb"
+  "history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_solver_test.dir/tests/lin_solver_test.cpp.o"
+  "CMakeFiles/lin_solver_test.dir/tests/lin_solver_test.cpp.o.d"
+  "lin_solver_test"
+  "lin_solver_test.pdb"
+  "lin_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

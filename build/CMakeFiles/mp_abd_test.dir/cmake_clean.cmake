@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_abd_test.dir/tests/mp_abd_test.cpp.o"
+  "CMakeFiles/mp_abd_test.dir/tests/mp_abd_test.cpp.o.d"
+  "mp_abd_test"
+  "mp_abd_test.pdb"
+  "mp_abd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_abd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registers_test.dir/tests/registers_test.cpp.o"
+  "CMakeFiles/registers_test.dir/tests/registers_test.cpp.o.d"
+  "registers_test"
+  "registers_test.pdb"
+  "registers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/lin_checker.cpp" "CMakeFiles/rlt.dir/src/checker/lin_checker.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/checker/lin_checker.cpp.o.d"
+  "/root/repo/src/checker/lin_solver.cpp" "CMakeFiles/rlt.dir/src/checker/lin_solver.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/checker/lin_solver.cpp.o.d"
+  "/root/repo/src/checker/spec.cpp" "CMakeFiles/rlt.dir/src/checker/spec.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/checker/spec.cpp.o.d"
+  "/root/repo/src/checker/strong_checker.cpp" "CMakeFiles/rlt.dir/src/checker/strong_checker.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/checker/strong_checker.cpp.o.d"
+  "/root/repo/src/checker/wsl_checker.cpp" "CMakeFiles/rlt.dir/src/checker/wsl_checker.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/checker/wsl_checker.cpp.o.d"
+  "/root/repo/src/consensus/composed.cpp" "CMakeFiles/rlt.dir/src/consensus/composed.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/consensus/composed.cpp.o.d"
+  "/root/repo/src/consensus/rand_consensus.cpp" "CMakeFiles/rlt.dir/src/consensus/rand_consensus.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/consensus/rand_consensus.cpp.o.d"
+  "/root/repo/src/consensus/shared_coin.cpp" "CMakeFiles/rlt.dir/src/consensus/shared_coin.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/consensus/shared_coin.cpp.o.d"
+  "/root/repo/src/game/game.cpp" "CMakeFiles/rlt.dir/src/game/game.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/game/game.cpp.o.d"
+  "/root/repo/src/game/game_runner.cpp" "CMakeFiles/rlt.dir/src/game/game_runner.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/game/game_runner.cpp.o.d"
+  "/root/repo/src/game/theorem6_adversary.cpp" "CMakeFiles/rlt.dir/src/game/theorem6_adversary.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/game/theorem6_adversary.cpp.o.d"
+  "/root/repo/src/history/event.cpp" "CMakeFiles/rlt.dir/src/history/event.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/history/event.cpp.o.d"
+  "/root/repo/src/history/history.cpp" "CMakeFiles/rlt.dir/src/history/history.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/history/history.cpp.o.d"
+  "/root/repo/src/history/recorder.cpp" "CMakeFiles/rlt.dir/src/history/recorder.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/history/recorder.cpp.o.d"
+  "/root/repo/src/mp/abd.cpp" "CMakeFiles/rlt.dir/src/mp/abd.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/mp/abd.cpp.o.d"
+  "/root/repo/src/mp/f_star.cpp" "CMakeFiles/rlt.dir/src/mp/f_star.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/mp/f_star.cpp.o.d"
+  "/root/repo/src/registers/alg2_register.cpp" "CMakeFiles/rlt.dir/src/registers/alg2_register.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/alg2_register.cpp.o.d"
+  "/root/repo/src/registers/alg3_linearizer.cpp" "CMakeFiles/rlt.dir/src/registers/alg3_linearizer.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/alg3_linearizer.cpp.o.d"
+  "/root/repo/src/registers/alg4_register.cpp" "CMakeFiles/rlt.dir/src/registers/alg4_register.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/alg4_register.cpp.o.d"
+  "/root/repo/src/registers/thread_alg2.cpp" "CMakeFiles/rlt.dir/src/registers/thread_alg2.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/thread_alg2.cpp.o.d"
+  "/root/repo/src/registers/thread_alg4.cpp" "CMakeFiles/rlt.dir/src/registers/thread_alg4.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/thread_alg4.cpp.o.d"
+  "/root/repo/src/registers/vector_ts.cpp" "CMakeFiles/rlt.dir/src/registers/vector_ts.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/registers/vector_ts.cpp.o.d"
+  "/root/repo/src/sim/adversary.cpp" "CMakeFiles/rlt.dir/src/sim/adversary.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sim/adversary.cpp.o.d"
+  "/root/repo/src/sim/linearizable_model.cpp" "CMakeFiles/rlt.dir/src/sim/linearizable_model.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sim/linearizable_model.cpp.o.d"
+  "/root/repo/src/sim/regmodel.cpp" "CMakeFiles/rlt.dir/src/sim/regmodel.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sim/regmodel.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/rlt.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/wsl_model.cpp" "CMakeFiles/rlt.dir/src/sim/wsl_model.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sim/wsl_model.cpp.o.d"
+  "/root/repo/src/sweep/pool.cpp" "CMakeFiles/rlt.dir/src/sweep/pool.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sweep/pool.cpp.o.d"
+  "/root/repo/src/sweep/scenario.cpp" "CMakeFiles/rlt.dir/src/sweep/scenario.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sweep/scenario.cpp.o.d"
+  "/root/repo/src/sweep/sweep.cpp" "CMakeFiles/rlt.dir/src/sweep/sweep.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/sweep/sweep.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/rlt.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/rlt.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/rlt.dir/src/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_main.dir/tools/sweep_main.cpp.o"
+  "CMakeFiles/sweep_main.dir/tools/sweep_main.cpp.o.d"
+  "sweep_main"
+  "sweep_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_registers_test.dir/tests/thread_registers_test.cpp.o"
+  "CMakeFiles/thread_registers_test.dir/tests/thread_registers_test.cpp.o.d"
+  "thread_registers_test"
+  "thread_registers_test.pdb"
+  "thread_registers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_registers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/ablation_test[1]_include.cmake")
+include("/root/repo/build/checker_test[1]_include.cmake")
+include("/root/repo/build/consensus_test[1]_include.cmake")
+include("/root/repo/build/coverage_test[1]_include.cmake")
+include("/root/repo/build/game_test[1]_include.cmake")
+include("/root/repo/build/history_test[1]_include.cmake")
+include("/root/repo/build/lin_solver_test[1]_include.cmake")
+include("/root/repo/build/mp_abd_test[1]_include.cmake")
+include("/root/repo/build/property_test[1]_include.cmake")
+include("/root/repo/build/registers_test[1]_include.cmake")
+include("/root/repo/build/sim_test[1]_include.cmake")
+include("/root/repo/build/sweep_test[1]_include.cmake")
+include("/root/repo/build/thread_registers_test[1]_include.cmake")
+include("/root/repo/build/util_test[1]_include.cmake")
+subdirs("_deps/googletest-build")
