@@ -1,0 +1,74 @@
+// Experiment P4 — end-to-end sweep throughput.
+//
+// The scenario sweep is the system's outer loop: this bench tracks
+// scenarios/second through the full pipeline (simulate, record, check,
+// fold) so checker and engine changes show up as one end-to-end number.
+// The digest is asserted stable across iterations — a throughput bench
+// that silently changed behaviour would be worse than useless.
+#include <benchmark/benchmark.h>
+
+#include "sweep/sweep.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace rlt;
+
+sweep::SweepOptions base_options(std::uint64_t seeds, int threads,
+                                 int batch) {
+  sweep::SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = seeds;
+  o.process_counts = {3};
+  o.threads = threads;
+  o.batch_size = batch;
+  return o;
+}
+
+void run_sweep_bench(benchmark::State& state, const sweep::SweepOptions& o) {
+  std::uint64_t digest = 0;
+  std::uint64_t scenarios = 0;
+  for (auto _ : state) {
+    const sweep::SweepSummary sum = sweep::run_sweep(o);
+    benchmark::DoNotOptimize(sum.digest);
+    RLT_CHECK_MSG(digest == 0 || digest == sum.digest,
+                  "sweep digest changed between iterations — nondeterminism");
+    digest = sum.digest;
+    scenarios = sum.scenarios;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(sum.scenarios));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios);
+}
+
+/// Full cross-product (all algorithms × semantics × adversaries), seeds
+/// scaled by the range argument; single worker.
+void BM_SweepAllAxes(benchmark::State& state) {
+  run_sweep_bench(state,
+                  base_options(static_cast<std::uint64_t>(state.range(0)),
+                               /*threads=*/1, /*batch=*/16));
+}
+BENCHMARK(BM_SweepAllAxes)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+/// Thread scaling at a fixed cross-product.
+void BM_SweepThreads(benchmark::State& state) {
+  run_sweep_bench(state,
+                  base_options(/*seeds=*/25,
+                               static_cast<int>(state.range(0)),
+                               /*batch=*/16));
+}
+BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+/// Submit-overhead shape: one task per scenario vs batched tasks.
+void BM_SweepBatch(benchmark::State& state) {
+  run_sweep_bench(state,
+                  base_options(/*seeds=*/25, /*threads=*/2,
+                               static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SweepBatch)->Arg(1)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -67,8 +67,28 @@ std::vector<int> merge_witnesses(
 
 LinCheckResult check_linearizable(const History& h) {
   LinCheckResult result;
+
+  // Single-register fast path (the sweep's histories): solve on the
+  // history directly — no sub-history copy, no id remapping, no merge.
+  const auto regs = h.registers();
+  if (regs.size() <= 1) {
+    LinProblem problem;
+    problem.history = &h;
+    LinSolution sol = solve(problem);
+    if (!sol.ok) {
+      std::ostringstream os;
+      os << "register R" << (regs.empty() ? 0 : regs.front())
+         << " subhistory is not linearizable:\n" << h.to_string();
+      result.error = os.str();
+      return result;
+    }
+    result.ok = true;
+    result.order = std::move(sol.order);
+    return result;
+  }
+
   std::vector<std::vector<int>> witnesses;
-  for (const auto reg : h.registers()) {
+  for (const auto reg : regs) {
     std::vector<int> mapping;
     const History sub = h.restrict_to_register(reg, &mapping);
     LinProblem problem;

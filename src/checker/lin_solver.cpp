@@ -1,9 +1,10 @@
 #include "checker/lin_solver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -11,161 +12,331 @@ namespace rlt::checker {
 
 namespace {
 
+using history::HistoryView;
+
 /// Dense per-solve view of the history plus constraint bookkeeping.
+///
+/// Everything the DFS consults per node is precomputed here at context
+/// build time:
+///  * `pred[id]` — bitmask of completed ops that strictly precede op
+///    `id` in real time, so the availability rule is one AND per
+///    candidate instead of a scan over unplaced completed ops;
+///  * `reads_by_value` — placeable reads grouped by returned value, so
+///    candidate generation starts from a table lookup instead of an
+///    O(n) kind/value filter;
+///  * `write_mask` — placeable writes (kFree candidates are
+///    value-independent; kExact restricts to the next write of the exact
+///    order, whose index the DFS threads down instead of recomputing).
 struct SolveContext {
-  const History* h = nullptr;
+  HistoryView view;
   WriteOrderMode mode = WriteOrderMode::kFree;
-  std::vector<int> exact;            // op ids, kExact only
-  std::vector<int> exact_pos;        // op id -> index in exact, or -1
+  const std::vector<int>* exact = nullptr;  // op ids, kExact only
   std::uint64_t completed_mask = 0;  // ops that must be placed
   std::uint64_t must_place_mask = 0; // completed + listed pending writes
   std::uint64_t placeable_mask = 0;  // ops that may ever be placed
+  std::uint64_t write_mask = 0;      // placeable writes
+  std::uint64_t all_writes_mask = 0; // every write included in the view
+  /// Per op id: completed predecessors.  Inline (no heap): n <= 64.
+  std::array<std::uint64_t, 64> pred{};
+  /// Placeable reads grouped by returned value, sorted by value; inline.
+  std::array<std::pair<Value, std::uint64_t>, 64> reads_by_value{};
+  int nread_groups = 0;
+  /// Allowed pre-history values: caller-supplied list, or the register's
+  /// initial value.
+  const std::vector<Value>* initials = nullptr;
+  Value single_initial = 0;
   int n = 0;
 
-  // State key for memoization of failed states.
+  // State key for memoization (failed states / visited states).
   struct Key {
     std::uint64_t mask;
     Value value;
     friend bool operator==(const Key&, const Key&) = default;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      // 64-bit mix of both fields (splitmix-style).
-      std::uint64_t x = k.mask * 0x9E3779B97F4A7C15ULL;
-      x ^= static_cast<std::uint64_t>(k.value) + 0xBF58476D1CE4E5B9ULL +
-           (x << 6) + (x >> 2);
-      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      return static_cast<std::size_t>(x ^ (x >> 31));
+  static std::uint64_t mix_key(const Key& k) noexcept {
+    // 64-bit mix of both fields (splitmix-style).
+    std::uint64_t x = k.mask * 0x9E3779B97F4A7C15ULL;
+    x ^= static_cast<std::uint64_t>(k.value) + 0xBF58476D1CE4E5B9ULL +
+         (x << 6) + (x >> 2);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Open-addressing state-key set.  Most solves memoize a handful of
+  /// states; std::unordered_set spends more time constructing and
+  /// tearing down buckets than probing.  Inline storage for 64 slots,
+  /// heap growth only for genuinely hard instances.
+  class SeenSet {
+   public:
+    bool insert(const Key& k) {  // true iff newly inserted
+      if (size_ * 4 >= capacity_ * 3) grow();
+      Slot* slot = find_slot(slots(), capacity_, k);
+      if (slot->used) return false;
+      *slot = Slot{k, true};
+      ++size_;
+      return true;
     }
+    [[nodiscard]] bool contains(const Key& k) const {
+      return find_slot(slots(), capacity_, k)->used;
+    }
+
+   private:
+    struct Slot {
+      Key key{0, 0};
+      bool used = false;
+    };
+    static Slot* find_slot(Slot* slots, std::size_t capacity, const Key& k) {
+      std::size_t i = static_cast<std::size_t>(mix_key(k)) & (capacity - 1);
+      while (slots[i].used && !(slots[i].key == k)) {
+        i = (i + 1) & (capacity - 1);
+      }
+      return &slots[i];
+    }
+    static const Slot* find_slot(const Slot* slots, std::size_t capacity,
+                                 const Key& k) {
+      return find_slot(const_cast<Slot*>(slots), capacity, k);
+    }
+    [[nodiscard]] Slot* slots() noexcept {
+      return heap_.empty() ? inline_.data() : heap_.data();
+    }
+    [[nodiscard]] const Slot* slots() const noexcept {
+      return heap_.empty() ? inline_.data() : heap_.data();
+    }
+    void grow() {
+      const std::size_t next = capacity_ * 2;
+      std::vector<Slot> bigger(next);
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        const Slot& s = slots()[i];
+        if (s.used) *find_slot(bigger.data(), next, s.key) = s;
+      }
+      heap_ = std::move(bigger);
+      capacity_ = next;
+    }
+
+    std::array<Slot, 64> inline_{};
+    std::vector<Slot> heap_;
+    std::size_t capacity_ = 64;
+    std::size_t size_ = 0;
   };
-  std::unordered_set<Key, KeyHash> failed;
+  SeenSet seen;
 
   [[nodiscard]] bool done(std::uint64_t mask) const noexcept {
     return (mask & must_place_mask) == must_place_mask;
+  }
+
+  [[nodiscard]] std::uint64_t reads_of(Value v) const noexcept {
+    const auto begin = reads_by_value.begin();
+    const auto end = begin + nread_groups;
+    const auto it = std::lower_bound(
+        begin, end, v,
+        [](const auto& entry, Value value) { return entry.first < value; });
+    return it != end && it->first == v ? it->second : 0;
+  }
+
+  /// Ops placeable next from state (mask, value): matching-value reads
+  /// plus the allowed write(s), availability-filtered — O(1) per edge.
+  [[nodiscard]] std::uint64_t candidates(std::uint64_t mask, Value value,
+                                         int exact_next) const noexcept {
+    std::uint64_t cand = reads_of(value);
+    if (mode == WriteOrderMode::kExact) {
+      if (exact_next < static_cast<int>(exact->size())) {
+        cand |= 1ULL << (*exact)[static_cast<std::size_t>(exact_next)];
+      }
+    } else {
+      cand |= write_mask;
+    }
+    cand &= ~mask;
+    std::uint64_t out = 0;
+    while (cand != 0) {
+      const int id = std::countr_zero(cand);
+      cand &= cand - 1;
+      // Available iff every completed predecessor is already placed.
+      if ((pred[static_cast<std::size_t>(id)] & ~mask) == 0) {
+        out |= 1ULL << id;
+      }
+    }
+    return out;
   }
 };
 
 SolveContext make_context(const LinProblem& problem) {
   RLT_CHECK(problem.history != nullptr);
   const History& h = *problem.history;
-  (void)single_register_of(h);
+  const auto reg = single_register_of(h);
   RLT_CHECK_MSG(h.size() <= 64, "solver supports at most 64 ops, got "
                                     << h.size());
   SolveContext ctx;
-  ctx.h = &h;
+  ctx.view = HistoryView(h, problem.cutoff);
   ctx.mode = problem.mode;
   ctx.n = static_cast<int>(h.size());
-  ctx.exact_pos.assign(static_cast<std::size_t>(ctx.n), -1);
+  if (problem.initial_values.has_value()) {
+    RLT_CHECK_MSG(!problem.initial_values->empty(),
+                  "initial_values must not be empty when supplied");
+    ctx.initials = &*problem.initial_values;
+  } else {
+    ctx.single_initial = h.initial(reg);
+  }
 
-  for (const OpRecord& op : h.ops()) {
-    const std::uint64_t bit = 1ULL << op.id;
-    if (!op.pending()) ctx.completed_mask |= bit;
-    const bool placeable_read = op.is_read() && !op.pending();
-    if (placeable_read) ctx.placeable_mask |= bit;
+  // Completion overlay: one pending op is treated as completed.
+  const int cop = problem.completion ? problem.completion->op_id : -1;
+  if (problem.completion) {
+    RLT_CHECK_MSG(cop >= 0 && cop < ctx.n, "completion op id out of range");
+    RLT_CHECK_MSG(ctx.view.included(cop) && !ctx.view.completed(cop),
+                  "completion overlay must name an op pending in the view");
+    RLT_CHECK_MSG(problem.completion->response > ctx.view.invoke(cop),
+                  "completion response not after invocation");
+  }
+  const auto completed = [&ctx, cop](int id) {
+    return id == cop || ctx.view.completed(id);
+  };
+  const auto response_of = [&ctx, cop, &problem](int id) {
+    return id == cop ? problem.completion->response : ctx.view.response(id);
+  };
+
+  for (int id = 0; id < ctx.n; ++id) {
+    if (!ctx.view.included(id)) continue;
+    const std::uint64_t bit = 1ULL << id;
+    if (ctx.view.is_write(id)) ctx.all_writes_mask |= bit;
+    if (completed(id)) {
+      ctx.completed_mask |= bit;
+      if (ctx.view.is_read(id)) ctx.placeable_mask |= bit;
+    }
   }
   ctx.must_place_mask = ctx.completed_mask;
 
+  ctx.exact = &problem.exact_write_order;
   if (problem.mode == WriteOrderMode::kExact) {
-    ctx.exact = problem.exact_write_order;
-    for (std::size_t i = 0; i < ctx.exact.size(); ++i) {
-      const int id = ctx.exact[i];
+    std::uint64_t exact_seen = 0;
+    for (const int id : *ctx.exact) {
       RLT_CHECK_MSG(id >= 0 && id < ctx.n, "exact order op id out of range");
-      const OpRecord& op = h.op(id);
-      RLT_CHECK_MSG(op.is_write(), "exact order contains non-write op" << id);
-      RLT_CHECK_MSG(ctx.exact_pos[static_cast<std::size_t>(id)] == -1,
-                    "exact order repeats op" << id);
-      ctx.exact_pos[static_cast<std::size_t>(id)] = static_cast<int>(i);
+      RLT_CHECK_MSG(ctx.view.is_write(id),
+                    "exact order contains non-write op" << id);
+      RLT_CHECK_MSG(ctx.view.included(id),
+                    "exact order op" << id << " not invoked within the view");
       const std::uint64_t bit = 1ULL << id;
+      RLT_CHECK_MSG((exact_seen & bit) == 0, "exact order repeats op" << id);
+      exact_seen |= bit;
       ctx.placeable_mask |= bit;
       ctx.must_place_mask |= bit;
+      ctx.write_mask |= bit;
     }
   } else {
-    for (const OpRecord& op : h.ops()) {
-      if (op.is_write()) ctx.placeable_mask |= 1ULL << op.id;
+    for (int id = 0; id < ctx.n; ++id) {
+      if (ctx.view.included(id) && ctx.view.is_write(id)) {
+        const std::uint64_t bit = 1ULL << id;
+        ctx.placeable_mask |= bit;
+        ctx.write_mask |= bit;
+      }
     }
   }
+
+  // Predecessor bitmasks: pred[o] = completed ops responding before o's
+  // invocation.  Only completed ops ever block placement.
+  for (int o = 0; o < ctx.n; ++o) {
+    if ((ctx.placeable_mask & (1ULL << o)) == 0) continue;
+    std::uint64_t preds = 0;
+    std::uint64_t comp = ctx.completed_mask & ~(1ULL << o);
+    while (comp != 0) {
+      const int q = std::countr_zero(comp);
+      comp &= comp - 1;
+      if (response_of(q) < ctx.view.invoke(o)) preds |= 1ULL << q;
+    }
+    ctx.pred[static_cast<std::size_t>(o)] = preds;
+  }
+
+  // Placeable reads grouped by returned value (sorted, deduplicated).
+  int ngroups = 0;
+  std::uint64_t reads = ctx.placeable_mask & ~ctx.write_mask;
+  while (reads != 0) {
+    const int id = std::countr_zero(reads);
+    reads &= reads - 1;
+    const Value v = id == cop ? problem.completion->value : ctx.view.value(id);
+    ctx.reads_by_value[static_cast<std::size_t>(ngroups++)] = {v, 1ULL << id};
+  }
+  // Tiny array: insertion sort beats std::sort's dispatch overhead.
+  for (int i = 1; i < ngroups; ++i) {
+    auto entry = ctx.reads_by_value[static_cast<std::size_t>(i)];
+    int j = i - 1;
+    while (j >= 0 &&
+           ctx.reads_by_value[static_cast<std::size_t>(j)].first > entry.first) {
+      ctx.reads_by_value[static_cast<std::size_t>(j + 1)] =
+          ctx.reads_by_value[static_cast<std::size_t>(j)];
+      --j;
+    }
+    ctx.reads_by_value[static_cast<std::size_t>(j + 1)] = entry;
+  }
+  int w = 0;
+  for (int r = 1; r < ngroups; ++r) {
+    if (ctx.reads_by_value[static_cast<std::size_t>(r)].first ==
+        ctx.reads_by_value[static_cast<std::size_t>(w)].first) {
+      ctx.reads_by_value[static_cast<std::size_t>(w)].second |=
+          ctx.reads_by_value[static_cast<std::size_t>(r)].second;
+    } else {
+      ctx.reads_by_value[static_cast<std::size_t>(++w)] =
+          ctx.reads_by_value[static_cast<std::size_t>(r)];
+    }
+  }
+  ctx.nread_groups = ngroups == 0 ? 0 : w + 1;
   return ctx;
 }
 
 /// True iff the kExact constraints are not already unsatisfiable: every
-/// completed write must appear in the exact order.
+/// write completed within the view must appear in the exact order.
 bool exact_order_covers_completed(const SolveContext& ctx) {
   if (ctx.mode != WriteOrderMode::kExact) return true;
-  for (const OpRecord& op : ctx.h->ops()) {
-    if (op.is_write() && !op.pending() &&
-        ctx.exact_pos[static_cast<std::size_t>(op.id)] == -1) {
-      return false;
-    }
-  }
-  return true;
+  return (ctx.completed_mask & ctx.all_writes_mask & ~ctx.write_mask) == 0;
 }
 
-/// Index into ctx.exact of the next write that must be placed, given the
-/// set of already-placed ops.
-int next_exact_index(const SolveContext& ctx, std::uint64_t mask) {
-  for (std::size_t i = 0; i < ctx.exact.size(); ++i) {
-    if ((mask & (1ULL << ctx.exact[i])) == 0) return static_cast<int>(i);
-  }
-  return static_cast<int>(ctx.exact.size());
-}
+/// Shared DFS core over (placed-set, register-value) states.
+///
+/// kFindOne: stop at the first done-state; `order` (optional) accumulates
+/// the witness; failed states are memoized in ctx.seen.
+/// kEnumerateFinals: visit every reachable state (ctx.seen is a visited
+/// set), record the register value of every done-state in `out`, and keep
+/// exploring past done-states — pending writes may still be appended.
+enum class DfsMode { kFindOne, kEnumerateFinals };
 
-/// Core DFS.  `order` accumulates the witness; on failure the state is
-/// memoized in ctx.failed.
-bool dfs(SolveContext& ctx, std::uint64_t mask, Value value,
-         std::vector<int>& order) {
-  if (ctx.done(mask)) return true;
+template <DfsMode M>
+bool dfs(SolveContext& ctx, std::uint64_t mask, Value value, int exact_next,
+         std::vector<int>* order, std::set<Value>* out) {
   const SolveContext::Key key{mask, value};
-  if (ctx.failed.contains(key)) return false;
-
-  const int exact_next = ctx.mode == WriteOrderMode::kExact
-                             ? next_exact_index(ctx, mask)
-                             : -1;
-
-  for (int id = 0; id < ctx.n; ++id) {
-    const std::uint64_t bit = 1ULL << id;
-    if ((mask & bit) != 0 || (ctx.placeable_mask & bit) == 0) continue;
-    const OpRecord& op = ctx.h->op(id);
-
-    if (op.is_write() && ctx.mode == WriteOrderMode::kExact) {
-      // Only the next write of the exact order may be placed.
-      if (exact_next >= static_cast<int>(ctx.exact.size()) ||
-          ctx.exact[static_cast<std::size_t>(exact_next)] != id) {
-        continue;
-      }
-    }
-    if (op.is_read() && op.value != value) continue;
-
-    // Availability: no unplaced completed op strictly precedes `op`.
-    bool available = true;
-    std::uint64_t blockers = ctx.completed_mask & ~mask & ~bit;
-    while (blockers != 0) {
-      const int q = std::countr_zero(blockers);
-      blockers &= blockers - 1;
-      if (ctx.h->op(q).response < op.invoke) {
-        available = false;
-        break;
-      }
-    }
-    if (!available) continue;
-
-    order.push_back(id);
-    const Value next_value = op.is_write() ? op.value : value;
-    if (dfs(ctx, mask | bit, next_value, order)) return true;
-    order.pop_back();
+  if constexpr (M == DfsMode::kFindOne) {
+    if (ctx.done(mask)) return true;
+    if (ctx.seen.contains(key)) return false;
+  } else {
+    if (!ctx.seen.insert(key)) return false;
+    if (ctx.done(mask)) out->insert(value);
   }
 
-  ctx.failed.insert(key);
+  std::uint64_t cand = ctx.candidates(mask, value, exact_next);
+  while (cand != 0) {
+    const int id = std::countr_zero(cand);
+    cand &= cand - 1;
+    const bool is_write = ctx.view.is_write(id);
+    const Value next_value = is_write ? ctx.view.value(id) : value;
+    const int next_exact =
+        exact_next + (is_write && ctx.mode == WriteOrderMode::kExact ? 1 : 0);
+    if constexpr (M == DfsMode::kFindOne) {
+      if (order != nullptr) order->push_back(id);
+      if (dfs<M>(ctx, mask | (1ULL << id), next_value, next_exact, order,
+                 out)) {
+        return true;
+      }
+      if (order != nullptr) order->pop_back();
+    } else {
+      dfs<M>(ctx, mask | (1ULL << id), next_value, next_exact, order, out);
+    }
+  }
+
+  if constexpr (M == DfsMode::kFindOne) ctx.seen.insert(key);
   return false;
 }
 
-std::vector<Value> initial_values_of(const LinProblem& problem) {
-  if (problem.initial_values.has_value()) {
-    RLT_CHECK_MSG(!problem.initial_values->empty(),
-                  "initial_values must not be empty when supplied");
-    return *problem.initial_values;
-  }
-  const auto reg = single_register_of(*problem.history);
-  return {problem.history->initial(reg)};
+/// Allowed pre-history values of a built context, as a span (no copy).
+std::span<const Value> initials_of(const SolveContext& ctx) {
+  if (ctx.initials != nullptr) return {ctx.initials->data(),
+                                       ctx.initials->size()};
+  return {&ctx.single_initial, 1};
 }
 
 }  // namespace
@@ -175,16 +346,15 @@ LinSolution solve(const LinProblem& problem) {
   LinSolution out;
   if (!exact_order_covers_completed(ctx)) return out;
 
-  for (const Value init : initial_values_of(problem)) {
+  for (const Value init : initials_of(ctx)) {
     std::vector<int> order;
-    if (dfs(ctx, 0, init, order)) {
+    if (dfs<DfsMode::kFindOne>(ctx, 0, init, 0, &order, nullptr)) {
       out.ok = true;
       out.order = std::move(order);
       out.initial_used = init;
       out.final_value = init;
       for (const int id : out.order) {
-        const OpRecord& op = problem.history->op(id);
-        if (op.is_write()) out.final_value = op.value;
+        if (ctx.view.is_write(id)) out.final_value = ctx.view.value(id);
       }
       return out;
     }
@@ -192,57 +362,23 @@ LinSolution solve(const LinProblem& problem) {
   return out;
 }
 
-namespace {
-
-/// DFS that enumerates final values over all completions.  Uses a visited
-/// set (not a failure set): every reachable done-state contributes.
-void enumerate_finals(SolveContext& ctx, std::uint64_t mask, Value value,
-                      std::unordered_set<SolveContext::Key,
-                                         SolveContext::KeyHash>& visited,
-                      std::set<Value>& out) {
-  const SolveContext::Key key{mask, value};
-  if (!visited.insert(key).second) return;
-  if (ctx.done(mask)) out.insert(value);
-  // Keep exploring: pending writes may still be appended after done.
-  const int exact_next = ctx.mode == WriteOrderMode::kExact
-                             ? next_exact_index(ctx, mask)
-                             : -1;
-  for (int id = 0; id < ctx.n; ++id) {
-    const std::uint64_t bit = 1ULL << id;
-    if ((mask & bit) != 0 || (ctx.placeable_mask & bit) == 0) continue;
-    const OpRecord& op = ctx.h->op(id);
-    if (op.is_write() && ctx.mode == WriteOrderMode::kExact) {
-      if (exact_next >= static_cast<int>(ctx.exact.size()) ||
-          ctx.exact[static_cast<std::size_t>(exact_next)] != id) {
-        continue;
-      }
+bool feasible(const LinProblem& problem) {
+  SolveContext ctx = make_context(problem);
+  if (!exact_order_covers_completed(ctx)) return false;
+  for (const Value init : initials_of(ctx)) {
+    if (dfs<DfsMode::kFindOne>(ctx, 0, init, 0, nullptr, nullptr)) {
+      return true;
     }
-    if (op.is_read() && op.value != value) continue;
-    bool available = true;
-    std::uint64_t blockers = ctx.completed_mask & ~mask & ~bit;
-    while (blockers != 0) {
-      const int q = std::countr_zero(blockers);
-      blockers &= blockers - 1;
-      if (ctx.h->op(q).response < op.invoke) {
-        available = false;
-        break;
-      }
-    }
-    if (!available) continue;
-    const Value next_value = op.is_write() ? op.value : value;
-    enumerate_finals(ctx, mask | bit, next_value, visited, out);
   }
+  return false;
 }
-
-}  // namespace
 
 std::set<Value> feasible_final_values(const LinProblem& problem) {
   SolveContext ctx = make_context(problem);
   std::set<Value> out;
   if (!exact_order_covers_completed(ctx)) return out;
-  std::unordered_set<SolveContext::Key, SolveContext::KeyHash> visited;
-  for (const Value init : initial_values_of(problem)) {
-    enumerate_finals(ctx, 0, init, visited, out);
+  for (const Value init : initials_of(ctx)) {
+    (void)dfs<DfsMode::kEnumerateFinals>(ctx, 0, init, 0, nullptr, &out);
   }
   return out;
 }

@@ -24,6 +24,12 @@
 // operations per call; callers keep windows small (see
 // `feasible_final_values`, used by the simulator to collapse quiescent
 // history).
+//
+// Fast path: the context build precomputes per-op predecessor bitmasks,
+// so the availability rule above costs one AND per candidate per DFS
+// node, and groups placeable reads by returned value, so candidate
+// generation is a table lookup instead of an O(n) scan.  Both solvers
+// share one DFS core over (placed-set, register-value) states.
 #pragma once
 
 #include <optional>
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "checker/spec.hpp"
+#include "history/view.hpp"
 
 namespace rlt::checker {
 
@@ -51,6 +58,14 @@ struct LinProblem {
   /// Single-register history to linearize.
   const History* history = nullptr;
 
+  /// Event-prefix cutoff: the problem is over `history`'s prefix at this
+  /// time (ops invoked later are absent; ops responding later count as
+  /// pending).  The default — `kNoTime` — means the whole history.  This
+  /// is the zero-copy replacement for solving on `history->prefix_at(t)`:
+  /// op ids keep their base-history meaning (`exact_write_order`, the
+  /// witness order, ...), and nothing is copied.
+  Time cutoff = history::kNoTime;
+
   WriteOrderMode mode = WriteOrderMode::kFree;
 
   /// Used iff mode == kExact: op ids of all writes, in required order.
@@ -61,6 +76,17 @@ struct LinProblem {
   /// values here after collapsing a quiescent past whose final value the
   /// adversary has not yet been forced to reveal.
   std::optional<std::vector<Value>> initial_values;
+
+  /// Zero-copy what-if: treat this currently-pending op of the history as
+  /// completed at `response` (reads: returning `value`).  The on-line
+  /// models probe dozens of candidate responses per event; this overlay
+  /// replaces the copy-the-window-and-complete-the-op pattern.
+  struct Completion {
+    int op_id = -1;
+    Value value = 0;
+    Time response = history::kNoTime;
+  };
+  std::optional<Completion> completion;
 };
 
 /// Outcome of a solve.
@@ -78,6 +104,11 @@ struct LinSolution {
 /// Searches for a legal linearization.  Throws util::InvariantViolation if
 /// the history has more than 64 operations or mentions several registers.
 [[nodiscard]] LinSolution solve(const LinProblem& problem);
+
+/// solve(problem).ok without witness bookkeeping — the fast entry point
+/// for feasibility probes (tree checkers, on-line models) that never look
+/// at the order.
+[[nodiscard]] bool feasible(const LinProblem& problem);
 
 /// All values `v` such that some legal linearization (same constraints)
 /// ends with the register holding `v`.  Used by the simulator to collapse

@@ -80,11 +80,20 @@ bool is_prefix_of(const std::vector<int>& prefix,
 }
 
 history::RegisterId single_register_of(const History& h) {
-  const auto regs = h.registers();
-  RLT_CHECK_MSG(regs.size() <= 1,
-                "expected a single-register history, found "
-                    << regs.size() << " registers");
-  return regs.empty() ? 0 : regs.front();
+  // Allocation-free (this runs once per solver call): scan instead of
+  // materializing the register set.
+  bool seen = false;
+  history::RegisterId reg = 0;
+  for (const OpRecord& op : h.ops()) {
+    if (!seen) {
+      reg = op.reg;
+      seen = true;
+    } else {
+      RLT_CHECK_MSG(op.reg == reg,
+                    "expected a single-register history, found several");
+    }
+  }
+  return reg;
 }
 
 }  // namespace rlt::checker

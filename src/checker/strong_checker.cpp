@@ -1,10 +1,10 @@
 #include "checker/strong_checker.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "checker/tree_common.hpp"
+#include "history/view.hpp"
 #include "util/assert.hpp"
 
 namespace rlt::checker {
@@ -13,10 +13,10 @@ namespace {
 
 using detail::EventSig;
 using detail::for_each_ordered_selection;
-using detail::key_to_id_map;
 using detail::OpKey;
 using detail::prepare_run;
 using detail::PreparedRun;
+using history::HistoryView;
 
 struct StrongSearch {
   std::vector<PreparedRun> runs;
@@ -28,12 +28,13 @@ struct StrongSearch {
   /// Is `committed` a legal value of f(G) for the prefix of `run` with
   /// `nevents` events?  f(G) must contain all completed ops of G, only
   /// invoked ops, respect real time, and satisfy register semantics with
-  /// completed reads returning their actual values.
+  /// completed reads returning their actual values.  Validates against a
+  /// zero-copy prefix view — no History copy, no per-probe id-map
+  /// rebuild; ids below are base-history ids.
   bool valid(const PreparedRun& run, std::size_t nevents,
              const std::vector<OpKey>& committed, std::string* why) const {
     const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
-    const History prefix = run.h->prefix_at(t);
-    const std::map<OpKey, int> ids = key_to_id_map(prefix);
+    const HistoryView view(*run.h, t);
     const auto fail = [why](const std::string& reason) {
       if (why != nullptr) *why = reason;
       return false;
@@ -42,22 +43,22 @@ struct StrongSearch {
     std::vector<int> order;
     order.reserve(committed.size());
     for (const OpKey& key : committed) {
-      const auto it = ids.find(key);
-      if (it == ids.end()) {
+      const int id = run.id_of(key);
+      if (id < 0 || !view.included(id)) {
         std::ostringstream os;
         os << "committed op " << key << " not invoked in prefix";
         return fail(os.str());
       }
-      order.push_back(it->second);
+      order.push_back(id);
     }
     // All completed ops present?
     {
-      std::vector<bool> present(prefix.size(), false);
+      std::vector<bool> present(view.base_size(), false);
       for (const int id : order) present[static_cast<std::size_t>(id)] = true;
-      for (const OpRecord& op : prefix.ops()) {
-        if (!op.pending() && !present[static_cast<std::size_t>(op.id)]) {
+      for (int id = 0; id < static_cast<int>(view.base_size()); ++id) {
+        if (view.completed(id) && !present[static_cast<std::size_t>(id)]) {
           std::ostringstream os;
-          os << "completed op" << op.id << " missing from committed order";
+          os << "completed op" << id << " missing from committed order";
           return fail(os.str());
         }
       }
@@ -65,7 +66,7 @@ struct StrongSearch {
     // Real-time precedence.
     for (std::size_t i = 0; i < order.size(); ++i) {
       for (std::size_t j = i + 1; j < order.size(); ++j) {
-        if (prefix.op(order[j]).precedes(prefix.op(order[i]))) {
+        if (view.precedes(order[j], order[i])) {
           std::ostringstream os;
           os << "real-time violation between op" << order[j] << " and op"
              << order[i];
@@ -77,12 +78,11 @@ struct StrongSearch {
     // their invented (position-determined) value.
     Value value = initial;
     for (const int id : order) {
-      const OpRecord& op = prefix.op(id);
-      if (op.is_write()) {
-        value = op.value;
-      } else if (!op.pending() && op.value != value) {
+      if (view.is_write(id)) {
+        value = view.value(id);
+      } else if (view.completed(id) && view.value(id) != value) {
         std::ostringstream os;
-        os << "read op" << id << " returned " << op.value
+        os << "read op" << id << " returned " << view.value(id)
            << " but committed position implies " << value;
         return fail(os.str());
       }
@@ -170,10 +170,9 @@ bool StrongSearch::walk(const std::vector<int>& group, std::size_t depth,
     const PreparedRun& run = runs[static_cast<std::size_t>(idx)];
     if (run.events.size() <= depth) {
       std::vector<int> ids;
-      const std::map<OpKey, int> id_map = key_to_id_map(*run.h);
       for (const OpKey& key : committed) {
-        const auto it = id_map.find(key);
-        if (it != id_map.end()) ids.push_back(it->second);
+        const int id = run.id_of(key);
+        if (id >= 0) ids.push_back(id);
       }
       result_orders[static_cast<std::size_t>(run.input_index)] =
           std::move(ids);

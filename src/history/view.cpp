@@ -1,0 +1,25 @@
+#include "history/view.hpp"
+
+namespace rlt::history {
+
+std::size_t HistoryView::included_count() const {
+  std::size_t n = 0;
+  for (int id = 0; id < static_cast<int>(base_size()); ++id) {
+    if (included(id)) ++n;
+  }
+  return n;
+}
+
+std::size_t HistoryView::completed_count() const {
+  std::size_t n = 0;
+  for (int id = 0; id < static_cast<int>(base_size()); ++id) {
+    if (completed(id)) ++n;
+  }
+  return n;
+}
+
+History HistoryView::materialize() const {
+  return h_->prefix_at(cutoff_);
+}
+
+}  // namespace rlt::history

@@ -1,0 +1,88 @@
+// Zero-copy event-prefix views of a History.
+//
+// The tree checkers probe thousands of event-prefixes of the same run;
+// materializing each prefix with History::prefix_at copies every op and
+// re-densifies ids, forcing callers to rebuild id indices per probe.  A
+// HistoryView is a (base history, cutoff time) pair that exposes prefix
+// semantics — ops invoked after the cutoff are absent, ops responding
+// after the cutoff appear pending — without copying anything.  Crucially
+// the view keeps the BASE history's op ids, so per-op indices computed
+// once on the base (bitmasks, OpKey tables) stay valid for every prefix.
+#pragma once
+
+#include "history/history.hpp"
+
+namespace rlt::history {
+
+/// A read-only prefix view: the events of `base` with time <= `cutoff`.
+///
+/// The default cutoff `kNoTime` compares >= every real event time, so a
+/// cutoff-less view is simply the whole history.  Ids are base ids; an op
+/// excluded from the view (`!included(id)`) must not be interpreted.
+class HistoryView {
+ public:
+  HistoryView() = default;
+  explicit HistoryView(const History& h, Time cutoff = kNoTime)
+      : h_(&h), cutoff_(cutoff) {}
+
+  [[nodiscard]] const History& base() const noexcept { return *h_; }
+  [[nodiscard]] Time cutoff() const noexcept { return cutoff_; }
+
+  /// Size of the BASE id space (not the number of included ops).
+  [[nodiscard]] std::size_t base_size() const noexcept { return h_->size(); }
+
+  /// Is the op invoked within the view?
+  [[nodiscard]] bool included(int id) const {
+    return h_->op(id).invoke <= cutoff_;
+  }
+
+  /// Has the op responded within the view?  (A response after the cutoff
+  /// makes the op pending in the view.)
+  [[nodiscard]] bool completed(int id) const {
+    const OpRecord& op = h_->op(id);
+    return op.invoke <= cutoff_ && op.response != kNoTime &&
+           op.response <= cutoff_;
+  }
+
+  /// Response time within the view: kNoTime when pending in the view.
+  [[nodiscard]] Time response(int id) const {
+    return completed(id) ? h_->op(id).response : kNoTime;
+  }
+
+  [[nodiscard]] Time invoke(int id) const { return h_->op(id).invoke; }
+  [[nodiscard]] bool is_write(int id) const { return h_->op(id).is_write(); }
+  [[nodiscard]] bool is_read(int id) const { return h_->op(id).is_read(); }
+
+  /// Written value (writes, known from invocation) or returned value
+  /// (reads completed within the view).  A read pending in the view has
+  /// no value; callers must not ask for one.
+  [[nodiscard]] Value value(int id) const { return h_->op(id).value; }
+
+  /// Real-time precedence within the view (Definition 1 on the prefix):
+  /// `a` responds in the view before `b` is invoked.
+  [[nodiscard]] bool precedes(int a, int b) const {
+    return completed(a) && h_->op(a).response < h_->op(b).invoke;
+  }
+
+  [[nodiscard]] Value initial(RegisterId reg) const {
+    return h_->initial(reg);
+  }
+
+  /// Number of ops invoked within the view.
+  [[nodiscard]] std::size_t included_count() const;
+
+  /// Number of ops completed within the view.
+  [[nodiscard]] std::size_t completed_count() const;
+
+  /// Copies the view into a standalone History; op-for-op equal (modulo
+  /// id re-densification) to `base().prefix_at(cutoff())`.  Test /
+  /// diagnostic helper — the point of the view is NOT to do this on hot
+  /// paths.
+  [[nodiscard]] History materialize() const;
+
+ private:
+  const History* h_ = nullptr;
+  Time cutoff_ = kNoTime;
+};
+
+}  // namespace rlt::history

@@ -45,9 +45,7 @@ class LinearizableModel final : public WindowedModel {
                                    checker::WriteOrderMode::kFree, {})) {
         ResponseChoice c;
         c.value = v;
-        std::ostringstream label;
-        label << "read->" << v;
-        c.label = label.str();
+        c.label = "read->" + std::to_string(v);
         choices.push_back(std::move(c));
       }
     }

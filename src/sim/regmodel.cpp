@@ -51,7 +51,9 @@ Value WindowedModel::on_respond(int op_id, const ResponseChoice& choice,
   return op.is_write() ? op.value : choice.value;
 }
 
-std::vector<PendingOpInfo> WindowedModel::pending() const { return pending_; }
+const std::vector<PendingOpInfo>& WindowedModel::pending() const {
+  return pending_;
+}
 
 void WindowedModel::maybe_collapse() {
   if (!pending_.empty() || window_.empty()) return;
@@ -88,14 +90,15 @@ std::set<Value> WindowedModel::window_final_values(
 bool WindowedModel::feasible_with_completion(
     int window_id, Value read_value, Time now, checker::WriteOrderMode mode,
     const std::vector<int>& exact_window_order) const {
-  history::History copy = window_;
-  copy.complete_op(window_id, read_value, now);
+  // What-if probe via the solver's completion overlay: no window copy.
   checker::LinProblem problem;
-  problem.history = &copy;
+  problem.history = &window_;
   problem.mode = mode;
   problem.exact_write_order = exact_window_order;
   problem.initial_values = initial_values_;
-  return checker::solve(problem).ok;
+  problem.completion =
+      checker::LinProblem::Completion{window_id, read_value, now};
+  return checker::feasible(problem);
 }
 
 std::optional<Value> AtomicModel::on_invoke(int /*op_id*/, ProcessId /*p*/,

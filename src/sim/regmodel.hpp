@@ -70,7 +70,7 @@ class RegisterModel {
                            Time now) = 0;
 
   /// Pending operations on this register.
-  [[nodiscard]] virtual std::vector<PendingOpInfo> pending() const = 0;
+  [[nodiscard]] virtual const std::vector<PendingOpInfo>& pending() const = 0;
 
   /// Human-readable state dump for debugging and benchmarks.
   [[nodiscard]] virtual std::string describe() const = 0;
@@ -89,7 +89,7 @@ class WindowedModel : public RegisterModel {
                                  Value value, Time now) override;
   Value on_respond(int op_id, const ResponseChoice& choice,
                    Time now) override;
-  [[nodiscard]] std::vector<PendingOpInfo> pending() const override;
+  [[nodiscard]] const std::vector<PendingOpInfo>& pending() const override;
   void maybe_collapse() override;
 
   /// The set of values the register may hold before the current window
@@ -138,8 +138,9 @@ class AtomicModel final : public RegisterModel {
     return {};
   }
   Value on_respond(int, const ResponseChoice&, Time) override;
-  [[nodiscard]] std::vector<PendingOpInfo> pending() const override {
-    return {};
+  [[nodiscard]] const std::vector<PendingOpInfo>& pending() const override {
+    static const std::vector<PendingOpInfo> kNone;
+    return kNone;
   }
   [[nodiscard]] std::string describe() const override;
 

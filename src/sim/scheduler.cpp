@@ -71,9 +71,9 @@ RegisterModel& Scheduler::model(RegId reg) {
 std::vector<PendingOpInfo> Scheduler::pending_ops() const {
   std::vector<PendingOpInfo> out;
   for (const auto& [reg, model] : models_) {
-    for (PendingOpInfo info : model->pending()) {
-      info.reg = reg;
+    for (const PendingOpInfo& info : model->pending()) {
       out.push_back(info);
+      out.back().reg = reg;
     }
   }
   std::sort(out.begin(), out.end(),
@@ -86,7 +86,24 @@ std::vector<PendingOpInfo> Scheduler::pending_ops() const {
 std::vector<ResponseChoice> Scheduler::choices_for(int op_id) {
   const auto it = op_reg_.find(op_id);
   RLT_CHECK_MSG(it != op_reg_.end(), "op " << op_id << " is not pending");
-  return model(it->second).response_choices(op_id, clock_ + 1);
+  auto cached = choice_cache_.find(op_id);
+  if (cached == choice_cache_.end()) {
+    cached = choice_cache_
+                 .emplace(op_id,
+                          model(it->second).response_choices(op_id, clock_ + 1))
+                 .first;
+  }
+  return cached->second;
+}
+
+void Scheduler::invalidate_choices(RegId reg) {
+  for (auto it = choice_cache_.begin(); it != choice_cache_.end();) {
+    if (op_reg_.at(it->first) == reg) {
+      it = choice_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<Action> Scheduler::enabled_actions() {
@@ -151,6 +168,9 @@ void Scheduler::step_process(ProcessId p) {
         op_reg_[h.op_id] = reg;
         proc.blocked = true;
       }
+      // The model's state changed; cached menus for this register are
+      // stale.
+      invalidate_choices(reg);
       break;
     }
   }
@@ -165,8 +185,10 @@ void Scheduler::respond_op(int op_id, const ResponseChoice& choice) {
   const Time t = tick();
   const Value result = model(reg).on_respond(op_id, choice, t);
   recorder_.end_op(history::OpHandle{op_id}, result, t);
+  choice_cache_.erase(op_id);
   op_reg_.erase(op_id);
   op_owner_.erase(op_id);
+  invalidate_choices(reg);
 
   Proc& proc = *procs_.at(static_cast<std::size_t>(p));
   RLT_CHECK_MSG(proc.blocked, "responding to op of non-blocked process");

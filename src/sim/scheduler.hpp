@@ -161,6 +161,14 @@ class Scheduler {
 
   /// Response choices for a pending op (targeted query for scripted
   /// adversaries; cheaper than enumerating everything).
+  ///
+  /// Menus are cached between register-state changes: a model's choice
+  /// menu must be a function of its own state (window, commitments,
+  /// pre-window values) — the `now` passed to `response_choices` only
+  /// names the hypothetical response time, which is later than every
+  /// recorded event either way, so it cannot change the menu.  The cache
+  /// is invalidated whenever the register's model mutates (invoke,
+  /// respond, collapse).
   [[nodiscard]] std::vector<ResponseChoice> choices_for(int op_id);
 
   /// All enabled actions (steps of runnable processes + every response
@@ -194,6 +202,8 @@ class Scheduler {
   Time tick() noexcept { return ++clock_; }
   void step_process(ProcessId p);
   void respond_op(int op_id, const ResponseChoice& choice);
+  /// Drops cached choice menus of every pending op on `reg`.
+  void invalidate_choices(RegId reg);
 
   util::Rng rng_;
   Time clock_ = 0;
@@ -202,6 +212,8 @@ class Scheduler {
   std::map<RegId, std::unique_ptr<RegisterModel>> models_;
   std::map<int, ProcessId> op_owner_;  ///< pending op -> process
   std::map<int, RegId> op_reg_;        ///< pending op -> register
+  /// Cached response-choice menus per pending op (see choices_for).
+  std::map<int, std::vector<ResponseChoice>> choice_cache_;
   history::Recorder recorder_;
   std::vector<CoinRecord> coins_;
 };

@@ -88,9 +88,8 @@ class WslModel final : public WindowedModel {
           ResponseChoice c;
           c.value = v;
           c.commit_extension = to_global(s);
-          std::ostringstream label;
-          label << "read->" << v << (s.empty() ? "" : " commit" + render(s));
-          c.label = label.str();
+          c.label = "read->" + std::to_string(v) +
+                    (s.empty() ? "" : " commit" + render(s));
           choices.push_back(std::move(c));
         }
       }
@@ -173,33 +172,36 @@ class WslModel final : public WindowedModel {
   }
 
   [[nodiscard]] std::string render(const std::vector<int>& wids) const {
-    std::ostringstream os;
-    os << '[';
+    std::string out = "[";
     for (std::size_t i = 0; i < wids.size(); ++i) {
-      os << (i == 0 ? "" : ",") << 'w' << global_id_of(wids[i]);
+      if (i != 0) out += ',';
+      out += 'w';
+      out += std::to_string(global_id_of(wids[i]));
     }
-    os << ']';
-    return os.str();
+    out += ']';
+    return out;
   }
 
   /// Enumerates every non-empty ordered selection of `candidates`.
-  static void for_each_selection(
-      const std::vector<int>& candidates,
-      const std::function<void(const std::vector<int>&)>& fn) {
+  /// Statically dispatched: this is the factorial part of the menu build.
+  template <typename Fn>
+  static void for_each_selection(const std::vector<int>& candidates,
+                                 const Fn& fn) {
     std::vector<int> current;
-    std::vector<bool> used(candidates.size(), false);
-    const std::function<void()> rec = [&]() {
+    current.reserve(candidates.size());
+    std::uint64_t used = 0;
+    const auto rec = [&](const auto& self) -> void {
       if (!current.empty()) fn(current);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (used[i]) continue;
-        used[i] = true;
+        if ((used & (1ULL << i)) != 0) continue;
+        used |= 1ULL << i;
         current.push_back(candidates[i]);
-        rec();
+        self(self);
         current.pop_back();
-        used[i] = false;
+        used &= ~(1ULL << i);
       }
     };
-    rec();
+    rec(rec);
   }
 
   std::vector<int> committed_;  ///< window ids, committed order

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -82,13 +83,19 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
   {
     WorkStealingPool pool(o.threads);
     std::atomic<std::uint64_t> completed{0};
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      pool.submit([&scenarios, &results, &completed, progress_every, i] {
-        results[i] = run_scenario(scenarios[i]);
-        const std::uint64_t done =
-            completed.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (progress_every > 0 && done % progress_every == 0) {
-          std::cerr << "[sweep] " << done << " scenarios done\n";
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, o.batch_size));
+    for (std::size_t begin = 0; begin < scenarios.size(); begin += batch) {
+      const std::size_t end = std::min(begin + batch, scenarios.size());
+      pool.submit([&scenarios, &results, &completed, progress_every, begin,
+                   end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = run_scenario(scenarios[i]);
+          const std::uint64_t done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (progress_every > 0 && done % progress_every == 0) {
+            std::cerr << "[sweep] " << done << " scenarios done\n";
+          }
         }
       });
     }

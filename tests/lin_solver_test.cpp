@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "checker/lin_solver.hpp"
+#include "history/view.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -392,6 +394,283 @@ TEST(LinSolver, WitnessIsAlwaysLegal) {
   const LinSolution s = solve_free(h);
   ASSERT_TRUE(s.ok);
   EXPECT_TRUE(is_legal_sequential(h, s.order).ok);
+}
+
+// ---------- brute-force oracles for the optimized fast path ----------
+//
+// The oracles below enumerate candidate linearizations explicitly and
+// validate each with `is_legal_sequential` / `writes_of` — definitional
+// code, independent of the solver's bitmask machinery.  Enumeration is
+// factorial, so oracle comparisons are skipped (and counted) when a
+// trial's candidate set is too large to enumerate; the tests assert that
+// enough trials were actually compared.
+
+constexpr std::size_t kMaxOraclePermutationBase = 8;  // 8! = 40320
+
+/// All legal candidate orders under kFree constraints, streamed to `fn`
+/// (which may stop the enumeration by returning false).  Returns false
+/// if the instance is too large to enumerate.
+template <typename Fn>
+bool enumerate_free_linearizations(const History& h, const Fn& fn) {
+  std::vector<int> mandatory;
+  std::vector<int> pending_writes;
+  for (const OpRecord& op : h.ops()) {
+    if (!op.pending()) {
+      mandatory.push_back(op.id);
+    } else if (op.is_write()) {
+      pending_writes.push_back(op.id);
+    }
+  }
+  if (mandatory.size() + pending_writes.size() > kMaxOraclePermutationBase) {
+    return false;
+  }
+  const std::size_t subsets = std::size_t{1} << pending_writes.size();
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<int> candidate = mandatory;
+    for (std::size_t b = 0; b < pending_writes.size(); ++b) {
+      if (mask & (std::size_t{1} << b)) candidate.push_back(pending_writes[b]);
+    }
+    std::sort(candidate.begin(), candidate.end());
+    do {
+      if (is_legal_sequential(h, candidate).ok) {
+        if (!fn(candidate)) return true;
+      }
+    } while (std::next_permutation(candidate.begin(), candidate.end()));
+  }
+  return true;
+}
+
+/// Oracle verdict for kExact mode: some permutation of (completed ops +
+/// the listed pending writes) is legal AND has exactly `exact` as its
+/// write subsequence.  Returns nullopt when too large to enumerate.
+std::optional<bool> oracle_exact(const History& h,
+                                 const std::vector<int>& exact) {
+  std::vector<int> candidate;
+  std::vector<bool> listed(h.size(), false);
+  for (const int id : exact) listed[static_cast<std::size_t>(id)] = true;
+  for (const OpRecord& op : h.ops()) {
+    if (!op.pending()) {
+      // A completed write outside the list can never be covered.
+      if (op.is_write() && !listed[static_cast<std::size_t>(op.id)]) {
+        return false;
+      }
+      candidate.push_back(op.id);
+    } else if (op.is_write() && listed[static_cast<std::size_t>(op.id)]) {
+      candidate.push_back(op.id);
+    }
+  }
+  if (candidate.size() > kMaxOraclePermutationBase) return std::nullopt;
+  std::sort(candidate.begin(), candidate.end());
+  do {
+    if (writes_of(h, candidate) == exact &&
+        is_legal_sequential(h, candidate).ok) {
+      return true;
+    }
+  } while (std::next_permutation(candidate.begin(), candidate.end()));
+  return false;
+}
+
+Value final_value_of(const History& h, const std::vector<int>& order) {
+  Value v = h.initial(0);
+  for (const int id : order) {
+    if (h.op(id).is_write()) v = h.op(id).value;
+  }
+  return v;
+}
+
+/// Random permutation of a random subset of `h`'s writes — an exact-order
+/// constraint that is sometimes satisfiable, sometimes not.
+std::vector<int> random_exact_order(util::Rng& rng, const History& h) {
+  std::vector<int> writes;
+  for (const OpRecord& op : h.ops()) {
+    if (op.is_write()) writes.push_back(op.id);
+  }
+  // Shuffle, then keep a random-length prefix.
+  for (std::size_t i = writes.size(); i > 1; --i) {
+    std::swap(writes[i - 1], writes[rng.uniform(i)]);
+  }
+  writes.resize(rng.uniform(writes.size() + 1));
+  return writes;
+}
+
+TEST(LinSolverOracle, ExactModeAgreesWithBruteForce) {
+  util::Rng rng(424242);
+  int feasible_count = 0, infeasible_count = 0, skipped = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/12);
+    LinProblem p;
+    p.history = &h;
+    p.mode = WriteOrderMode::kExact;
+    p.exact_write_order = random_exact_order(rng, h);
+    const std::optional<bool> expected = oracle_exact(h, p.exact_write_order);
+    if (!expected.has_value()) {
+      ++skipped;
+      continue;
+    }
+    const LinSolution got = solve(p);
+    ASSERT_EQ(got.ok, *expected)
+        << "kExact disagreement on trial " << trial << ":\n" << h.to_string();
+    EXPECT_EQ(feasible(p), *expected) << "feasible() out of sync with solve()";
+    if (*expected) {
+      ++feasible_count;
+      EXPECT_TRUE(is_legal_sequential(h, got.order).ok);
+      EXPECT_EQ(writes_of(h, got.order), p.exact_write_order)
+          << "witness write subsequence differs from the exact order";
+    } else {
+      ++infeasible_count;
+    }
+  }
+  EXPECT_GE(feasible_count, 40);
+  EXPECT_GE(infeasible_count, 40);
+  EXPECT_LT(skipped, 200);
+}
+
+TEST(LinSolverOracle, FinalValuesAgreeWithBruteForceFreeMode) {
+  util::Rng rng(31337);
+  int compared = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/12);
+    std::set<Value> expected;
+    const bool enumerated = enumerate_free_linearizations(
+        h, [&](const std::vector<int>& order) {
+          expected.insert(final_value_of(h, order));
+          return true;  // keep enumerating
+        });
+    if (!enumerated) continue;
+    ++compared;
+    LinProblem p;
+    p.history = &h;
+    EXPECT_EQ(feasible_final_values(p), expected)
+        << "kFree finals disagreement on trial " << trial << ":\n"
+        << h.to_string();
+  }
+  EXPECT_GE(compared, 100);
+}
+
+TEST(LinSolverOracle, FinalValuesAgreeWithBruteForceExactMode) {
+  util::Rng rng(77777);
+  int compared = 0, nonempty = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/10);
+    const std::vector<int> exact = random_exact_order(rng, h);
+    // Candidate set is fixed in kExact mode: completed ops + listed
+    // pending writes, and the write subsequence must equal `exact`.
+    std::vector<bool> listed(h.size(), false);
+    for (const int id : exact) listed[static_cast<std::size_t>(id)] = true;
+    std::vector<int> candidate;
+    bool covered = true;
+    for (const OpRecord& op : h.ops()) {
+      if (!op.pending()) {
+        if (op.is_write() && !listed[static_cast<std::size_t>(op.id)]) {
+          covered = false;
+        }
+        candidate.push_back(op.id);
+      } else if (op.is_write() && listed[static_cast<std::size_t>(op.id)]) {
+        candidate.push_back(op.id);
+      }
+    }
+    if (candidate.size() > kMaxOraclePermutationBase) continue;
+    std::set<Value> expected;
+    if (covered) {
+      std::sort(candidate.begin(), candidate.end());
+      do {
+        if (writes_of(h, candidate) == exact &&
+            is_legal_sequential(h, candidate).ok) {
+          expected.insert(final_value_of(h, candidate));
+        }
+      } while (std::next_permutation(candidate.begin(), candidate.end()));
+    }
+    ++compared;
+    if (!expected.empty()) ++nonempty;
+    LinProblem p;
+    p.history = &h;
+    p.mode = WriteOrderMode::kExact;
+    p.exact_write_order = exact;
+    EXPECT_EQ(feasible_final_values(p), expected)
+        << "kExact finals disagreement on trial " << trial << ":\n"
+        << h.to_string();
+  }
+  EXPECT_GE(compared, 100);
+  EXPECT_GE(nonempty, 30);
+}
+
+// ---------- zero-copy prefix views and completion overlays ----------
+
+TEST(LinSolverView, CutoffMatchesMaterializedPrefix) {
+  // Solving with a cutoff must agree with solving the copied prefix, for
+  // every event time of random histories, in both modes.  (The copied
+  // prefix re-densifies ids, so only verdicts and final-value SETS are
+  // comparable, which is exactly what the fast path must preserve.)
+  util::Rng rng(5150);
+  int prefixes = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/12);
+    for (const history::Event& ev : h.events()) {
+      const History copied = h.prefix_at(ev.time);
+      LinProblem view_p;
+      view_p.history = &h;
+      view_p.cutoff = ev.time;
+      LinProblem copy_p;
+      copy_p.history = &copied;
+      ASSERT_EQ(feasible(view_p), feasible(copy_p))
+          << "view/copy verdict mismatch at t=" << ev.time << ":\n"
+          << h.to_string();
+      ASSERT_EQ(feasible_final_values(view_p), feasible_final_values(copy_p))
+          << "view/copy finals mismatch at t=" << ev.time << ":\n"
+          << h.to_string();
+      ++prefixes;
+    }
+  }
+  EXPECT_GE(prefixes, 300);
+}
+
+TEST(LinSolverView, CompletionOverlayMatchesCopyAndComplete) {
+  // The zero-copy what-if (LinProblem::completion) must agree with
+  // copying the history and completing the op for real.
+  util::Rng rng(8086);
+  int probes = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/10);
+    Time max_time = 0;
+    for (const OpRecord& op : h.ops()) {
+      max_time = std::max(max_time, op.invoke);
+      if (!op.pending()) max_time = std::max(max_time, op.response);
+    }
+    for (const OpRecord& op : h.ops()) {
+      if (!op.pending()) continue;
+      const Value v = static_cast<Value>(rng.uniform(3));
+      History copied = h;
+      copied.complete_op(op.id, v, max_time + 1);
+      LinProblem overlay_p;
+      overlay_p.history = &h;
+      overlay_p.completion = LinProblem::Completion{op.id, v, max_time + 1};
+      LinProblem copy_p;
+      copy_p.history = &copied;
+      ASSERT_EQ(feasible(overlay_p), feasible(copy_p))
+          << "overlay mismatch completing op" << op.id << " with " << v
+          << ":\n" << h.to_string();
+      ++probes;
+    }
+  }
+  EXPECT_GE(probes, 150);
+}
+
+TEST(LinSolverView, HistoryViewMatchesPrefixSemantics) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/12);
+    for (const history::Event& ev : h.events()) {
+      const history::HistoryView view(h, ev.time);
+      const History copied = h.prefix_at(ev.time);
+      EXPECT_EQ(view.included_count(), copied.size());
+      EXPECT_EQ(view.completed_count(), copied.completed_count());
+      EXPECT_EQ(view.materialize(), copied);
+    }
+    // A cutoff-less view is the whole history.
+    const history::HistoryView whole(h);
+    EXPECT_EQ(whole.included_count(), h.size());
+    EXPECT_EQ(whole.completed_count(), h.completed_count());
+  }
 }
 
 }  // namespace

@@ -230,5 +230,37 @@ TEST(Sweep, DigestDependsOnTheSeedRange) {
   EXPECT_NE(run_sweep(a).digest, run_sweep(b).digest);
 }
 
+TEST(Sweep, DigestIsIndependentOfBatchSize) {
+  // Batching seeds per pool task is a submit-overhead knob only: the
+  // whole deterministic section must be byte-identical at every batch
+  // size, including the degenerate one-scenario-per-task shape.
+  SweepOptions one = small_sweep(4);
+  one.batch_size = 1;
+  SweepOptions sixteen = small_sweep(4);
+  sixteen.batch_size = 16;
+  SweepOptions huge = small_sweep(4);
+  huge.batch_size = 1'000'000;  // single task carries the whole sweep
+  const std::string a = run_sweep(one).stable_text();
+  EXPECT_EQ(a, run_sweep(sixteen).stable_text());
+  EXPECT_EQ(a, run_sweep(huge).stable_text());
+}
+
+TEST(Sweep, DigestMatchesThePr1Baseline) {
+  // Pinned regression digest, recorded from the PR 1 checker/engine on
+  // this exact configuration (sweep_main --processes 3 --seeds 0:50
+  // --threads 4).  A change here means scenario BEHAVIOUR changed — a
+  // simulator, register-algorithm, or checker semantic difference — not
+  // just a performance difference; bump it only with an explanation.
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 50;
+  o.process_counts = {3};
+  o.threads = 4;
+  const SweepSummary sum = run_sweep(o);
+  EXPECT_EQ(sum.scenarios, 600u);
+  EXPECT_EQ(sum.ok, 600u);
+  EXPECT_EQ(sum.digest, 0x74043e05615bfe8fULL);
+}
+
 }  // namespace
 }  // namespace rlt::sweep

@@ -1,0 +1,162 @@
+// The WSL checker's memo cache must be a pure accelerator: verdicts,
+// write orders, and failure classification are identical with the cache
+// force-disabled vs enabled, on the fig3-style (Algorithm 2 runs) and
+// fig4-style (Algorithm 4 branching trees) suites.  The cache's job is
+// only to make solver_calls drop — which is asserted too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "checker/wsl_checker.hpp"
+#include "history/history.hpp"
+#include "registers/alg2_register.hpp"
+#include "registers/alg4_register.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rlt {
+namespace {
+
+using history::History;
+
+// ---- run generators ------------------------------------------------------
+
+sim::Task alg2_writer(sim::Proc& p, registers::SimAlg2Register& r, int slot,
+                      int writes) {
+  for (int i = 0; i < writes; ++i) {
+    co_await r.write(p, slot, 100 * (slot + 1) + i);
+  }
+  (void)co_await r.read(p);
+}
+
+/// Fig3-style workload: concurrent multi-writer runs of Algorithm 2
+/// (write strongly linearizable by Theorem 10) under a random schedule.
+History alg2_history(std::uint64_t seed, int writers, int writes) {
+  sim::Scheduler sched(seed);
+  registers::SimAlg2Register reg(sched, writers, 100, 0);
+  for (int w = 0; w < writers; ++w) {
+    sched.add_process("w", [&reg, w, writes](sim::Proc& p) {
+      return alg2_writer(p, reg, w, writes);
+    });
+  }
+  sim::RandomAdversary adv(seed * 31 + 5);
+  sched.run(adv, 1000000);
+  return reg.hl_history();
+}
+
+sim::Task alg4_writer(sim::Proc& p, registers::SimAlg4Register& r, int slot,
+                      history::Value v) {
+  co_await r.write(p, slot, v);
+}
+
+sim::Task alg4_write_then_read(sim::Proc& p, registers::SimAlg4Register& r,
+                               int slot, history::Value v, bool do_write) {
+  if (do_write) co_await r.write(p, slot, v);
+  (void)co_await r.read(p);
+}
+
+/// The two branching histories of Figure 4 (Theorem 13) — the suite where
+/// the checker must answer "no" and the memo must not change that.
+History fig4_history(bool h2) {
+  sim::Scheduler sched(1);
+  auto reg = std::make_unique<registers::SimAlg4Register>(sched, 3, 100, 0);
+  sched.add_process("p0", [&r = *reg](sim::Proc& p) {
+    return alg4_writer(p, r, 0, 10);
+  });
+  sched.add_process("p1", [&r = *reg](sim::Proc& p) {
+    return alg4_writer(p, r, 1, 20);
+  });
+  sched.add_process("p2", [&r = *reg, h2](sim::Proc& p) {
+    return alg4_write_then_read(p, r, 2, 30, h2);
+  });
+  std::vector<sim::ProcessId> steps = {0, 0, 1, 1, 1, 1, 1};
+  if (!h2) {
+    steps.insert(steps.end(), {0, 0, 0, 2, 2, 2, 2});
+  } else {
+    steps.insert(steps.end(), {2, 2, 2, 2, 0, 0, 0, 2, 2, 2, 2});
+  }
+  sim::FixedStepAdversary adv(steps);
+  sched.run(adv, 1000);
+  return reg->hl_history();
+}
+
+// ---- equivalence harness -------------------------------------------------
+
+/// Runs the checker with the memo on and off and asserts everything the
+/// caller can observe (except counters) is identical.  Returns the pair
+/// of results for counter assertions.
+std::pair<checker::WslCheckResult, checker::WslCheckResult> check_both(
+    const std::vector<History>& runs) {
+  checker::WslCheckResult on =
+      checker::check_write_strong_linearizable(runs, {.memoize = true});
+  checker::WslCheckResult off =
+      checker::check_write_strong_linearizable(runs, {.memoize = false});
+  EXPECT_EQ(on.ok, off.ok);
+  EXPECT_EQ(on.write_orders, off.write_orders);
+  EXPECT_EQ(off.cache_hits, 0u) << "disabled cache must never hit";
+  EXPECT_EQ(on.solver_calls, on.cache_misses)
+      << "with the memo on, every miss is exactly one solver call";
+  EXPECT_LE(on.solver_calls, off.solver_calls)
+      << "the memo must never ADD solver work";
+  return {std::move(on), std::move(off)};
+}
+
+TEST(WslCache, Fig3SuiteVerdictsAndOrdersMatch) {
+  std::size_t hits = 0;
+  std::size_t calls_on = 0, calls_off = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const History h = alg2_history(seed, /*writers=*/3, /*writes=*/2);
+    const auto [on, off] = check_both({h});
+    EXPECT_TRUE(on.ok) << "Algorithm 2 run must be WSL (Theorem 10), seed "
+                       << seed;
+    hits += on.cache_hits;
+    calls_on += on.solver_calls;
+    calls_off += off.solver_calls;
+  }
+  // The acceptance bar: the memo measurably reduces solver calls across
+  // the fig3-style suite, and actually gets exercised.
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(calls_on, calls_off);
+}
+
+TEST(WslCache, Fig4BranchingSuiteMatchesIncludingFailure) {
+  const History h1 = fig4_history(false);
+  const History h2 = fig4_history(true);
+  // Single runs: WSL-ok.
+  (void)check_both({h1});
+  (void)check_both({h2});
+  // The branching set: not WSL (Theorem 13); the memo must preserve the
+  // failure verdict and classification.
+  const auto [on, off] = check_both({h1, h2});
+  EXPECT_FALSE(on.ok);
+  EXPECT_NE(on.explanation.find("no write strong-linearization"),
+            std::string::npos);
+  EXPECT_NE(off.explanation.find("no write strong-linearization"),
+            std::string::npos);
+}
+
+TEST(WslCache, ExtendedRunsShareThePrefixTreeSafely) {
+  // A run plus a strict prefix-extension of it: the prefix-tree memo key
+  // must identify their shared nodes without conflating the divergence.
+  const History h = alg2_history(7, /*writers=*/3, /*writes=*/2);
+  std::vector<History> runs;
+  runs.push_back(h.prefix_at(h.events().at(h.events().size() / 2).time));
+  runs.push_back(h);
+  const auto [on, off] = check_both(runs);
+  EXPECT_TRUE(on.ok);
+}
+
+TEST(WslCache, CountersAreConsistent) {
+  const History h = alg2_history(3, /*writers=*/4, /*writes=*/2);
+  const auto on =
+      checker::check_write_strong_linearizable(h, {.memoize = true});
+  EXPECT_EQ(on.solver_calls, on.cache_misses);
+  const auto off =
+      checker::check_write_strong_linearizable(h, {.memoize = false});
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_EQ(off.solver_calls, off.cache_misses);
+}
+
+}  // namespace
+}  // namespace rlt

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs the checker/sweep perf benches and writes one merged JSON snapshot
+# (BENCH_checker.json) — the tracked bench baseline.  Intended use:
+#
+#   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+#   cmake --build build-bench -j
+#   tools/bench_baseline.sh build-bench BENCH_checker.json
+#
+# Both arguments are optional (default: build/ and BENCH_checker.json).
+# Each bench runs with --benchmark_format=json; the per-bench documents
+# are merged under their bench name, plus a metadata header.  Compare two
+# snapshots with e.g.:
+#
+#   python3 - old.json new.json <<'EOF'
+#   import json, sys
+#   old, new = (json.load(open(p)) for p in sys.argv[1:3])
+#   for name in old["benches"]:
+#       o = {b["name"]: b["real_time"] for b in old["benches"][name]["benchmarks"]}
+#       n = {b["name"]: b["real_time"] for b in new["benches"][name]["benchmarks"]}
+#       for k in sorted(o.keys() & n.keys()):
+#           print(f"{k}: {o[k]:.0f} -> {n[k]:.0f} ns ({o[k]/max(n[k],1e-9):.2f}x)")
+#   EOF
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_checker.json}"
+BENCHES=(perf_wsl perf_sweep perf_checker)
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "bench_baseline: build dir '${BUILD_DIR}' not found" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+ran=()
+for bench in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/bench/bench_${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    # Google Benchmark not installed: CMake skipped these targets.
+    echo "bench_baseline: skipping ${bench} (missing ${bin})" >&2
+    continue
+  fi
+  echo "bench_baseline: running ${bench}..." >&2
+  "${bin}" --benchmark_format=json \
+           --benchmark_out="${tmpdir}/${bench}.json" \
+           --benchmark_out_format=json > /dev/null
+  ran+=("${bench}")
+done
+
+if [[ "${#ran[@]}" -eq 0 ]]; then
+  echo "bench_baseline: no benches available; nothing written" >&2
+  exit 1
+fi
+
+python3 - "${OUT}" "${tmpdir}" "${ran[@]}" <<'EOF'
+import json, subprocess, sys
+
+out, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+try:
+    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                            capture_output=True, text=True,
+                            check=False).stdout.strip()
+except OSError:
+    commit = ""
+doc = {"commit": commit, "benches": {}}
+for name in benches:
+    with open(f"{tmpdir}/{name}.json") as f:
+        doc["benches"][name] = json.load(f)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"bench_baseline: wrote {out} ({len(benches)} benches)")
+EOF

@@ -44,6 +44,8 @@ using rlt::sweep::SweepSummary;
       "(default: 0:10)\n"
       "  --writes N          writes per writer role (default: 2)\n"
       "  --threads N         pool worker threads (default: 1)\n"
+      "  --batch N           scenarios per pool task (default: 16; the\n"
+      "                      digest does not depend on this)\n"
       "  --max-actions N     per-scenario action budget (default: 1000000)\n"
       "  --progress N        progress line every N scenarios (default: off)\n"
       "  --list              print the scenario keys and exit\n"
@@ -188,6 +190,11 @@ int main(int argc, char** argv) {
       opts.threads = static_cast<int>(parse_u64("--threads", next()));
       if (opts.threads < 1 || opts.threads > 1024) {
         bad_value("--threads", args[i]);
+      }
+    } else if (a == "--batch") {
+      opts.batch_size = static_cast<int>(parse_u64("--batch", next()));
+      if (opts.batch_size < 1 || opts.batch_size > 1'000'000) {
+        bad_value("--batch", args[i]);
       }
     } else if (a == "--max-actions") {
       opts.max_actions_per_scenario = parse_u64("--max-actions", next());
