@@ -172,4 +172,17 @@ int AbdRegister::pending_ops() const {
   return pending;
 }
 
+NodeId AbdRegister::op_node(int token) const {
+  const auto it = ops_.find(token);
+  RLT_CHECK(it != ops_.end());
+  return it->second.home;
+}
+
+bool AbdRegister::op_can_complete(int token) const {
+  const auto it = ops_.find(token);
+  RLT_CHECK(it != ops_.end());
+  if (it->second.completed) return true;
+  return !net_.crashed(it->second.home) && net_.live_count() >= quorum();
+}
+
 }  // namespace rlt::mp

@@ -67,6 +67,18 @@ class AbdRegister {
   /// Number of operations still in flight.
   [[nodiscard]] int pending_ops() const;
 
+  /// The node an operation runs on (the writer for writes, the reader
+  /// for reads).
+  [[nodiscard]] NodeId op_node(int token) const;
+
+  /// Liveness of one operation under the network's current crash set:
+  /// true iff the op is completed, or can still be driven to completion
+  /// by some delivery schedule (its home node is alive and a majority of
+  /// servers is alive — crashed servers never reply, so a pending op
+  /// whose live-server count is below the quorum is stranded forever).
+  /// Sweep drivers use this to classify quiescent runs as blocked.
+  [[nodiscard]] bool op_can_complete(int token) const;
+
   /// The recorded high-level history (register id 0; times are the
   /// driver's logical clock: one tick per delivery or op begin).
   [[nodiscard]] const history::History& hl_history() const {

@@ -112,6 +112,11 @@ class Network {
     for (const bool b : crashed_) c += b ? 1 : 0;
     return c;
   }
+  /// Nodes still alive — the population quorum-based protocols can draw
+  /// replies from (crashed nodes consume requests without answering).
+  [[nodiscard]] int live_count() const {
+    return node_count() - crashed_count();
+  }
 
  private:
   [[nodiscard]] bool valid(NodeId n) const noexcept {

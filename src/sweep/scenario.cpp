@@ -1,5 +1,6 @@
 #include "sweep/scenario.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <exception>
@@ -59,7 +60,11 @@ std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
 }
 
 /// Applies the checks the scenario's semantics promise, on the
-/// single-register high-level history `h`.
+/// single-register high-level history `h`.  Pending ops are fine: the
+/// solver includes pending writes as possibly-effective and never
+/// includes pending reads (lin_solver.hpp), so a history cut short by a
+/// crash or a budget is checked on its completed prefix with the
+/// stranded ops as overlays.
 void check_history(const History& h, bool expect_wsl, ScenarioResult& out) {
   const checker::LinCheckResult lin = checker::check_linearizable(h);
   if (!lin.ok) {
@@ -85,12 +90,11 @@ void finish_sim(sim::Scheduler& sched, sim::RunOutcome outcome,
   out.steps = sched.actions_applied();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
-  if (outcome != sim::RunOutcome::kAllDone) {
-    out.verdict = Verdict::kError;
-    out.detail = std::string("run ended early: ") + sim::to_string(outcome);
-    return;
-  }
-  check_history(h, expect_wsl, out);
+  const bool done = outcome == sim::RunOutcome::kAllDone;
+  classify_run(h, expect_wsl, done ? RunEnd::kCompleted : RunEnd::kBudget,
+               done ? std::string()
+                    : std::string("run ended early: ") + sim::to_string(outcome),
+               out);
 }
 
 void run_modeled(const Scenario& s, ScenarioResult& out) {
@@ -128,13 +132,68 @@ void run_implemented(const Scenario& s, bool expect_wsl,
   finish_sim(sched, outcome, reg.hl_history(), expect_wsl, out);
 }
 
+/// A node's crash moment, decided up front from the scenario's CrashPlan.
+struct PlannedCrash {
+  std::uint64_t at = 0;   ///< Driver iteration at which the node dies.
+  mp::NodeId victim = -1;
+};
+
+/// Expands a CrashPlan into concrete (time, victim) pairs.  Crash count
+/// is a strict minority (1..⌊(n-1)/2⌋, so a write/read quorum of live
+/// servers always remains), victims are distinct, and times are spread
+/// over a horizon sized to the crash-free run length — some schedules
+/// crash mid-protocol, some only after everything finished (degenerating
+/// to a crash-free run).  Purely a function of (scenario, plan).
+std::vector<PlannedCrash> plan_crashes(const Scenario& s) {
+  std::vector<PlannedCrash> out;
+  if (s.faults.kind != FaultKind::kMinorityCrash) return out;
+  const int max_crashes = (s.processes - 1) / 2;
+  if (max_crashes == 0) return out;  // n <= 2: no strict minority to kill
+  std::uint64_t mix = kFnvOffset;
+  fnv_mix_u64(mix, s.seed);
+  fnv_mix_u64(mix, s.faults.seed);
+  util::Rng crash_rng(mix);
+  const int count =
+      1 + static_cast<int>(crash_rng.uniform(
+              static_cast<std::uint64_t>(max_crashes)));
+  // Distinct victims via a partial Fisher-Yates over the node ids.
+  std::vector<mp::NodeId> ids(static_cast<std::size_t>(s.processes));
+  for (int i = 0; i < s.processes; ++i) ids[static_cast<std::size_t>(i)] = i;
+  // Horizon ≈ total ops × per-op delivery cost (reads cost up to 4n
+  // messages plus the start itself).
+  const std::uint64_t total_ops = static_cast<std::uint64_t>(
+      s.writes_per_process + 1 + 2 * (s.processes - 1));
+  const std::uint64_t horizon =
+      total_ops * (4 * static_cast<std::uint64_t>(s.processes) + 2) + 1;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(crash_rng.uniform(
+            static_cast<std::uint64_t>(s.processes - i)));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    PlannedCrash c;
+    c.at = crash_rng.uniform(horizon);
+    c.victim = ids[static_cast<std::size_t>(i)];
+    out.push_back(c);
+  }
+  // Apply in deterministic (time, victim) order.
+  std::sort(out.begin(), out.end(),
+            [](const PlannedCrash& a, const PlannedCrash& b) {
+              return a.at != b.at ? a.at < b.at : a.victim < b.victim;
+            });
+  return out;
+}
+
 void run_abd(const Scenario& s, ScenarioResult& out) {
   // Node 0 is the (single) writer; every node finishes with reads.  The
   // per-node programs are fixed; the adversary controls when operations
-  // start and in which order messages are delivered.
+  // start and in which order messages are delivered, and the crash plan
+  // may kill a minority of nodes at seeded moments.
   mp::Network net;
-  mp::AbdRegister reg(net, s.processes, /*writer=*/0, /*initial=*/0);
+  mp::AbdRegister reg(net, s.processes, /*writer=*/0, /*initial=*/0,
+                      s.abd_read_write_back);
   util::Rng rng(s.seed * kFnvPrime + 2);
+  const std::vector<PlannedCrash> crashes = plan_crashes(s);
 
   struct Program {
     std::deque<Value> writes;  ///< Remaining writes (writer node only).
@@ -167,20 +226,58 @@ void run_abd(const Scenario& s, ScenarioResult& out) {
 
   int rr_next = 0;
   std::uint64_t iterations = 0;
-  bool budget_exhausted = false;
+  std::size_t next_crash = 0;
+  RunEnd end = RunEnd::kCompleted;
+  std::string end_detail;
   for (;;) {
+    // Fire crashes due at this moment.  A crashed node abandons the rest
+    // of its program: it starts nothing, and its in-flight operation (if
+    // any) is stranded — quorum replies can never reach it.
+    while (next_crash < crashes.size() &&
+           crashes[next_crash].at <= iterations) {
+      net.crash(crashes[next_crash].victim);
+      ++next_crash;
+    }
     // Retire finished operations.
     for (Program& pr : prog) {
       if (pr.token >= 0 && reg.done(pr.token)) pr.token = -1;
     }
     std::vector<int> startable;
     for (int n = 0; n < s.processes; ++n) {
-      if (idle_with_work(n)) startable.push_back(n);
+      if (!net.crashed(n) && idle_with_work(n)) startable.push_back(n);
     }
     const bool flying = net.in_flight() > 0;
-    if (startable.empty() && !flying) break;  // all programs complete
+    if (startable.empty() && !flying) {
+      // Quiescent: nothing can start and nothing can be delivered.  With
+      // pending ops this is a genuine block — every pending op either
+      // lives on a crashed node or (were crashes ever to exceed a
+      // minority) cannot assemble a live quorum; either way no future
+      // delivery exists that completes it.
+      if (reg.pending_ops() > 0) {
+        end = RunEnd::kBlocked;
+        int on_crashed = 0;
+        int no_quorum = 0;
+        for (int n = 0; n < s.processes; ++n) {
+          const int tok = prog[static_cast<std::size_t>(n)].token;
+          if (tok < 0 || reg.op_can_complete(tok)) continue;
+          if (net.crashed(reg.op_node(tok))) {
+            ++on_crashed;
+          } else {
+            ++no_quorum;  // home alive but live servers < quorum
+          }
+        }
+        std::ostringstream os;
+        os << "blocked: quiescent with " << reg.pending_ops()
+           << " pending op(s) (" << on_crashed << " on crashed nodes, "
+           << no_quorum << " without a live quorum); " << net.live_count()
+           << "/" << s.processes << " nodes live";
+        end_detail = os.str();
+      }
+      break;
+    }
     if (++iterations > s.max_actions) {
-      budget_exhausted = true;
+      end = RunEnd::kBudget;
+      end_detail = "ABD driver exhausted its action budget";
       break;
     }
     if (s.adversary == AdversaryKind::kRoundRobin) {
@@ -189,7 +286,9 @@ void run_abd(const Scenario& s, ScenarioResult& out) {
       if (flying) {
         net.deliver_at(0);
       } else {
-        while (!idle_with_work(rr_next)) rr_next = (rr_next + 1) % s.processes;
+        while (net.crashed(rr_next) || !idle_with_work(rr_next)) {
+          rr_next = (rr_next + 1) % s.processes;
+        }
         start_op(rr_next);
         rr_next = (rr_next + 1) % s.processes;
       }
@@ -209,14 +308,11 @@ void run_abd(const Scenario& s, ScenarioResult& out) {
   out.steps = net.messages_delivered();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
-  if (budget_exhausted) {
-    out.verdict = Verdict::kError;
-    out.detail = "ABD driver exhausted its action budget";
-    return;
-  }
   // Theorem 14: linearizable SWMR implementations (ABD included) are
-  // write strongly-linearizable, so both checks must pass.
-  check_history(h, /*expect_wsl=*/true, out);
+  // write strongly-linearizable, so both checks must pass — on every
+  // exit path, so a violation in a blocked or budget-exhausted schedule
+  // is never masked by the early-exit classification.
+  classify_run(h, /*expect_wsl=*/true, end, end_detail, out);
 }
 
 }  // namespace
@@ -239,10 +335,22 @@ const char* to_string(AdversaryKind a) noexcept {
   return "?";
 }
 
+const char* to_string(FaultKind f) noexcept {
+  switch (f) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kMinorityCrash: return "minority";
+  }
+  return "?";
+}
+
 const char* to_string(Verdict v) noexcept {
   switch (v) {
+    // Upper case marks verdicts that fail the sweep; "blocked" is an
+    // expected outcome of the crash axis (it only fails checks if the
+    // history up to the block was wrong, which reports as VIOLATION).
     case Verdict::kOk: return "ok";
     case Verdict::kViolation: return "VIOLATION";
+    case Verdict::kBlocked: return "blocked";
     case Verdict::kError: return "ERROR";
   }
   return "?";
@@ -255,11 +363,64 @@ std::string Scenario::key() const {
     os << '-' << sim::to_string(semantics);
   }
   os << '/' << to_string(adversary) << "/p" << processes << "/w"
-     << writes_per_process << "/seed" << seed;
+     << writes_per_process;
+  // Defaulted knobs add nothing: crash-free keys are byte-identical to
+  // their pre-fault-axis spelling (pinned digests depend on this).
+  if (!abd_read_write_back) os << "/nowb";
+  if (faults.active()) {
+    os << "/f" << to_string(faults.kind) << "-c" << faults.seed;
+  }
+  os << "/seed" << seed;
   return os.str();
 }
 
+void classify_run(const History& h, bool expect_wsl, RunEnd end,
+                  const std::string& end_detail, ScenarioResult& out) {
+  // The backtracking solver handles at most 64 ops per register; sweep
+  // workloads stay far below that, but a programmatic caller could
+  // exceed it.  Degrade to "unvalidated" rather than throw.
+  bool checkable = true;
+  for (const history::RegisterId reg : h.registers()) {
+    std::size_t ops_on_reg = 0;
+    for (const history::OpRecord& op : h.ops()) {
+      if (op.reg == reg) ++ops_on_reg;
+    }
+    if (ops_on_reg > 64) checkable = false;
+  }
+  if (checkable) {
+    check_history(h, expect_wsl, out);
+    if (out.verdict == Verdict::kViolation) {
+      // The violation wins; keep the early-exit context for diagnosis.
+      if (!end_detail.empty()) out.detail += " [" + end_detail + "]";
+      return;
+    }
+  }
+  switch (end) {
+    case RunEnd::kCompleted:
+      if (!checkable) {
+        out.verdict = Verdict::kError;
+        out.detail = "history exceeds the solver's 64-op/register limit";
+      }
+      break;  // otherwise check_history's kOk stands
+    case RunEnd::kBlocked:
+      out.verdict = Verdict::kBlocked;
+      out.detail = end_detail;
+      if (checkable) out.detail += " (history up to the block checked clean)";
+      break;
+    case RunEnd::kBudget:
+      out.verdict = Verdict::kError;
+      out.detail = end_detail;
+      if (checkable) out.detail += " (completed prefix checked clean)";
+      break;
+  }
+}
+
 std::uint64_t hash_history(const History& h) {
+  // Mixes every op — including invocation-only (pending) ones, whose
+  // response mixes as kNoTime and whose read value is the deterministic
+  // pending sentinel (0) — so crash-stranded ops change the fingerprint
+  // exactly like completed ones.  Completed histories hash byte-for-byte
+  // as they did before the crash axis existed.
   std::uint64_t out = kFnvOffset;
   for (const history::RegisterId reg : h.registers()) {
     fnv_mix_u64(out, static_cast<std::uint64_t>(reg));
@@ -285,6 +446,8 @@ ScenarioResult run_scenario(const Scenario& s) {
     RLT_CHECK_MSG(s.processes >= 1 && s.processes <= 64,
                   "scenario processes out of range");
     RLT_CHECK_MSG(s.writes_per_process >= 0, "negative writes_per_process");
+    RLT_CHECK_MSG(!s.faults.active() || s.algorithm == Algorithm::kAbd,
+                  "crash faults are only implemented for the ABD family");
     switch (s.algorithm) {
       case Algorithm::kModeled:
         run_modeled(s, out);

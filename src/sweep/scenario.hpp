@@ -1,6 +1,7 @@
 // One sweep scenario: a fully determined point in the cross-product
 //
-//   register semantics × algorithm × process count × adversary × seed
+//   register semantics × algorithm × process count × adversary × fault
+//   plan × seed
 //
 // explored by the sweep engine (src/sweep/sweep.hpp).  Each scenario is
 // an independent deterministic simulation: build the system, drive it
@@ -26,6 +27,13 @@
 //    schedule.  Checked linearizable (its histories are also WSL by
 //    Theorem 14, and we check that too: single-writer runs keep the tree
 //    search tiny).
+//
+// The crash-fault axis (`CrashPlan`) applies to kAbd: the paper's
+// termination results live in the regime where a minority of nodes may
+// crash, so the sweep can seed minority-crash schedules and classify
+// runs that can no longer finish as Verdict::kBlocked — distinct from
+// both kViolation (a checker rejected the history) and kError (the run
+// machinery itself failed).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +57,31 @@ enum class AdversaryKind : std::uint8_t { kRandom, kRoundRobin };
 
 [[nodiscard]] const char* to_string(AdversaryKind a) noexcept;
 
+/// Which crash-fault regime a scenario runs under.
+enum class FaultKind : std::uint8_t {
+  kNone,           ///< Crash-free (the classic sweep).
+  kMinorityCrash,  ///< A seeded strict minority of nodes crashes.
+};
+
+[[nodiscard]] const char* to_string(FaultKind f) noexcept;
+
+/// A seeded crash schedule.  `seed` is an independent axis from the
+/// scenario seed: the same delivery schedule can be swept under many
+/// crash timings.  Victims, crash count (1..⌊(n-1)/2⌋, always leaving a
+/// live majority), and crash times are all deterministic functions of
+/// (scenario seed, crash seed).  Applies to Algorithm::kAbd; scenarios
+/// of other families must keep kNone (run_scenario reports kError
+/// otherwise).
+struct CrashPlan {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t seed = 0;  ///< Crash-time seed; unused for kNone.
+
+  [[nodiscard]] bool active() const noexcept {
+    return kind != FaultKind::kNone;
+  }
+  friend bool operator==(const CrashPlan&, const CrashPlan&) = default;
+};
+
 /// A fully determined scenario configuration.
 struct Scenario {
   Algorithm algorithm = Algorithm::kModeled;
@@ -63,20 +96,46 @@ struct Scenario {
   int writes_per_process = 2;
   /// Safety cap on simulator actions / network deliveries.
   std::uint64_t max_actions = 1'000'000;
+  /// Crash-fault axis (ABD scenarios only; see CrashPlan).
+  CrashPlan faults;
+  /// ABLATION/testing knob, not reachable from the CLI: disables ABD's
+  /// read write-back phase, which breaks linearizability across readers
+  /// (see mp/abd.hpp).  Tests use it to plant genuine violations inside
+  /// sweeps; key() marks it ("/nowb") so fingerprints stay honest.
+  bool abd_read_write_back = true;
 
-  /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42".  Used in
-  /// reports and mixed into the sweep digest.
+  /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42" or
+  /// "abd/rand/p5/w2/fminority-c7/seed42".  Crash-free scenarios keep
+  /// their historical keys (no fault segment), so pre-fault-axis digests
+  /// remain comparable.  Used in reports and mixed into the sweep digest.
   [[nodiscard]] std::string key() const;
 };
 
 /// Outcome classification of one scenario run.
+///
+/// Enumerator values are digest material (the sweep mixes the raw value);
+/// kOk and kViolation keep their pre-crash-axis values so crash-free
+/// sweep digests stay byte-stable across this taxonomy change.
 enum class Verdict : std::uint8_t {
-  kOk,         ///< Ran to completion; every applicable check passed.
-  kViolation,  ///< A checker rejected the recorded history.
-  kError,      ///< The run itself failed (budget exhausted, exception).
+  kOk = 0,         ///< Ran to completion; every applicable check passed.
+  kViolation = 1,  ///< A checker rejected the recorded history.
+  kBlocked = 2,    ///< Quiescent with pending ops that can never finish
+                   ///< (crashed homes / no live quorum); history checked
+                   ///< clean up to the block.
+  kError = 3,      ///< The run machinery failed (budget exhausted with a
+                   ///< clean prefix, bad config, exception).
 };
 
 [[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+/// How a scenario's driver stopped producing events.  Inputs to the
+/// verdict classification below; public so tests can exercise the
+/// classifier on hand-built histories.
+enum class RunEnd : std::uint8_t {
+  kCompleted,  ///< Every program ran to completion.
+  kBlocked,    ///< Quiescent with pending ops that can never complete.
+  kBudget,     ///< The action budget ran out first.
+};
 
 /// What one scenario produced.  All fields except `wall_ns` are pure
 /// functions of the Scenario; `wall_ns` is measured and therefore
@@ -95,7 +154,20 @@ struct ScenarioResult {
 /// Verdict::kError.
 [[nodiscard]] ScenarioResult run_scenario(const Scenario& s);
 
+/// Folds the checker verdicts on the recorded history together with how
+/// the run ended into `out.verdict`/`out.detail`.  The checkers run on
+/// EVERY exit path — a violation recorded before the run stalled or ran
+/// out of budget always wins over the stall classification (the verdict-
+/// masking bug class); pending ops stay in the history and reach the
+/// solver as possibly-effective pending writes.  `end_detail` describes
+/// the early exit (empty for kCompleted).
+void classify_run(const history::History& h, bool expect_wsl, RunEnd end,
+                  const std::string& end_detail, ScenarioResult& out);
+
 /// Deterministic 64-bit fingerprint of a history (op tuples in id order).
+/// Covers invocation-only (pending) ops too — their invocation time and
+/// payload mix in with a kNoTime response — so blocked crash runs
+/// fingerprint the ops the crash stranded, deterministically.
 [[nodiscard]] std::uint64_t hash_history(const history::History& h);
 
 }  // namespace rlt::sweep

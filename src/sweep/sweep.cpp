@@ -24,9 +24,20 @@ constexpr std::uint64_t kMaxScenarios = 10'000'000;
 
 std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
   RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
+  RLT_CHECK_MSG(!o.faults.empty(), "fault-kind list is empty");
+  RLT_CHECK_MSG(!o.crash_seeds.empty(), "crash-seed list is empty");
+  // Fault plans multiply only the ABD family (other families have no
+  // crash model); each faulty kind is swept once per crash seed, while
+  // kNone needs no crash schedule and is emitted once.
+  std::uint64_t abd_fault_plans = 0;
+  for (const FaultKind f : o.faults) {
+    abd_fault_plans += f == FaultKind::kNone ? 1 : o.crash_seeds.size();
+  }
   std::uint64_t configs = 0;
   for (const Algorithm alg : o.algorithms) {
-    configs += alg == Algorithm::kModeled ? o.semantics.size() : 1;
+    configs += alg == Algorithm::kModeled ? o.semantics.size()
+               : alg == Algorithm::kAbd   ? abd_fault_plans
+                                          : 1;
   }
   configs *= o.adversaries.size() * o.process_counts.size();
   const std::uint64_t seeds = o.seed_end - o.seed_begin;
@@ -35,24 +46,43 @@ std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
                 "the seed range or axes");
   std::vector<Scenario> out;
   out.reserve(configs * seeds);
+  // The fault axis applies to ABD only; everything else runs crash-free
+  // exactly once whatever o.faults says.
+  std::vector<CrashPlan> abd_plans;
+  for (const FaultKind f : o.faults) {
+    if (f == FaultKind::kNone) {
+      abd_plans.push_back(CrashPlan{});
+    } else {
+      for (const std::uint64_t cs : o.crash_seeds) {
+        abd_plans.push_back(CrashPlan{f, cs});
+      }
+    }
+  }
+  const std::vector<CrashPlan> no_faults = {CrashPlan{}};
   for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
     for (const Algorithm alg : o.algorithms) {
       // Non-modeled algorithms ignore the semantics axis; emit them once.
       const std::size_t sem_count =
           alg == Algorithm::kModeled ? o.semantics.size() : 1;
+      const std::vector<CrashPlan>& plans =
+          alg == Algorithm::kAbd ? abd_plans : no_faults;
       for (std::size_t si = 0; si < sem_count; ++si) {
         for (const AdversaryKind adv : o.adversaries) {
           for (const int procs : o.process_counts) {
-            Scenario s;
-            s.algorithm = alg;
-            s.semantics = alg == Algorithm::kModeled ? o.semantics[si]
-                                                     : sim::Semantics::kAtomic;
-            s.adversary = adv;
-            s.processes = procs;
-            s.seed = seed;
-            s.writes_per_process = o.writes_per_process;
-            s.max_actions = o.max_actions_per_scenario;
-            out.push_back(s);
+            for (const CrashPlan& plan : plans) {
+              Scenario s;
+              s.algorithm = alg;
+              s.semantics = alg == Algorithm::kModeled
+                                ? o.semantics[si]
+                                : sim::Semantics::kAtomic;
+              s.adversary = adv;
+              s.processes = procs;
+              s.seed = seed;
+              s.writes_per_process = o.writes_per_process;
+              s.max_actions = o.max_actions_per_scenario;
+              s.faults = plan;
+              out.push_back(s);
+            }
           }
         }
       }
@@ -66,11 +96,18 @@ std::string SweepSummary::stable_text() const {
   os << "scenarios " << scenarios << '\n'
      << "ok " << ok << '\n'
      << "violations " << violations << '\n'
+     << "blocked " << blocked << '\n'
      << "errors " << errors << '\n'
      << "steps " << total_steps << '\n'
      << "ops " << total_ops << '\n'
      << "digest " << std::hex << digest << std::dec << '\n';
   for (const std::string& f : failures) os << "failure " << f << '\n';
+  if (failures_truncated > 0) {
+    // Deterministic truncation marker: the counters above are complete,
+    // and this line says how many non-ok scenarios the list left out.
+    os << "failure ... and " << failures_truncated << " more non-ok "
+       << "scenario(s) not listed\n";
+  }
   return os.str();
 }
 
@@ -112,6 +149,7 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
     switch (r.verdict) {
       case Verdict::kOk: ++sum.ok; break;
       case Verdict::kViolation: ++sum.violations; break;
+      case Verdict::kBlocked: ++sum.blocked; break;
       case Verdict::kError: ++sum.errors; break;
     }
     sum.total_steps += r.steps;
@@ -123,10 +161,13 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
     fnv_mix_u64(sum.digest, r.steps);
     fnv_mix_u64(sum.digest, r.ops);
     fnv_mix_u64(sum.digest, r.history_hash);
-    if (r.verdict != Verdict::kOk &&
-        sum.failures.size() < kMaxReportedFailures) {
-      sum.failures.push_back(scenarios[i].key() + ": [" +
-                             to_string(r.verdict) + "] " + r.detail);
+    if (r.verdict != Verdict::kOk) {
+      if (sum.failures.size() < kMaxReportedFailures) {
+        sum.failures.push_back(scenarios[i].key() + ": [" +
+                               to_string(r.verdict) + "] " + r.detail);
+      } else {
+        ++sum.failures_truncated;
+      }
     }
   }
   sum.steals = steal_count;

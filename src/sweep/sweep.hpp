@@ -1,6 +1,7 @@
 // The scenario-sweep engine: grind the cross-product
 //
-//   register semantics × algorithm × adversary × process count × seed
+//   register semantics × algorithm × adversary × process count ×
+//   crash-fault plan × seed
 //
 // through `run_scenario` on a work-stealing thread pool, validate every
 // recorded history, and fold the results into a *stable digest*: a
@@ -35,6 +36,13 @@ struct SweepOptions {
                                            sim::Semantics::kWriteStrong};
   std::vector<AdversaryKind> adversaries = {AdversaryKind::kRandom,
                                             AdversaryKind::kRoundRobin};
+  /// Crash-fault axis; applies to Algorithm::kAbd scenarios only (the
+  /// other families have no crash model — they are emitted once,
+  /// crash-free, whatever this list says).
+  std::vector<FaultKind> faults = {FaultKind::kNone};
+  /// Crash-time seeds swept per faulty scenario (ignored for kNone,
+  /// which needs no crash schedule).
+  std::vector<std::uint64_t> crash_seeds = {0};
   std::vector<int> process_counts = {3};
   std::uint64_t seed_begin = 0;  ///< Inclusive.
   std::uint64_t seed_end = 10;   ///< Exclusive.
@@ -59,6 +67,10 @@ struct SweepSummary {
   std::uint64_t scenarios = 0;
   std::uint64_t ok = 0;
   std::uint64_t violations = 0;
+  /// Runs that went quiescent with pending ops stranded by crashes —
+  /// the expected outcome class of the crash axis, counted separately
+  /// so it is never conflated with violations or errors.
+  std::uint64_t blocked = 0;
   std::uint64_t errors = 0;
   std::uint64_t total_steps = 0;  ///< Sum of adversary actions/deliveries.
   std::uint64_t total_ops = 0;    ///< Sum of completed high-level ops.
@@ -72,6 +84,10 @@ struct SweepSummary {
   std::uint64_t steals = 0;         ///< Pool steal count (scheduling info).
   /// key + detail for the first few non-ok scenarios, enumeration order.
   std::vector<std::string> failures;
+  /// Non-ok scenarios beyond the reporting cap.  stable_text() renders
+  /// this as a deterministic "... and N more" marker so truncation is
+  /// never silent (blocked/violating counts stay honest).
+  std::uint64_t failures_truncated = 0;
 
   /// The deterministic part, one line per field, byte-identical across
   /// runs with equal options.  (Timing fields are deliberately absent.)

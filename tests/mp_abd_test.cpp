@@ -115,10 +115,32 @@ TEST(Abd, MajorityCrashStallsOperationsForever) {
   net.crash(1);
   net.crash(2);
   net.crash(3);  // majority gone
+  EXPECT_EQ(net.live_count(), 2);
   const int w = reg.begin_write(9);
   drive_until_done(net, reg, w, rng);
   EXPECT_FALSE(reg.done(w));  // pending forever — liveness needs a quorum
   EXPECT_EQ(reg.pending_ops(), 1);
+  // The op's home (the writer) is alive, but 2 live servers < quorum 3:
+  // no delivery schedule can ever complete it.
+  EXPECT_EQ(reg.op_node(w), 0);
+  EXPECT_FALSE(reg.op_can_complete(w));
+}
+
+TEST(Abd, OpCanCompleteTracksTheCrashSet) {
+  Network net;
+  AbdRegister reg(net, 5, 0, 0);
+  util::Rng rng(5);
+  const int w = reg.begin_write(1);
+  EXPECT_TRUE(reg.op_can_complete(w));  // everyone alive
+  net.crash(3);
+  net.crash(4);  // minority: 3 live >= quorum 3
+  EXPECT_TRUE(reg.op_can_complete(w));
+  drive_until_done(net, reg, w, rng);
+  ASSERT_TRUE(reg.done(w));
+  const int r = reg.begin_read(2);
+  net.crash(2);  // the reader itself dies: its op is stranded
+  EXPECT_FALSE(reg.op_can_complete(r));
+  EXPECT_TRUE(reg.op_can_complete(w));  // completed ops stay completable
 }
 
 TEST(Abd, RejectsConcurrentWrites) {

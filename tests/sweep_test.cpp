@@ -1,18 +1,23 @@
 // Tests for the parallel scenario-sweep engine (src/sweep/): the
-// work-stealing pool, single-scenario determinism, and the sweep-level
-// digest guarantees (same options => byte-identical summary, regardless
-// of thread count).
+// work-stealing pool, single-scenario determinism, the crash-fault axis
+// and its verdict taxonomy (blocked vs violation vs error), and the
+// sweep-level digest guarantees (same options => byte-identical summary,
+// regardless of thread count — with or without faults).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "mp/abd.hpp"
+#include "mp/network.hpp"
 #include "sweep/pool.hpp"
 #include "sweep/scenario.hpp"
 #include "sweep/sweep.hpp"
+#include "util/rng.hpp"
 
 namespace rlt::sweep {
 namespace {
@@ -186,6 +191,161 @@ TEST(Scenario, ExhaustedBudgetIsAnErrorNotACrash) {
   EXPECT_FALSE(r.detail.empty());
 }
 
+// ---------- crash-fault axis ----------
+
+Scenario abd_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.algorithm = Algorithm::kAbd;
+  s.adversary = AdversaryKind::kRandom;
+  s.processes = 3;
+  s.seed = seed;
+  return s;
+}
+
+TEST(Scenario, CrashFreeKeysKeepTheirHistoricalSpelling) {
+  // The fault axis and the ablation knob must be invisible when
+  // defaulted: pinned pre-fault-axis digests fold these exact keys.
+  Scenario s = abd_scenario(0);
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/seed0");
+  s.faults = CrashPlan{FaultKind::kMinorityCrash, 7};
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/fminority-c7/seed0");
+  s.abd_read_write_back = false;
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/nowb/fminority-c7/seed0");
+}
+
+TEST(Scenario, CrashRunsAreDeterministic) {
+  // Same scenario (schedule seed × crash seed) => identical fingerprint,
+  // verdict, and detail — the property the fault-axis digest rests on.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (std::uint64_t crash_seed = 0; crash_seed < 3; ++crash_seed) {
+      Scenario s = abd_scenario(seed);
+      s.faults = CrashPlan{FaultKind::kMinorityCrash, crash_seed};
+      const ScenarioResult a = run_scenario(s);
+      const ScenarioResult b = run_scenario(s);
+      EXPECT_EQ(a.verdict, b.verdict) << s.key();
+      EXPECT_EQ(a.steps, b.steps) << s.key();
+      EXPECT_EQ(a.ops, b.ops) << s.key();
+      EXPECT_EQ(a.history_hash, b.history_hash) << s.key();
+      EXPECT_EQ(a.detail, b.detail) << s.key();
+    }
+  }
+}
+
+TEST(Scenario, MinorityCrashesBlockOrPassButNeverErrorOrViolate) {
+  // ABD is correct under minority crashes (Theorem 14's regime): every
+  // seeded crash schedule either still completes (kOk) or strands ops on
+  // crashed nodes (kBlocked).  kError/kViolation would be a driver or
+  // register bug.  The sweep must find at least one genuinely blocked
+  // run, and blocked runs must have invocation-only ops fingerprinted.
+  int blocked = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    for (const AdversaryKind adv :
+         {AdversaryKind::kRandom, AdversaryKind::kRoundRobin}) {
+      Scenario s = abd_scenario(seed);
+      s.adversary = adv;
+      s.faults = CrashPlan{FaultKind::kMinorityCrash, 0};
+      const ScenarioResult r = run_scenario(s);
+      ASSERT_TRUE(r.verdict == Verdict::kOk || r.verdict == Verdict::kBlocked)
+          << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
+      if (r.verdict == Verdict::kBlocked) {
+        ++blocked;
+        EXPECT_NE(r.detail.find("checked clean"), std::string::npos);
+      }
+    }
+  }
+  EXPECT_GT(blocked, 0);
+}
+
+TEST(Scenario, HandBuiltBlockedByCrashScheduleIsBlocked) {
+  // Hand-built blocked schedule: a reader starts, its node crashes, the
+  // network drains.  The stranded read can never complete; the verdict
+  // taxonomy must call this kBlocked — not kError (nothing failed) and
+  // not kViolation (the history up to the block is fine).
+  mp::Network net;
+  mp::AbdRegister reg(net, 3, /*writer=*/0, /*initial=*/0);
+  const int r = reg.begin_read(1);
+  net.crash(1);
+  util::Rng rng(1);
+  while (net.deliver_random(rng)) {
+  }
+  ASSERT_EQ(reg.pending_ops(), 1);
+  EXPECT_EQ(reg.op_node(r), 1);
+  EXPECT_FALSE(reg.op_can_complete(r));
+  ScenarioResult out;
+  classify_run(reg.hl_history(), /*expect_wsl=*/true, RunEnd::kBlocked,
+               "blocked: hand-built crash schedule", out);
+  EXPECT_EQ(out.verdict, Verdict::kBlocked);
+  EXPECT_NE(out.detail.find("hand-built"), std::string::npos);
+}
+
+TEST(Scenario, FaultsOnNonAbdConfigsAreErrors) {
+  for (const Algorithm alg :
+       {Algorithm::kModeled, Algorithm::kAlg2, Algorithm::kAlg4}) {
+    Scenario s;
+    s.algorithm = alg;
+    s.faults = CrashPlan{FaultKind::kMinorityCrash, 0};
+    const ScenarioResult r = run_scenario(s);
+    EXPECT_EQ(r.verdict, Verdict::kError) << to_string(alg);
+  }
+}
+
+TEST(Scenario, ViolationInBudgetExhaustedScheduleIsNotMasked) {
+  // Regression for the verdict-masking bug: run_abd used to return
+  // kError on budget exhaustion BEFORE running any checker, so a real
+  // linearizability violation in a long schedule reported as an error.
+  // Plant genuine violations with the no-write-back ablation, then
+  // truncate the budget: the violating prefix must classify kViolation
+  // even when the budget ran out.  (5 processes: with 3 servers every
+  // two read quorums share the written-to server, so the ablation's
+  // new/old inversion needs the wider quorum geometry to show up.)
+  Scenario base = abd_scenario(0);
+  base.processes = 5;
+  base.abd_read_write_back = false;
+  std::optional<std::uint64_t> violating_seed;
+  for (std::uint64_t seed = 0; seed < 300 && !violating_seed; ++seed) {
+    base.seed = seed;
+    if (run_scenario(base).verdict == Verdict::kViolation) {
+      violating_seed = seed;
+    }
+  }
+  ASSERT_TRUE(violating_seed.has_value())
+      << "no ablation violation found — widen the seed scan";
+  base.seed = *violating_seed;
+  bool masked_case_hit = false;
+  for (std::uint64_t budget = 1; budget <= 600 && !masked_case_hit; ++budget) {
+    base.max_actions = budget;
+    const ScenarioResult r = run_scenario(base);
+    // Budget-exhausted prefixes without the violating read yet are
+    // honest errors; once the violation is in the recorded prefix it
+    // must win over the budget classification.
+    if (r.verdict == Verdict::kViolation &&
+        r.detail.find("action budget") != std::string::npos) {
+      masked_case_hit = true;
+    }
+  }
+  EXPECT_TRUE(masked_case_hit)
+      << "no budget-exhausted truncation reported the planted violation";
+}
+
+TEST(Scenario, HashHistoryCoversInvocationOnlyOps) {
+  history::History a;
+  history::History b;
+  history::OpRecord w;
+  w.process = 0;
+  w.reg = 0;
+  w.kind = history::OpKind::kWrite;
+  w.value = 7;
+  w.invoke = 1;
+  w.response = history::kNoTime;  // pending: invocation-only
+  a.add(w);
+  w.value = 8;
+  b.add(w);
+  // Pending ops are digest material: two histories differing only in a
+  // stranded op's payload must fingerprint differently.
+  EXPECT_NE(hash_history(a), hash_history(b));
+  EXPECT_NE(hash_history(a), hash_history(history::History{}));
+}
+
 // ---------- sweep smoke + digest determinism ----------
 
 SweepOptions small_sweep(int threads) {
@@ -243,6 +403,75 @@ TEST(Sweep, DigestIsIndependentOfBatchSize) {
   const std::string a = run_sweep(one).stable_text();
   EXPECT_EQ(a, run_sweep(sixteen).stable_text());
   EXPECT_EQ(a, run_sweep(huge).stable_text());
+}
+
+TEST(Enumerate, FaultAxisMultipliesAbdOnly) {
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 2;
+  o.faults = {FaultKind::kNone, FaultKind::kMinorityCrash};
+  o.crash_seeds = {0, 1, 2};
+  const std::vector<Scenario> all = enumerate_scenarios(o);
+  // modeled: 3 semantics; alg2/alg4: 1 each; abd: 1 crash-free + 3
+  // minority crash seeds.  × 2 adversaries × 1 process count × 2 seeds.
+  EXPECT_EQ(all.size(), (3u + 1u + 1u + 4u) * 2u * 1u * 2u);
+  std::set<std::string> keys;
+  for (const Scenario& s : all) {
+    keys.insert(s.key());
+    if (s.algorithm != Algorithm::kAbd) {
+      EXPECT_EQ(s.faults.kind, FaultKind::kNone) << s.key();
+    }
+  }
+  EXPECT_EQ(keys.size(), all.size());
+}
+
+TEST(Sweep, CrashSweepDigestIsIndependentOfThreadsAndBatch) {
+  SweepOptions o;
+  o.algorithms = {Algorithm::kAbd};
+  o.faults = {FaultKind::kNone, FaultKind::kMinorityCrash};
+  o.crash_seeds = {0, 1};
+  o.seed_begin = 0;
+  o.seed_end = 30;
+  o.threads = 1;
+  const SweepSummary seq = run_sweep(o);
+  o.threads = 4;
+  o.batch_size = 3;
+  const SweepSummary par = run_sweep(o);
+  EXPECT_EQ(seq.stable_text(), par.stable_text());
+  // The crash axis must actually exercise the new verdict: blocked runs
+  // are counted in their own bucket and are neither violations nor
+  // errors.
+  EXPECT_GT(seq.blocked, 0u);
+  EXPECT_EQ(seq.violations, 0u);
+  EXPECT_EQ(seq.errors, 0u);
+  EXPECT_EQ(seq.ok + seq.blocked, seq.scenarios);
+  EXPECT_NE(seq.stable_text().find("blocked "), std::string::npos);
+}
+
+TEST(Sweep, FailureListTruncationIsNeverSilent) {
+  // Unit check of the marker rendering...
+  SweepSummary sum;
+  sum.failures = {"k1: [blocked] x", "k2: [blocked] y"};
+  sum.failures_truncated = 5;
+  EXPECT_NE(sum.stable_text().find("... and 5 more non-ok"),
+            std::string::npos);
+  sum.failures_truncated = 0;
+  EXPECT_EQ(sum.stable_text().find("... and"), std::string::npos);
+
+  // ...and end-to-end: a crash sweep with far more than
+  // kMaxReportedFailures blocked scenarios must say how many the
+  // failure list left out (list cap is 16; counters stay complete).
+  SweepOptions o;
+  o.algorithms = {Algorithm::kAbd};
+  o.faults = {FaultKind::kMinorityCrash};
+  o.seed_begin = 0;
+  o.seed_end = 100;
+  o.threads = 4;
+  const SweepSummary s = run_sweep(o);
+  ASSERT_GT(s.blocked, 16u) << "crash axis produced too few blocked runs";
+  EXPECT_EQ(s.failures.size(), 16u);
+  EXPECT_EQ(s.failures_truncated, s.blocked - 16u);
+  EXPECT_NE(s.stable_text().find("more non-ok"), std::string::npos);
 }
 
 TEST(Sweep, DigestMatchesThePr1Baseline) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_checker.json snapshots (tools/bench_baseline.sh output).
+
+Usage:
+    tools/bench_diff.py BASELINE.json NEW.json [--threshold 1.5] [--strict]
+
+Prints a per-benchmark real_time comparison and flags regressions whose
+new/old ratio exceeds --threshold.  Warn-only by default: exit status is
+0 even with regressions (CI runner machine classes vary too much for a
+hard gate); pass --strict to exit 1 when any regression is flagged.
+Benchmarks present in only one snapshot are listed but never flagged.
+
+When running under GitHub Actions (GITHUB_ACTIONS=true), regressions are
+also emitted as ::warning:: annotations so they surface on the run page.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_times(path):
+    """Returns {bench_file/bench_name: real_time_ns} from a snapshot."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for group, data in sorted(doc.get("benches", {}).items()):
+        for b in data.get("benchmarks", []):
+            # Aggregate rows (mean/median/stddev) would double-count.
+            if b.get("run_type") == "aggregate":
+                continue
+            times[f"{group}/{b['name']}"] = float(b["real_time"])
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="flag when new/old real_time exceeds this "
+                         "(default: 1.5)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when regressions are flagged "
+                         "(default: warn only)")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        # No blessed baseline on this branch/machine class yet: nothing
+        # to compare against.  Stay warn-only rather than break CI.
+        print(f"bench_diff: baseline '{args.baseline}' not found; "
+              "skipping comparison", file=sys.stderr)
+        return 1 if args.strict else 0
+
+    old = load_times(args.baseline)
+    new = load_times(args.new)
+    gha = os.environ.get("GITHUB_ACTIONS") == "true"
+
+    regressions = []
+    for name in sorted(old.keys() & new.keys()):
+        ratio = new[name] / max(old[name], 1e-9)
+        mark = ""
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            mark = f"  <-- REGRESSION (> {args.threshold:.2f}x)"
+        print(f"{name}: {old[name]:.0f} -> {new[name]:.0f} ns "
+              f"({ratio:.2f}x){mark}")
+    for name in sorted(old.keys() - new.keys()):
+        print(f"{name}: only in baseline")
+    for name in sorted(new.keys() - old.keys()):
+        print(f"{name}: only in new snapshot")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.2f}x vs {args.baseline}", file=sys.stderr)
+        if gha:
+            for name, ratio in regressions:
+                print(f"::warning title=bench regression::{name} is "
+                      f"{ratio:.2f}x slower than the checked-in baseline")
+        return 1 if args.strict else 0
+    print("\nbench_diff: no regressions beyond "
+          f"{args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

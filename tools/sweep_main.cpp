@@ -1,18 +1,21 @@
 // sweep_main — CLI driver for the parallel scenario-sweep engine.
 //
 // Runs the cross-product of register semantics × algorithm × adversary ×
-// process count × seed, validating every recorded history with the
-// appropriate checker, and prints an aggregate summary whose digest is a
-// pure function of the flags: back-to-back runs with identical flags
-// emit byte-identical digest sections regardless of --threads.
+// process count × crash-fault plan × seed, validating every recorded
+// history with the appropriate checker, and prints an aggregate summary
+// whose digest is a pure function of the flags: back-to-back runs with
+// identical flags emit byte-identical digest sections regardless of
+// --threads.
 //
 // Examples:
 //   sweep_main --processes 3 --seeds 0:1000 --threads 8
 //   sweep_main --algorithms alg2,abd --adversaries rand --seeds 0:50
 //   sweep_main --semantics wsl --processes 2,3,4 --writes 1 --seeds 7:9
+//   sweep_main --algorithms abd --faults minority --seeds 0:200 --threads 8
 //
-// Exit status: 0 when every scenario verdict is ok; 1 on violations or
-// errors; 2 on bad usage.
+// Exit status: 0 when no scenario verdict is VIOLATION or ERROR (blocked
+// runs are the expected outcome of the crash axis and do not fail the
+// sweep); 1 on violations or errors; 2 on bad usage.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -39,8 +42,14 @@ using rlt::sweep::SweepSummary;
       "                      models swept for 'modeled' scenarios "
       "(default: all)\n"
       "  --adversaries LIST  comma list of rand,rr (default: both)\n"
+      "  --faults LIST       comma list of none,minority (default: none).\n"
+      "                      'minority' seeds strict-minority crash\n"
+      "                      schedules into abd scenarios; runs stranded\n"
+      "                      by crashes report the 'blocked' verdict\n"
+      "  --crash-seeds A:B   crash-time seed range for faulty scenarios,\n"
+      "                      A inclusive, B exclusive (default: 0:1)\n"
       "  --processes LIST    comma list of process counts (default: 3)\n"
-      "  --seeds A:B         seed range, A inclusive, B exclusive "
+      "  --seeds A:B         seed range, A inclusive, B exclusive, A < B "
       "(default: 0:10)\n"
       "  --writes N          writes per writer role (default: 2)\n"
       "  --threads N         pool worker threads (default: 1)\n"
@@ -125,6 +134,42 @@ void parse_adversaries(const std::string& v, SweepOptions& o) {
   if (o.adversaries.empty()) bad_value("--adversaries", v);
 }
 
+void parse_faults(const std::string& v, SweepOptions& o) {
+  o.faults.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "none") {
+      o.faults.push_back(rlt::sweep::FaultKind::kNone);
+    } else if (name == "minority") {
+      o.faults.push_back(rlt::sweep::FaultKind::kMinorityCrash);
+    } else {
+      bad_value("--faults", name);
+    }
+  }
+  if (o.faults.empty()) bad_value("--faults", v);
+}
+
+void parse_crash_seeds(const std::string& v, SweepOptions& o) {
+  const std::size_t colon = v.find(':');
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  if (colon == std::string::npos) {
+    begin = parse_u64("--crash-seeds", v);
+    if (begin == std::numeric_limits<std::uint64_t>::max()) {
+      bad_value("--crash-seeds", v);
+    }
+    end = begin + 1;
+  } else {
+    begin = parse_u64("--crash-seeds", v.substr(0, colon));
+    end = parse_u64("--crash-seeds", v.substr(colon + 1));
+    // Like --seeds: an empty or reversed range silently sweeps nothing
+    // faulty; reject it as bad usage.
+    if (end <= begin) bad_value("--crash-seeds", v);
+  }
+  if (end - begin > 1'000'000) bad_value("--crash-seeds", v);
+  o.crash_seeds.clear();
+  for (std::uint64_t cs = begin; cs < end; ++cs) o.crash_seeds.push_back(cs);
+}
+
 void parse_processes(const std::string& v, SweepOptions& o) {
   o.process_counts.clear();
   for (const std::string& item : split_csv(v)) {
@@ -149,7 +194,10 @@ void parse_seeds(const std::string& v, SweepOptions& o) {
   }
   o.seed_begin = parse_u64("--seeds", v.substr(0, colon));
   o.seed_end = parse_u64("--seeds", v.substr(colon + 1));
-  if (o.seed_end < o.seed_begin) bad_value("--seeds", v);
+  // A ≥ B used to slip through when A == B: the sweep ran zero
+  // scenarios, printed the digest of nothing, and exited 0 — trivially
+  // "green".  An empty range is never what the caller meant; reject it.
+  if (o.seed_end <= o.seed_begin) bad_value("--seeds", v);
 }
 
 }  // namespace
@@ -174,6 +222,8 @@ int main(int argc, char** argv) {
     else if (a == "--algorithms") parse_algorithms(next(), opts);
     else if (a == "--semantics") parse_semantics(next(), opts);
     else if (a == "--adversaries") parse_adversaries(next(), opts);
+    else if (a == "--faults") parse_faults(next(), opts);
+    else if (a == "--crash-seeds") parse_crash_seeds(next(), opts);
     else if (a == "--processes") parse_processes(next(), opts);
     else if (a == "--seeds") parse_seeds(next(), opts);
     else if (a == "--writes") {
@@ -232,5 +282,8 @@ int main(int argc, char** argv) {
             << "threads " << opts.threads << "\n"
             << "steals " << sum.steals << "\n";
 
+  // Blocked runs are the crash axis doing its job (their histories were
+  // still checked clean up to the block); only violations and errors
+  // fail the sweep.
   return (sum.violations == 0 && sum.errors == 0) ? 0 : 1;
 }
