@@ -1,0 +1,102 @@
+// Experiment P5 — termination-lab throughput.
+//
+// The termination sweep is the second workload class the engine serves:
+// this bench tracks per-family scenario cost (consensus rounds, the
+// composed A', the scripted Theorem 6 game) and end-to-end termination
+// sweeps through the pool.  The digest is asserted stable across
+// iterations — a throughput bench that silently changed behaviour would
+// be worse than useless.
+#include <benchmark/benchmark.h>
+
+#include "term/term_scenario.hpp"
+#include "term/term_sweep.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace rlt;
+
+term::TermScenario scenario(term::Family f, term::TermAdversary a,
+                            std::uint64_t seed) {
+  term::TermScenario s;
+  s.family = f;
+  s.adversary = a;
+  s.processes = 4;
+  s.seed = seed;
+  s.max_rounds = 64;
+  return s;
+}
+
+void run_scenario_bench(benchmark::State& state, term::Family f,
+                        term::TermAdversary a) {
+  // Cycle 16 seeds so the bench samples schedule variety; assert rerun
+  // determinism on the fingerprints as we go.
+  std::uint64_t fingerprints[16] = {};
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    const std::uint64_t seed = iter % 16;
+    const term::TermRecord r = run_term_scenario(scenario(f, a, seed));
+    benchmark::DoNotOptimize(r.outcome_hash);
+    RLT_CHECK_MSG(!r.error, "bench scenario errored");
+    RLT_CHECK_MSG(fingerprints[seed] == 0 ||
+                      fingerprints[seed] == r.outcome_hash,
+                  "outcome hash changed between reruns — nondeterminism");
+    fingerprints[seed] = r.outcome_hash;
+    ++iter;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(iter));
+}
+
+void BM_TermConsensus(benchmark::State& state) {
+  run_scenario_bench(state, term::Family::kConsensus,
+                     term::TermAdversary::kRandom);
+}
+BENCHMARK(BM_TermConsensus)->Unit(benchmark::kMicrosecond);
+
+void BM_TermComposedRandom(benchmark::State& state) {
+  run_scenario_bench(state, term::Family::kComposed,
+                     term::TermAdversary::kRandom);
+}
+BENCHMARK(BM_TermComposedRandom)->Unit(benchmark::kMicrosecond);
+
+void BM_TermComposedScripted(benchmark::State& state) {
+  run_scenario_bench(state, term::Family::kComposed,
+                     term::TermAdversary::kScripted);
+}
+BENCHMARK(BM_TermComposedScripted)->Unit(benchmark::kMicrosecond);
+
+/// The Theorem 6 steady state: the scripted adversary drives every
+/// budgeted round — cost is linear in the round budget, so this is the
+/// expensive corner of the family.
+void BM_TermGameScripted(benchmark::State& state) {
+  run_scenario_bench(state, term::Family::kGame,
+                     term::TermAdversary::kScripted);
+}
+BENCHMARK(BM_TermGameScripted)->Unit(benchmark::kMicrosecond);
+
+/// End-to-end termination sweep (all families × adversaries), seeds
+/// scaled by the range argument.
+void BM_TermSweep(benchmark::State& state) {
+  term::TermSweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = static_cast<std::uint64_t>(state.range(0));
+  o.threads = 2;
+  std::uint64_t digest = 0;
+  std::uint64_t scenarios = 0;
+  for (auto _ : state) {
+    const term::TermSummary sum = run_term_sweep(o);
+    benchmark::DoNotOptimize(sum.digest);
+    RLT_CHECK_MSG(digest == 0 || digest == sum.digest,
+                  "term digest changed between iterations — nondeterminism");
+    digest = sum.digest;
+    scenarios = sum.scenarios;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(sum.scenarios));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios);
+}
+BENCHMARK(BM_TermSweep)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

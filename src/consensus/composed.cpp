@@ -45,7 +45,14 @@ struct ComposedRun {
               for (int& b : in) b = rng.flip();
               return in;
             }()) {
-    game::setup_game(sched, game_semantics, game_state);
+    RLT_CHECK_MSG(gc.n >= 3, "the game needs n >= 3 processes");
+    // Registers only: the composed bodies below ARE the game processes.
+    // Calling setup_game here would add a second, competing set of game
+    // processes on the same GameState — two "host 0"s would write
+    // different coins into C and break Lemma 18 (a bug this runner
+    // actually had; Corollary9Regression.ComposedRunsUseExactlyNProcesses
+    // pins the schedules that exposed it).
+    game::setup_game_registers(sched, game_semantics);
     setup_consensus(sched, consensus_state.cfg, sim::Semantics::kAtomic);
     for (int i = 0; i < gc.n; ++i) {
       sched.add_process(
@@ -89,6 +96,32 @@ ComposedResult run_composed_scripted(const game::GameConfig& game_cfg,
           (static_cast<std::uint64_t>(game_cfg.n) * 600 + 2000);
   const sim::RunOutcome outcome = run.sched.run(adversary, budget);
   return run.collect(outcome);
+}
+
+ComposedStats run_composed_adversary(const game::GameConfig& game_cfg,
+                                     const ConsensusConfig& consensus_cfg,
+                                     sim::Semantics game_semantics,
+                                     sim::Adversary& adversary,
+                                     std::uint64_t max_actions,
+                                     std::uint64_t seed) {
+  ComposedRun run(game_cfg, consensus_cfg, game_semantics, seed);
+  ComposedStats st;
+  st.outcome = run.sched.run(adversary, max_actions);
+  st.game_rounds = run.game_state.rounds_reached();
+  st.game_capped = run.game_state.any_capped();
+  st.consensus_started = run.consensus_started;
+  st.game_returned.reserve(run.game_state.procs.size());
+  for (const game::ProcStatus& p : run.game_state.procs) {
+    st.game_returned.push_back(p.returned);
+  }
+  st.decisions = run.consensus_state.decisions;
+  st.decided_round = run.consensus_state.decided_round;
+  st.consensus_capped = run.consensus_state.hit_round_cap;
+  st.agreement = run.consensus_state.agreement();
+  st.validity = run.consensus_state.validity();
+  st.actions = run.sched.actions_applied();
+  st.coin_flips = run.sched.coin_log().size();
+  return st;
 }
 
 ComposedResult run_composed_random(const game::GameConfig& game_cfg,

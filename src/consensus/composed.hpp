@@ -44,4 +44,32 @@ struct ComposedResult {
     const game::GameConfig& game_cfg, const ConsensusConfig& consensus_cfg,
     sim::Semantics game_semantics, std::uint64_t seed);
 
+/// Full end state of one A' execution — per-process game and consensus
+/// status plus scheduler counters.  The termination lab needs this finer
+/// grain than ComposedResult: under a stalling adversary "all decided"
+/// is the wrong question; "every live process decided" is the right one,
+/// and that needs the per-process vectors.
+struct ComposedStats {
+  sim::RunOutcome outcome = sim::RunOutcome::kStopped;
+  std::vector<bool> game_returned;  ///< Per process: returned from the game.
+  int game_rounds = 0;              ///< Highest game round entered.
+  bool game_capped = false;         ///< Some process hit the game round cap.
+  bool consensus_started = false;
+  std::vector<int> decisions;       ///< Per process; -1 = undecided.
+  std::vector<int> decided_round;   ///< Per process; 0 = none.
+  bool consensus_capped = false;    ///< Some process hit the consensus cap.
+  bool agreement = true;            ///< Over decided processes.
+  bool validity = true;             ///< Over decided processes.
+  std::uint64_t actions = 0;        ///< Scheduler actions consumed.
+  std::uint64_t coin_flips = 0;     ///< Scheduler coin flips (game + A).
+};
+
+/// Runs A' under a caller-supplied adversary with an explicit action
+/// budget.  Consensus inputs are derived from `seed` exactly as in the
+/// helpers above (identical seeds give identical inputs).
+[[nodiscard]] ComposedStats run_composed_adversary(
+    const game::GameConfig& game_cfg, const ConsensusConfig& consensus_cfg,
+    sim::Semantics game_semantics, sim::Adversary& adversary,
+    std::uint64_t max_actions, std::uint64_t seed);
+
 }  // namespace rlt::consensus

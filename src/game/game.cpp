@@ -144,12 +144,16 @@ sim::Task player_body(sim::Proc& self, GameState& st, int i) {
   me.returned = true;  // line 36
 }
 
-void setup_game(sim::Scheduler& sched, sim::Semantics semantics,
-                GameState& state) {
-  RLT_CHECK_MSG(state.cfg.n >= 3, "the game needs n >= 3 processes");
+void setup_game_registers(sim::Scheduler& sched, sim::Semantics semantics) {
   sched.add_register(kR1, semantics, kBot);
   sched.add_register(kR2, semantics, 0);
   sched.add_register(kC, semantics, kBot);
+}
+
+void setup_game(sim::Scheduler& sched, sim::Semantics semantics,
+                GameState& state) {
+  RLT_CHECK_MSG(state.cfg.n >= 3, "the game needs n >= 3 processes");
+  setup_game_registers(sched, semantics);
   for (int i = 0; i < 2; ++i) {
     sched.add_process("host-p" + std::to_string(i),
                       [&state, i](sim::Proc& p) {

@@ -72,8 +72,17 @@ struct GameState {
   [[nodiscard]] int rounds_reached() const;
 };
 
-/// Adds registers (R1, R2, C with the given semantics) and the n game
-/// processes to `sched`.  `state` must outlive the scheduler run.
+/// Adds just the game's three registers (R1, R2, C with the given
+/// semantics) to `sched` — for compositions that co_await host_body /
+/// player_body from their own process bodies (Corollary 9's A').  Such
+/// callers must NOT also call setup_game: that would add a second set of
+/// game processes sharing the same GameState, so two copies of each role
+/// would fight over R1/R2/C (two "host 0"s flipping different coins into
+/// C breaks Lemma 18) — the bug the composed runner used to have.
+void setup_game_registers(sim::Scheduler& sched, sim::Semantics semantics);
+
+/// Adds the game registers AND the n game processes to `sched`.  `state`
+/// must outlive the scheduler run.
 void setup_game(sim::Scheduler& sched, sim::Semantics semantics,
                 GameState& state);
 

@@ -17,6 +17,7 @@ GameRunResult collect(const GameState& state, const sim::Scheduler& sched,
   r.capped = state.any_capped();
   r.rounds_reached = state.rounds_reached();
   r.actions = sched.actions_applied();
+  r.coin_flips = sched.coin_log().size();
   r.coins = state.coin_by_round;
   if (r.terminated) {
     int died = 0;
@@ -30,23 +31,30 @@ GameRunResult collect(const GameState& state, const sim::Scheduler& sched,
 
 }  // namespace
 
+GameRunResult run_game_adversary(GameState& state, sim::Semantics semantics,
+                                 sim::Adversary& adversary,
+                                 std::uint64_t budget, std::uint64_t seed) {
+  sim::Scheduler sched(seed);
+  setup_game(sched, semantics, state);
+  const sim::RunOutcome outcome = sched.run(adversary, budget);
+  return collect(state, sched, outcome);
+}
+
 GameRunResult run_scripted_game(const GameConfig& cfg,
                                 sim::Semantics semantics,
                                 CommitStrategy strategy, std::uint64_t seed) {
   RLT_CHECK_MSG(semantics != sim::Semantics::kAtomic,
                 "the scripted adversary needs interval semantics; use "
                 "run_random_game for atomic registers");
-  sim::Scheduler sched(seed);
   GameState state(cfg);
-  setup_game(sched, semantics, state);
   GameScriptAdversary adversary(cfg, strategy, seed ^ 0x5DEECE66DULL);
   // Generous action budget: the script uses a bounded number of actions
   // per round.
   const std::uint64_t budget =
       static_cast<std::uint64_t>(cfg.max_rounds + 2) *
       (static_cast<std::uint64_t>(cfg.n) * 24 + 64);
-  const sim::RunOutcome outcome = sched.run(adversary, budget);
-  GameRunResult r = collect(state, sched, outcome);
+  GameRunResult r = run_game_adversary(state, semantics, adversary, budget,
+                                       seed);
   if (adversary.stats().doomed_round != 0) {
     RLT_CHECK_MSG(r.terminated,
                   "script doomed the game but processes did not return");
@@ -57,17 +65,14 @@ GameRunResult run_scripted_game(const GameConfig& cfg,
 
 GameRunResult run_random_game(const GameConfig& cfg, sim::Semantics semantics,
                               std::uint64_t seed) {
-  sim::Scheduler sched(seed);
   GameState state(cfg);
-  setup_game(sched, semantics, state);
   sim::RandomAdversary adversary(seed ^ 0x9E3779B97F4A7C15ULL);
   // Random schedules are far less action-efficient than the script; the
   // cap guards against pathological schedules only.
   const std::uint64_t budget =
       static_cast<std::uint64_t>(cfg.max_rounds + 2) *
       (static_cast<std::uint64_t>(cfg.n) * 400 + 4000);
-  const sim::RunOutcome outcome = sched.run(adversary, budget);
-  return collect(state, sched, outcome);
+  return run_game_adversary(state, semantics, adversary, budget, seed);
 }
 
 TerminationDistribution measure_termination_rounds(const GameConfig& cfg,

@@ -18,8 +18,19 @@ struct GameRunResult {
   int rounds_reached = 0;    ///< Highest round entered by any process.
   int termination_round = 0; ///< Round the game died in (0 if it never did).
   std::uint64_t actions = 0; ///< Scheduler actions consumed.
+  std::uint64_t coin_flips = 0;  ///< Scheduler coin flips (p0's line 6).
   std::vector<int> coins;    ///< p0's coin per round (1-based, -1 unset).
 };
+
+/// Runs the game in a caller-built `state` under a caller-supplied
+/// adversary (`seed` seeds the scheduler's coin RNG).  The scripted /
+/// random helpers below are wrappers; the termination lab drives this
+/// directly and reads per-process status out of `state` afterwards.
+[[nodiscard]] GameRunResult run_game_adversary(GameState& state,
+                                               sim::Semantics semantics,
+                                               sim::Adversary& adversary,
+                                               std::uint64_t budget,
+                                               std::uint64_t seed);
 
 /// Runs the game with the scripted adversary (Theorem 6 schedule /
 /// best-effort WSL variant).  `semantics` must be kLinearizable or

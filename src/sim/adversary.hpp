@@ -5,6 +5,9 @@
 // strong-linearizability) live in src/game/.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "sim/scheduler.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -46,6 +49,93 @@ class FixedStepAdversary final : public Adversary {
  private:
   std::vector<ProcessId> steps_;
   std::size_t next_ = 0;
+};
+
+/// Picks a seeded strict minority of victims: 1..⌊(n-1)/2⌋ distinct
+/// process ids (ascending), a pure function of (n, mix).  Empty when
+/// n <= 2 (no strict minority exists).  Shared by the sweep engine's
+/// stall-fault axis and the termination lab's stalling adversary so both
+/// subsystems freeze the same processes for the same seeds.
+[[nodiscard]] inline std::vector<ProcessId> pick_strict_minority(
+    int n, std::uint64_t mix) {
+  std::vector<ProcessId> out;
+  const int max_victims = (n - 1) / 2;
+  if (max_victims <= 0) return out;
+  util::Rng rng(mix);
+  const int count =
+      1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(max_victims)));
+  std::vector<ProcessId> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  // Partial Fisher–Yates: the first `count` slots are the victims.
+  for (int i = 0; i < count; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(rng.uniform(static_cast<std::uint64_t>(n - i)));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    out.push_back(ids[static_cast<std::size_t>(i)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// An adversary that never schedules a chosen set of processes — they
+/// stall forever mid-operation (steps AND responses to their pending ops
+/// are withheld).  The remaining actions are scheduled by the selected
+/// policy; returns std::nullopt (stopping the run) once only stalled
+/// processes have enabled actions.  Wait-freedom probe: everyone else
+/// must still finish.  Promoted from the ablation tests to back the
+/// sweep engine's `--faults stall` axis and the termination lab.
+class StallingAdversary final : public Adversary {
+ public:
+  enum class Policy {
+    kRandom,     ///< Uniform among the surviving actions (seeded).
+    kRoundRobin, ///< RoundRobinAdversary's rule over live processes.
+  };
+
+  StallingAdversary(std::vector<ProcessId> stalled, std::uint64_t seed,
+                    Policy policy = Policy::kRandom)
+      : stalled_(std::move(stalled)), policy_(policy), rng_(seed) {}
+
+  std::optional<Action> choose(Scheduler& sched) override {
+    if (policy_ == Policy::kRoundRobin) return choose_round_robin(sched);
+    std::vector<Action> actions;
+    for (Action& a : sched.enabled_actions()) {
+      if (!is_stalled(a.process)) actions.push_back(std::move(a));
+    }
+    if (actions.empty()) return std::nullopt;
+    return actions[rng_.uniform(actions.size())];
+  }
+
+ private:
+  [[nodiscard]] bool is_stalled(ProcessId p) const {
+    return std::find(stalled_.begin(), stalled_.end(), p) != stalled_.end();
+  }
+
+  std::optional<Action> choose_round_robin(Scheduler& sched) {
+    // Respond the oldest live-owned pending op first, first choice.
+    for (const PendingOpInfo& info : sched.pending_ops()) {
+      if (is_stalled(info.process)) continue;
+      auto choices = sched.choices_for(info.op_id);
+      RLT_CHECK_MSG(!choices.empty(), "pending op with no choices");
+      return Action::respond(info.process, info.op_id,
+                             std::move(choices.front()));
+    }
+    const int n = sched.process_count();
+    for (int i = 0; i < n; ++i) {
+      const ProcessId p = static_cast<ProcessId>((next_ + i) % n);
+      if (is_stalled(p)) continue;
+      if (!sched.process_done(p) && !sched.process_blocked(p)) {
+        next_ = (p + 1) % n;
+        return Action::step(p);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::vector<ProcessId> stalled_;
+  Policy policy_;
+  util::Rng rng_;
+  int next_ = 0;
 };
 
 /// Deterministic round-robin over processes; pending operations are

@@ -59,6 +59,56 @@ std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
   return std::make_unique<sim::RoundRobinAdversary>();
 }
 
+/// The stall axis's single seed derivation: everything the axis
+/// randomizes (victim choice AND the stalling adversary's own stream)
+/// keys off this one mix of (scenario seed, fault seed), so the two can
+/// never silently decorrelate.
+std::uint64_t stall_mix(const Scenario& s) {
+  std::uint64_t mix = kFnvOffset;
+  fnv_mix_u64(mix, s.seed);
+  fnv_mix_u64(mix, s.faults.seed);
+  return mix;
+}
+
+/// Victims of a kStall plan: a seeded strict minority, a pure function
+/// of (scenario seed, fault seed) via the shared picker — the same
+/// processes stall for the same seeds in the termination lab.
+std::vector<sim::ProcessId> plan_stalls(const Scenario& s) {
+  if (s.faults.kind != FaultKind::kStall) return {};
+  return sim::pick_strict_minority(s.processes, stall_mix(s));
+}
+
+/// How a simulator run was driven and how it ended.
+struct SimDrive {
+  sim::RunOutcome outcome = sim::RunOutcome::kStopped;
+  std::vector<sim::ProcessId> stalled;  ///< kStall victims (may be empty).
+};
+
+/// Runs `sched` under the scenario's adversary.  With an active kStall
+/// plan, each victim first takes ONE step (so its first operation is
+/// live — under interval semantics it stays pending forever, which is
+/// the interesting case for the checker) and is then never scheduled
+/// again; the surviving actions follow the scenario's adversary policy.
+SimDrive drive_sim(const Scenario& s, sim::Scheduler& sched) {
+  SimDrive d;
+  d.stalled = plan_stalls(s);
+  if (d.stalled.empty()) {
+    auto adv = make_adversary(s);
+    d.outcome = sched.run(*adv, s.max_actions);
+    return d;
+  }
+  for (const sim::ProcessId p : d.stalled) {
+    sched.apply(sim::Action::step(p));
+  }
+  sim::StallingAdversary adv(
+      d.stalled, stall_mix(s) * kFnvPrime + 1,
+      s.adversary == AdversaryKind::kRandom
+          ? sim::StallingAdversary::Policy::kRandom
+          : sim::StallingAdversary::Policy::kRoundRobin);
+  d.outcome = sched.run(adv, s.max_actions);
+  return d;
+}
+
 /// Applies the checks the scenario's semantics promise, on the
 /// single-register high-level history `h`.  Pending ops are fine: the
 /// solver includes pending writes as possibly-effective and never
@@ -85,16 +135,39 @@ void check_history(const History& h, bool expect_wsl, ScenarioResult& out) {
   out.verdict = Verdict::kOk;
 }
 
-void finish_sim(sim::Scheduler& sched, sim::RunOutcome outcome,
-                const History& h, bool expect_wsl, ScenarioResult& out) {
+void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
+                bool expect_wsl, ScenarioResult& out) {
   out.steps = sched.actions_applied();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
-  const bool done = outcome == sim::RunOutcome::kAllDone;
-  classify_run(h, expect_wsl, done ? RunEnd::kCompleted : RunEnd::kBudget,
-               done ? std::string()
-                    : std::string("run ended early: ") + sim::to_string(outcome),
-               out);
+  RunEnd end = RunEnd::kCompleted;
+  std::string end_detail;
+  if (d.outcome != sim::RunOutcome::kAllDone) {
+    // With an active stall plan the adversary stops (kStopped) once only
+    // stalled processes have enabled actions.  If every live process is
+    // done, that is the stall axis doing its job — the stranded work can
+    // never finish under this adversary — and classifies kBlocked, like
+    // a crash-stranded ABD run.  Anything else is a genuine early end.
+    bool live_all_done = !d.stalled.empty();
+    for (int p = 0; live_all_done && p < sched.process_count(); ++p) {
+      const bool stalled = std::find(d.stalled.begin(), d.stalled.end(),
+                                     p) != d.stalled.end();
+      if (!stalled && !sched.process_done(p)) live_all_done = false;
+    }
+    if (d.outcome == sim::RunOutcome::kStopped && live_all_done) {
+      end = RunEnd::kBlocked;
+      std::ostringstream os;
+      os << "blocked: " << d.stalled.size()
+         << " process(es) stalled by the adversary with "
+         << (h.ops().size() - h.completed_count())
+         << " pending op(s); every live process finished";
+      end_detail = os.str();
+    } else {
+      end = RunEnd::kBudget;
+      end_detail = std::string("run ended early: ") + sim::to_string(d.outcome);
+    }
+  }
+  classify_run(h, expect_wsl, end, end_detail, out);
 }
 
 void run_modeled(const Scenario& s, ScenarioResult& out) {
@@ -106,9 +179,8 @@ void run_modeled(const Scenario& s, ScenarioResult& out) {
       return modeled_proc(pr, p, writes);
     });
   }
-  auto adv = make_adversary(s);
-  const sim::RunOutcome outcome = sched.run(*adv, s.max_actions);
-  finish_sim(sched, outcome, sched.global_history(),
+  const SimDrive d = drive_sim(s, sched);
+  finish_sim(sched, d, sched.global_history(),
              s.semantics == sim::Semantics::kWriteStrong, out);
 }
 
@@ -127,18 +199,17 @@ void run_implemented(const Scenario& s, bool expect_wsl,
                         return implemented_proc(pr, reg, p, writes);
                       });
   }
-  auto adv = make_adversary(s);
-  const sim::RunOutcome outcome = sched.run(*adv, s.max_actions);
-  finish_sim(sched, outcome, reg.hl_history(), expect_wsl, out);
+  const SimDrive d = drive_sim(s, sched);
+  finish_sim(sched, d, reg.hl_history(), expect_wsl, out);
 }
 
-/// A node's crash moment, decided up front from the scenario's CrashPlan.
+/// A node's crash moment, decided up front from the scenario's FaultPlan.
 struct PlannedCrash {
   std::uint64_t at = 0;   ///< Driver iteration at which the node dies.
   mp::NodeId victim = -1;
 };
 
-/// Expands a CrashPlan into concrete (time, victim) pairs.  Crash count
+/// Expands a minority-crash FaultPlan into concrete (time, victim) pairs.  Crash count
 /// is a strict minority (1..⌊(n-1)/2⌋, so a write/read quorum of live
 /// servers always remains), victims are distinct, and times are spread
 /// over a horizon sized to the crash-free run length — some schedules
@@ -339,6 +410,7 @@ const char* to_string(FaultKind f) noexcept {
   switch (f) {
     case FaultKind::kNone: return "none";
     case FaultKind::kMinorityCrash: return "minority";
+    case FaultKind::kStall: return "stall";
   }
   return "?";
 }
@@ -446,8 +518,12 @@ ScenarioResult run_scenario(const Scenario& s) {
     RLT_CHECK_MSG(s.processes >= 1 && s.processes <= 64,
                   "scenario processes out of range");
     RLT_CHECK_MSG(s.writes_per_process >= 0, "negative writes_per_process");
-    RLT_CHECK_MSG(!s.faults.active() || s.algorithm == Algorithm::kAbd,
+    RLT_CHECK_MSG(s.faults.kind != FaultKind::kMinorityCrash ||
+                      s.algorithm == Algorithm::kAbd,
                   "crash faults are only implemented for the ABD family");
+    RLT_CHECK_MSG(s.faults.kind != FaultKind::kStall ||
+                      s.algorithm != Algorithm::kAbd,
+                  "stall faults apply to the simulator families only");
     switch (s.algorithm) {
       case Algorithm::kModeled:
         run_modeled(s, out);

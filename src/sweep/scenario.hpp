@@ -28,12 +28,18 @@
 //    Theorem 14, and we check that too: single-writer runs keep the tree
 //    search tiny).
 //
-// The crash-fault axis (`CrashPlan`) applies to kAbd: the paper's
-// termination results live in the regime where a minority of nodes may
-// crash, so the sweep can seed minority-crash schedules and classify
-// runs that can no longer finish as Verdict::kBlocked — distinct from
-// both kViolation (a checker rejected the history) and kError (the run
-// machinery itself failed).
+// The fault axis (`FaultPlan`) comes in two flavours.  kMinorityCrash
+// applies to kAbd: the paper's termination results live in the regime
+// where a minority of nodes may crash, so the sweep can seed
+// minority-crash schedules and classify runs that can no longer finish
+// as Verdict::kBlocked — distinct from both kViolation (a checker
+// rejected the history) and kError (the run machinery itself failed).
+// kStall applies to the simulator families (kModeled/kAlg2/kAlg4): a
+// seeded strict minority of processes takes one step and is then never
+// scheduled again — the wait-freedom probe promoted from the ablation
+// tests.  Live processes must still finish (the registers are
+// wait-free); the run then classifies kBlocked with the history —
+// stranded pending ops included — checked clean.
 #pragma once
 
 #include <cstdint>
@@ -57,29 +63,31 @@ enum class AdversaryKind : std::uint8_t { kRandom, kRoundRobin };
 
 [[nodiscard]] const char* to_string(AdversaryKind a) noexcept;
 
-/// Which crash-fault regime a scenario runs under.
+/// Which fault regime a scenario runs under.
 enum class FaultKind : std::uint8_t {
-  kNone,           ///< Crash-free (the classic sweep).
-  kMinorityCrash,  ///< A seeded strict minority of nodes crashes.
+  kNone,           ///< Fault-free (the classic sweep).
+  kMinorityCrash,  ///< A seeded strict minority of nodes crashes (ABD).
+  kStall,          ///< A seeded strict minority of processes stalls
+                   ///< forever after one step (simulator families).
 };
 
 [[nodiscard]] const char* to_string(FaultKind f) noexcept;
 
-/// A seeded crash schedule.  `seed` is an independent axis from the
-/// scenario seed: the same delivery schedule can be swept under many
-/// crash timings.  Victims, crash count (1..⌊(n-1)/2⌋, always leaving a
-/// live majority), and crash times are all deterministic functions of
-/// (scenario seed, crash seed).  Applies to Algorithm::kAbd; scenarios
-/// of other families must keep kNone (run_scenario reports kError
-/// otherwise).
-struct CrashPlan {
+/// A seeded fault schedule.  `seed` is an independent axis from the
+/// scenario seed: the same schedule can be swept under many fault
+/// timings.  Victims, victim count (1..⌊(n-1)/2⌋, always leaving a live
+/// majority), and — for crashes — crash times are all deterministic
+/// functions of (scenario seed, fault seed).  kMinorityCrash applies to
+/// Algorithm::kAbd, kStall to the simulator families; run_scenario
+/// reports kError on any other pairing.
+struct FaultPlan {
   FaultKind kind = FaultKind::kNone;
-  std::uint64_t seed = 0;  ///< Crash-time seed; unused for kNone.
+  std::uint64_t seed = 0;  ///< Fault-schedule seed; unused for kNone.
 
   [[nodiscard]] bool active() const noexcept {
     return kind != FaultKind::kNone;
   }
-  friend bool operator==(const CrashPlan&, const CrashPlan&) = default;
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 /// A fully determined scenario configuration.
@@ -96,16 +104,17 @@ struct Scenario {
   int writes_per_process = 2;
   /// Safety cap on simulator actions / network deliveries.
   std::uint64_t max_actions = 1'000'000;
-  /// Crash-fault axis (ABD scenarios only; see CrashPlan).
-  CrashPlan faults;
+  /// Fault axis (see FaultPlan for which kinds pair with which family).
+  FaultPlan faults;
   /// ABLATION/testing knob, not reachable from the CLI: disables ABD's
   /// read write-back phase, which breaks linearizability across readers
   /// (see mp/abd.hpp).  Tests use it to plant genuine violations inside
   /// sweeps; key() marks it ("/nowb") so fingerprints stay honest.
   bool abd_read_write_back = true;
 
-  /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42" or
-  /// "abd/rand/p5/w2/fminority-c7/seed42".  Crash-free scenarios keep
+  /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42",
+  /// "abd/rand/p5/w2/fminority-c7/seed42", or
+  /// "alg2/rand/p5/w2/fstall-c3/seed42".  Fault-free scenarios keep
   /// their historical keys (no fault segment), so pre-fault-axis digests
   /// remain comparable.  Used in reports and mixed into the sweep digest.
   [[nodiscard]] std::string key() const;
@@ -119,9 +128,9 @@ struct Scenario {
 enum class Verdict : std::uint8_t {
   kOk = 0,         ///< Ran to completion; every applicable check passed.
   kViolation = 1,  ///< A checker rejected the recorded history.
-  kBlocked = 2,    ///< Quiescent with pending ops that can never finish
-                   ///< (crashed homes / no live quorum); history checked
-                   ///< clean up to the block.
+  kBlocked = 2,    ///< Quiescent with work that can never finish (crashed
+                   ///< homes / no live quorum / stalled processes);
+                   ///< history checked clean up to the block.
   kError = 3,      ///< The run machinery failed (budget exhausted with a
                    ///< clean prefix, bad config, exception).
 };

@@ -1,0 +1,85 @@
+#include "sweep/store.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rlt::sweep {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Record::begin_field(std::string_view field) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_escape(field);
+  body_ += ':';
+}
+
+Record& Record::str(std::string_view field, std::string_view value) {
+  begin_field(field);
+  body_ += json_escape(value);
+  return *this;
+}
+
+Record& Record::u64(std::string_view field, std::uint64_t value) {
+  begin_field(field);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Record& Record::hex(std::string_view field, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return str(field, buf);
+}
+
+Record& Record::boolean(std::string_view field, bool value) {
+  begin_field(field);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string Record::json() const { return "{" + body_ + "}"; }
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : path_(path), out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("cannot open result store '" + path +
+                             "' for writing");
+  }
+}
+
+void JsonlFileSink::append(const Record& r) { out_ << r.json() << '\n'; }
+
+void JsonlFileSink::close() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("write to result store '" + path_ + "' failed");
+  }
+  out_.close();
+}
+
+}  // namespace rlt::sweep

@@ -1,0 +1,77 @@
+// The persisted per-scenario result store.
+//
+// A sweep (safety or termination) can stream one flat record per scenario
+// into a `RecordSink`.  Records are appended in scenario-enumeration
+// order during the deterministic fold — after the pool barrier — so a
+// store's bytes are a pure function of the sweep options: byte-identical
+// across runs, thread counts, and batch sizes.  That property is what
+// makes two stores diffable across commits (`tools/sweep_diff.py`):
+// a changed line means scenario behaviour changed, not scheduling.
+//
+// Serialization is canonical JSONL: one JSON object per line, fields in
+// the exact order the producer added them, no whitespace, strings
+// escaped per RFC 8259 (control characters as \u00XX).  Every record
+// carries a unique "key" field — the scenario key — which diff tooling
+// uses as the join column.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace rlt::sweep {
+
+/// One flat record under construction.  Field order is insertion order;
+/// the producer is responsible for a stable field set per record kind.
+class Record {
+ public:
+  Record& str(std::string_view field, std::string_view value);
+  Record& u64(std::string_view field, std::uint64_t value);
+  Record& hex(std::string_view field, std::uint64_t value);  ///< "0x…" string
+  Record& boolean(std::string_view field, bool value);
+
+  /// The closed single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string json() const;
+
+ private:
+  void begin_field(std::string_view field);
+  std::string body_;  ///< Accumulated `"a":1,"b":"x"` payload.
+};
+
+/// Escapes `s` as a JSON string literal (including the quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Where per-scenario records go.  `append` is called in enumeration
+/// order, exactly once per scenario, after all scenarios completed.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void append(const Record& r) = 0;
+};
+
+/// Collects the store in memory (tests: byte-stability assertions).
+class StringSink final : public RecordSink {
+ public:
+  void append(const Record& r) override { text_ += r.json() += '\n'; }
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Writes the store to a file, one record per line.  Throws
+/// std::runtime_error if the file cannot be opened; `close()` flushes
+/// and throws on write failure (call it before trusting the store).
+class JsonlFileSink final : public RecordSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  void append(const Record& r) override;
+  void close();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace rlt::sweep

@@ -22,22 +22,55 @@ constexpr std::uint64_t kMaxScenarios = 10'000'000;
 
 }  // namespace
 
+namespace {
+
+/// Whether a faulty kind applies to a scenario family: minority crashes
+/// are an ABD (message-passing) concept, stalls a simulator-family one.
+bool fault_applies(FaultKind f, Algorithm alg) {
+  switch (f) {
+    case FaultKind::kNone: return true;
+    case FaultKind::kMinorityCrash: return alg == Algorithm::kAbd;
+    case FaultKind::kStall: return alg != Algorithm::kAbd;
+  }
+  return false;
+}
+
+/// Expands the fault axis for one family: kNone contributes one
+/// fault-free plan, each applicable faulty kind one plan per fault seed,
+/// inapplicable kinds nothing.  A family with no applicable plan at all
+/// (the list named only faults of other families) still runs once,
+/// fault-free — a fault sweep never silently drops a family.
+std::vector<FaultPlan> plans_for(const SweepOptions& o, Algorithm alg) {
+  std::vector<FaultPlan> plans;
+  for (const FaultKind f : o.faults) {
+    if (!fault_applies(f, alg)) continue;
+    if (f == FaultKind::kNone) {
+      plans.push_back(FaultPlan{});
+    } else {
+      for (const std::uint64_t cs : o.crash_seeds) {
+        plans.push_back(FaultPlan{f, cs});
+      }
+    }
+  }
+  if (plans.empty()) plans.push_back(FaultPlan{});
+  return plans;
+}
+
+}  // namespace
+
 std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
   RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
   RLT_CHECK_MSG(!o.faults.empty(), "fault-kind list is empty");
   RLT_CHECK_MSG(!o.crash_seeds.empty(), "crash-seed list is empty");
-  // Fault plans multiply only the ABD family (other families have no
-  // crash model); each faulty kind is swept once per crash seed, while
-  // kNone needs no crash schedule and is emitted once.
-  std::uint64_t abd_fault_plans = 0;
-  for (const FaultKind f : o.faults) {
-    abd_fault_plans += f == FaultKind::kNone ? 1 : o.crash_seeds.size();
-  }
+  // Per-algorithm plan lists, built once (seeds are the outer loop).
+  std::vector<std::vector<FaultPlan>> plans_by_alg;
+  plans_by_alg.reserve(o.algorithms.size());
   std::uint64_t configs = 0;
   for (const Algorithm alg : o.algorithms) {
-    configs += alg == Algorithm::kModeled ? o.semantics.size()
-               : alg == Algorithm::kAbd   ? abd_fault_plans
-                                          : 1;
+    plans_by_alg.push_back(plans_for(o, alg));
+    const std::uint64_t sems =
+        alg == Algorithm::kModeled ? o.semantics.size() : 1;
+    configs += sems * plans_by_alg.back().size();
   }
   configs *= o.adversaries.size() * o.process_counts.size();
   const std::uint64_t seeds = o.seed_end - o.seed_begin;
@@ -46,30 +79,17 @@ std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
                 "the seed range or axes");
   std::vector<Scenario> out;
   out.reserve(configs * seeds);
-  // The fault axis applies to ABD only; everything else runs crash-free
-  // exactly once whatever o.faults says.
-  std::vector<CrashPlan> abd_plans;
-  for (const FaultKind f : o.faults) {
-    if (f == FaultKind::kNone) {
-      abd_plans.push_back(CrashPlan{});
-    } else {
-      for (const std::uint64_t cs : o.crash_seeds) {
-        abd_plans.push_back(CrashPlan{f, cs});
-      }
-    }
-  }
-  const std::vector<CrashPlan> no_faults = {CrashPlan{}};
   for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
-    for (const Algorithm alg : o.algorithms) {
+    for (std::size_t ai = 0; ai < o.algorithms.size(); ++ai) {
+      const Algorithm alg = o.algorithms[ai];
       // Non-modeled algorithms ignore the semantics axis; emit them once.
       const std::size_t sem_count =
           alg == Algorithm::kModeled ? o.semantics.size() : 1;
-      const std::vector<CrashPlan>& plans =
-          alg == Algorithm::kAbd ? abd_plans : no_faults;
+      const std::vector<FaultPlan>& plans = plans_by_alg[ai];
       for (std::size_t si = 0; si < sem_count; ++si) {
         for (const AdversaryKind adv : o.adversaries) {
           for (const int procs : o.process_counts) {
-            for (const CrashPlan& plan : plans) {
+            for (const FaultPlan& plan : plans) {
               Scenario s;
               s.algorithm = alg;
               s.semantics = alg == Algorithm::kModeled
@@ -111,7 +131,8 @@ std::string SweepSummary::stable_text() const {
   return os.str();
 }
 
-SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
+SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
+                       RecordSink* sink) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Scenario> scenarios = enumerate_scenarios(o);
   std::vector<ScenarioResult> results(scenarios.size());
@@ -156,15 +177,30 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every) {
     sum.total_ops += r.ops;
     sum.wall_ns_total += r.wall_ns;
     if (r.wall_ns > sum.wall_ns_max) sum.wall_ns_max = r.wall_ns;
-    fnv_mix_str(sum.digest, scenarios[i].key());
+    const std::string key = scenarios[i].key();
+    fnv_mix_str(sum.digest, key);
     fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.verdict));
     fnv_mix_u64(sum.digest, r.steps);
     fnv_mix_u64(sum.digest, r.ops);
     fnv_mix_u64(sum.digest, r.history_hash);
+    if (sink != nullptr) {
+      // Canonical per-scenario record: exactly the digest material (plus
+      // the failure detail), in a fixed field order, so the store is
+      // byte-identical whenever the digest is.
+      Record rec;
+      rec.str("key", key)
+          .str("mode", "safety")
+          .str("verdict", to_string(r.verdict))
+          .u64("steps", r.steps)
+          .u64("ops", r.ops)
+          .hex("history_hash", r.history_hash)
+          .str("detail", r.detail);
+      sink->append(rec);
+    }
     if (r.verdict != Verdict::kOk) {
       if (sum.failures.size() < kMaxReportedFailures) {
-        sum.failures.push_back(scenarios[i].key() + ": [" +
-                               to_string(r.verdict) + "] " + r.detail);
+        sum.failures.push_back(key + ": [" + to_string(r.verdict) + "] " +
+                               r.detail);
       } else {
         ++sum.failures_truncated;
       }

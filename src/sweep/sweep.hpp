@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sweep/scenario.hpp"
+#include "sweep/store.hpp"
 
 namespace rlt::sweep {
 
@@ -36,12 +37,13 @@ struct SweepOptions {
                                            sim::Semantics::kWriteStrong};
   std::vector<AdversaryKind> adversaries = {AdversaryKind::kRandom,
                                             AdversaryKind::kRoundRobin};
-  /// Crash-fault axis; applies to Algorithm::kAbd scenarios only (the
-  /// other families have no crash model — they are emitted once,
-  /// crash-free, whatever this list says).
+  /// Fault axis.  Each kind multiplies only the families it applies to
+  /// (kMinorityCrash: ABD; kStall: the simulator families); a family
+  /// with no applicable faulty kind in this list is emitted once,
+  /// fault-free, whatever the list says.
   std::vector<FaultKind> faults = {FaultKind::kNone};
-  /// Crash-time seeds swept per faulty scenario (ignored for kNone,
-  /// which needs no crash schedule).
+  /// Fault-schedule seeds swept per faulty scenario (ignored for kNone,
+  /// which needs no schedule).
   std::vector<std::uint64_t> crash_seeds = {0};
   std::vector<int> process_counts = {3};
   std::uint64_t seed_begin = 0;  ///< Inclusive.
@@ -95,8 +97,12 @@ struct SweepSummary {
 };
 
 /// Runs the sweep on `o.threads` pool workers.  `progress_every` > 0
-/// prints a line to stderr every that-many completed scenarios.
+/// prints a line to stderr every that-many completed scenarios.  When
+/// `sink` is non-null, one canonical record per scenario is appended in
+/// enumeration order after the pool drains — so the store's bytes, like
+/// the digest, are independent of thread count and batch size.
 [[nodiscard]] SweepSummary run_sweep(const SweepOptions& o,
-                                     std::uint64_t progress_every = 0);
+                                     std::uint64_t progress_every = 0,
+                                     RecordSink* sink = nullptr);
 
 }  // namespace rlt::sweep

@@ -1,0 +1,218 @@
+#include "term/term_sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "sweep/fnv.hpp"
+#include "sweep/pool.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::term {
+namespace {
+
+constexpr std::size_t kMaxReportedFailures = 16;
+constexpr std::uint64_t kMaxScenarios = 10'000'000;
+
+/// Renders `num/den` as a fixed-point decimal with `digits` fractional
+/// places using integer arithmetic only — the stable_text bytes must not
+/// depend on a platform's floating-point formatting.
+std::string fixed_ratio(std::uint64_t num, std::uint64_t den, int digits) {
+  if (den == 0) return "n/a";
+  std::uint64_t scale = 1;
+  for (int i = 0; i < digits; ++i) scale *= 10;
+  const std::uint64_t scaled = num * scale / den;
+  std::ostringstream os;
+  os << scaled / scale << '.' << std::setw(digits) << std::setfill('0')
+     << scaled % scale;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<TermScenario> enumerate_term_scenarios(const TermSweepOptions& o) {
+  RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
+  RLT_CHECK_MSG(!o.families.empty(), "family list is empty");
+  RLT_CHECK_MSG(!o.adversaries.empty(), "adversary list is empty");
+  RLT_CHECK_MSG(!o.process_counts.empty(), "process-count list is empty");
+  RLT_CHECK_MSG(!o.round_budgets.empty(), "round-budget list is empty");
+  std::uint64_t pairs = 0;
+  for (const Family f : o.families) {
+    for (const TermAdversary a : o.adversaries) {
+      if (combination_valid(f, a)) ++pairs;
+    }
+  }
+  const std::uint64_t configs =
+      pairs * o.process_counts.size() * o.round_budgets.size();
+  const std::uint64_t seeds = o.seed_end - o.seed_begin;
+  RLT_CHECK_MSG(seeds == 0 || configs <= kMaxScenarios / seeds,
+                "termination sweep cross-product exceeds the scenario "
+                "limit; narrow the seed range or axes");
+  std::vector<TermScenario> out;
+  out.reserve(configs * seeds);
+  for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
+    for (const Family f : o.families) {
+      for (const TermAdversary a : o.adversaries) {
+        if (!combination_valid(f, a)) continue;
+        for (const int procs : o.process_counts) {
+          for (const int rounds : o.round_budgets) {
+            TermScenario s;
+            s.family = f;
+            s.adversary = a;
+            s.processes = procs;
+            s.seed = seed;
+            s.max_rounds = rounds;
+            s.max_actions = o.max_actions_per_scenario;
+            out.push_back(s);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string TermSummary::stable_text() const {
+  std::ostringstream os;
+  os << "scenarios " << scenarios << '\n'
+     << "terminated " << terminated << '\n'
+     << "capped " << capped << '\n'
+     << "safety_violations " << safety_violations << '\n'
+     << "errors " << errors << '\n'
+     << "steps " << total_steps << '\n'
+     << "coin_flips " << total_coin_flips << '\n'
+     << "round_sum " << rounds_sum << '\n'
+     << "round_max " << round_max << '\n'
+     << "termination_rate " << fixed_ratio(terminated, scenarios, 4) << '\n'
+     << "mean_round " << fixed_ratio(rounds_sum, terminated, 2) << '\n';
+  for (const TailPoint& t : tail) {
+    os << "tail round>" << t.k << ' ' << t.over << '\n';
+  }
+  os << "digest " << std::hex << digest << std::dec << '\n';
+  for (const std::string& f : failures) os << "failure " << f << '\n';
+  if (failures_truncated > 0) {
+    os << "failure ... and " << failures_truncated
+       << " more failing scenario(s) not listed\n";
+  }
+  return os.str();
+}
+
+TermSummary run_term_sweep(const TermSweepOptions& o,
+                           std::uint64_t progress_every,
+                           sweep::RecordSink* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<TermScenario> scenarios = enumerate_term_scenarios(o);
+  std::vector<TermRecord> records(scenarios.size());
+
+  std::uint64_t steal_count = 0;
+  {
+    sweep::WorkStealingPool pool(o.threads);
+    std::atomic<std::uint64_t> completed{0};
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, o.batch_size));
+    for (std::size_t begin = 0; begin < scenarios.size(); begin += batch) {
+      const std::size_t end = std::min(begin + batch, scenarios.size());
+      pool.submit([&scenarios, &records, &completed, progress_every, begin,
+                   end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          records[i] = run_term_scenario(scenarios[i]);
+          const std::uint64_t done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (progress_every > 0 && done % progress_every == 0) {
+            std::cerr << "[term-sweep] " << done << " scenarios done\n";
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+    steal_count = pool.steals();
+  }
+
+  // Deterministic fold: enumeration order, no wall-clock fields.
+  TermSummary sum;
+  sum.digest = sweep::kFnvOffset;
+  std::vector<int> terminated_rounds;  ///< For the survival tail.
+  std::uint64_t never_terminated = 0;  ///< Capped-without-terminating.
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const TermRecord& r = records[i];
+    ++sum.scenarios;
+    if (r.terminated) {
+      ++sum.terminated;
+      sum.rounds_sum += static_cast<std::uint64_t>(r.rounds);
+      sum.round_max = std::max(sum.round_max, r.rounds);
+      terminated_rounds.push_back(r.rounds);
+    } else if (r.capped) {
+      ++never_terminated;
+    }
+    if (r.capped) ++sum.capped;
+    if (!r.safety_ok) ++sum.safety_violations;
+    if (r.error) ++sum.errors;
+    sum.total_steps += r.steps;
+    sum.total_coin_flips += r.coin_flips;
+    sum.wall_ns_total += r.wall_ns;
+    if (r.wall_ns > sum.wall_ns_max) sum.wall_ns_max = r.wall_ns;
+    const std::string key = scenarios[i].key();
+    sweep::fnv_mix_str(sum.digest, key);
+    sweep::fnv_mix_u64(sum.digest, r.terminated ? 1 : 0);
+    sweep::fnv_mix_u64(sum.digest, r.capped ? 1 : 0);
+    sweep::fnv_mix_u64(sum.digest, r.safety_ok ? 1 : 0);
+    sweep::fnv_mix_u64(sum.digest, r.error ? 1 : 0);
+    sweep::fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.rounds));
+    sweep::fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.stalled));
+    sweep::fnv_mix_u64(sum.digest, r.coin_flips);
+    sweep::fnv_mix_u64(sum.digest, r.steps);
+    sweep::fnv_mix_u64(sum.digest, r.outcome_hash);
+    if (sink != nullptr) {
+      sweep::Record rec;
+      rec.str("key", key)
+          .str("mode", "term")
+          .boolean("terminated", r.terminated)
+          .boolean("capped", r.capped)
+          .boolean("safety_ok", r.safety_ok)
+          .boolean("error", r.error)
+          .u64("rounds", static_cast<std::uint64_t>(r.rounds))
+          .u64("stalled", static_cast<std::uint64_t>(r.stalled))
+          .u64("coin_flips", r.coin_flips)
+          .u64("steps", r.steps)
+          .hex("outcome_hash", r.outcome_hash)
+          .str("detail", r.detail);
+      sink->append(rec);
+    }
+    if (r.error || !r.safety_ok) {
+      if (sum.failures.size() < kMaxReportedFailures) {
+        sum.failures.push_back(key + ": " + r.detail);
+      } else {
+        ++sum.failures_truncated;
+      }
+    }
+  }
+
+  // Survival tail at powers of two, from the plain round list collected
+  // above (not the records — no point dragging their strings through
+  // cache again): runs that never terminated but hit a budget outlast
+  // every k (the Theorem 6 signature); terminated runs outlast k while
+  // rounds > k.
+  if (!terminated_rounds.empty() || never_terminated > 0) {
+    for (int k = 1; k <= std::max(sum.round_max, 1); k *= 2) {
+      TailPoint t;
+      t.k = k;
+      t.over = never_terminated;
+      for (const int rounds : terminated_rounds) {
+        if (rounds > k) ++t.over;
+      }
+      sum.tail.push_back(t);
+    }
+  }
+
+  sum.steals = steal_count;
+  sum.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return sum;
+}
+
+}  // namespace rlt::term

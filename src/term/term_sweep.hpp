@@ -1,0 +1,99 @@
+// The termination-statistics sweep: grind the cross-product
+//
+//   algorithm family × adversary × process count × round budget × seed
+//
+// through `run_term_scenario` on the same work-stealing pool the safety
+// sweep uses, and fold the per-scenario TermRecords into a *stable
+// aggregate*: termination rate, round statistics, a survival tail
+// P(round > k), and a 64-bit digest that — like the safety digest — is a
+// pure function of the sweep options, independent of thread count,
+// batch size, and machine.  Optionally streams one canonical record per
+// scenario into a result store (src/sweep/store.hpp) for cross-commit
+// diffing with tools/sweep_diff.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/store.hpp"
+#include "term/term_scenario.hpp"
+
+namespace rlt::term {
+
+/// The cross-product to sweep plus execution knobs.
+struct TermSweepOptions {
+  std::vector<Family> families = {Family::kConsensus, Family::kComposed,
+                                  Family::kSharedCoin, Family::kGame};
+  /// Invalid (family, adversary) pairs — scripted × consensus/coin — are
+  /// skipped by enumeration, not errored.
+  std::vector<TermAdversary> adversaries = {TermAdversary::kScripted,
+                                            TermAdversary::kRandom,
+                                            TermAdversary::kStalling};
+  std::vector<int> process_counts = {4};
+  std::vector<int> round_budgets = {64};
+  std::uint64_t seed_begin = 0;  ///< Inclusive.
+  std::uint64_t seed_end = 10;   ///< Exclusive.
+  std::uint64_t max_actions_per_scenario = 2'000'000;
+  int threads = 1;
+  /// Scenarios per pool task (digest-independent; see SweepOptions).
+  int batch_size = 16;
+};
+
+/// Materializes the cross-product, seeds outermost (consecutive task ids
+/// cover different configs).  Deterministic order; the digest and the
+/// result store fold in this order.
+[[nodiscard]] std::vector<TermScenario> enumerate_term_scenarios(
+    const TermSweepOptions& o);
+
+/// One survival-tail point: how many runs outlasted `k` rounds (capped
+/// runs count — they outlast every budgeted k, which is exactly the
+/// Theorem 6 signature).
+struct TailPoint {
+  int k = 0;
+  std::uint64_t over = 0;
+};
+
+/// Aggregated outcome of a termination sweep.
+struct TermSummary {
+  std::uint64_t scenarios = 0;
+  std::uint64_t terminated = 0;  ///< Every live process completed.
+  std::uint64_t capped = 0;      ///< Round/action budget exhausted.
+  std::uint64_t safety_violations = 0;  ///< Agreement/validity broke.
+  std::uint64_t errors = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_coin_flips = 0;
+  std::uint64_t rounds_sum = 0;  ///< Over terminated runs.
+  int round_max = 0;             ///< Largest termination round observed.
+  /// Survival tail at k = 1, 2, 4, 8, … (≤ round_max, at least k=1 when
+  /// any run terminated or capped).
+  std::vector<TailPoint> tail;
+  /// Stable digest over every record in enumeration order.
+  std::uint64_t digest = 0;
+  /// Measured, NOT digest material:
+  std::uint64_t wall_ns_total = 0;
+  std::uint64_t wall_ns_max = 0;
+  std::uint64_t elapsed_ns = 0;
+  std::uint64_t steals = 0;
+  /// key + detail of the first few error / safety-violation scenarios
+  /// (capped runs are an expected outcome class and are not listed).
+  std::vector<std::string> failures;
+  std::uint64_t failures_truncated = 0;
+
+  /// The deterministic section, one line per field, byte-identical
+  /// across runs with equal options (timing fields absent).  Rates are
+  /// rendered with integer arithmetic so the bytes never depend on
+  /// floating-point formatting.
+  [[nodiscard]] std::string stable_text() const;
+};
+
+/// Runs the sweep on `o.threads` pool workers.  `progress_every` > 0
+/// prints a line to stderr every that-many completed scenarios.  When
+/// `sink` is non-null, one canonical record per scenario is appended in
+/// enumeration order after the pool drains (byte-stable across thread
+/// counts and batch sizes).
+[[nodiscard]] TermSummary run_term_sweep(const TermSweepOptions& o,
+                                         std::uint64_t progress_every = 0,
+                                         sweep::RecordSink* sink = nullptr);
+
+}  // namespace rlt::term

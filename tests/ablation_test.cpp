@@ -172,30 +172,10 @@ TEST(AbdAblation, WithWriteBackTheSameSchedulesStayLinearizable) {
 }
 
 // ---------- Failure injection: wait-freedom ----------
-
-/// An adversary that never schedules a chosen set of processes — they
-/// stall forever mid-operation.  Wait-freedom: everyone else finishes.
-class StallingAdversary final : public sim::Adversary {
- public:
-  StallingAdversary(std::vector<int> stalled, std::uint64_t seed)
-      : stalled_(std::move(stalled)), rng_(seed) {}
-
-  std::optional<sim::Action> choose(sim::Scheduler& sched) override {
-    std::vector<sim::Action> actions;
-    for (const sim::Action& a : sched.enabled_actions()) {
-      const bool stalled =
-          std::find(stalled_.begin(), stalled_.end(), a.process) !=
-          stalled_.end();
-      if (!stalled) actions.push_back(a);
-    }
-    if (actions.empty()) return std::nullopt;
-    return actions[rng_.uniform(actions.size())];
-  }
-
- private:
-  std::vector<int> stalled_;
-  util::Rng rng_;
-};
+//
+// The stalling adversary itself was promoted to sim::StallingAdversary
+// (it now also backs the sweep engine's --faults stall axis and the
+// termination lab); these tests keep probing wait-freedom through it.
 
 TEST(WaitFreedom, Alg2OpsCompleteDespiteStalledWriters) {
   // Writers 1 and 2 stall after their first step; writer 0 and the
@@ -214,7 +194,7 @@ TEST(WaitFreedom, Alg2OpsCompleteDespiteStalledWriters) {
     // Let the doomed writers take one step each so their ops are live.
     sched.apply(sim::Action::step(1));
     sched.apply(sim::Action::step(2));
-    StallingAdversary adv({1, 2}, seed * 5);
+    sim::StallingAdversary adv({1, 2}, seed * 5);
     sched.run(adv, 100000);
     EXPECT_TRUE(sched.process_done(0)) << "seed " << seed;
     EXPECT_TRUE(sched.process_done(3)) << "seed " << seed;
@@ -234,7 +214,7 @@ TEST(WaitFreedom, GamePlayersStallingOnlyStallsTheGameRound) {
   sim::Scheduler sched(3);
   game::GameState state(cfg);
   game::setup_game(sched, sim::Semantics::kAtomic, state);
-  StallingAdversary adv({2, 3}, 17);
+  sim::StallingAdversary adv({2, 3}, 17);
   sched.run(adv, 20000);
   // Hosts exit (players never incremented R2), players still in round 1.
   EXPECT_TRUE(state.procs[0].returned);

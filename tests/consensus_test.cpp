@@ -173,6 +173,28 @@ TEST(ConsensusRegression, TieDefector) {
   }
 }
 
+TEST(Corollary9Regression, ComposedRunsUseExactlyNProcesses) {
+  // ComposedRun used to call setup_game — which adds its own n game
+  // processes — AND add the n composed bodies, so A' ran with 2n
+  // processes, two of each role.  The duplicate "host 0"s flipped
+  // independent coins into C, and on schedules where the copies' coins
+  // differed a player's line-23 read tripped the Lemma 18 runtime check
+  // (~1.5% of random seeds at this config; 50/68/192 reproduced it).
+  // With setup_game_registers the composed bodies are the only game
+  // processes and every one of these runs must be clean.
+  for (const std::uint64_t seed : {50u, 68u, 192u}) {
+    game::GameConfig gc;
+    gc.n = 4;
+    gc.max_rounds = 64;
+    ConsensusConfig cc;
+    cc.n = 4;
+    const ComposedResult r =
+        run_composed_random(gc, cc, sim::Semantics::kAtomic, seed);
+    EXPECT_TRUE(r.game_terminated) << "seed " << seed;
+    EXPECT_TRUE(r.agreement && r.validity) << "seed " << seed;
+  }
+}
+
 class ComposedRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ComposedRandomSweep, SafetyNeverViolated) {

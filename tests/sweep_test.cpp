@@ -1,8 +1,9 @@
 // Tests for the parallel scenario-sweep engine (src/sweep/): the
-// work-stealing pool, single-scenario determinism, the crash-fault axis
-// and its verdict taxonomy (blocked vs violation vs error), and the
-// sweep-level digest guarantees (same options => byte-identical summary,
-// regardless of thread count — with or without faults).
+// work-stealing pool, single-scenario determinism, the crash and stall
+// fault axes and their verdict taxonomy (blocked vs violation vs
+// error), and the sweep-level digest guarantees (same options =>
+// byte-identical summary, regardless of thread count — with or without
+// faults).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -207,10 +208,16 @@ TEST(Scenario, CrashFreeKeysKeepTheirHistoricalSpelling) {
   // defaulted: pinned pre-fault-axis digests fold these exact keys.
   Scenario s = abd_scenario(0);
   EXPECT_EQ(s.key(), "abd/rand/p3/w2/seed0");
-  s.faults = CrashPlan{FaultKind::kMinorityCrash, 7};
+  s.faults = FaultPlan{FaultKind::kMinorityCrash, 7};
   EXPECT_EQ(s.key(), "abd/rand/p3/w2/fminority-c7/seed0");
   s.abd_read_write_back = false;
   EXPECT_EQ(s.key(), "abd/rand/p3/w2/nowb/fminority-c7/seed0");
+  Scenario st;
+  st.algorithm = Algorithm::kAlg2;
+  st.processes = 5;
+  st.seed = 42;
+  st.faults = FaultPlan{FaultKind::kStall, 3};
+  EXPECT_EQ(st.key(), "alg2/rand/p5/w2/fstall-c3/seed42");
 }
 
 TEST(Scenario, CrashRunsAreDeterministic) {
@@ -219,7 +226,7 @@ TEST(Scenario, CrashRunsAreDeterministic) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     for (std::uint64_t crash_seed = 0; crash_seed < 3; ++crash_seed) {
       Scenario s = abd_scenario(seed);
-      s.faults = CrashPlan{FaultKind::kMinorityCrash, crash_seed};
+      s.faults = FaultPlan{FaultKind::kMinorityCrash, crash_seed};
       const ScenarioResult a = run_scenario(s);
       const ScenarioResult b = run_scenario(s);
       EXPECT_EQ(a.verdict, b.verdict) << s.key();
@@ -243,7 +250,7 @@ TEST(Scenario, MinorityCrashesBlockOrPassButNeverErrorOrViolate) {
          {AdversaryKind::kRandom, AdversaryKind::kRoundRobin}) {
       Scenario s = abd_scenario(seed);
       s.adversary = adv;
-      s.faults = CrashPlan{FaultKind::kMinorityCrash, 0};
+      s.faults = FaultPlan{FaultKind::kMinorityCrash, 0};
       const ScenarioResult r = run_scenario(s);
       ASSERT_TRUE(r.verdict == Verdict::kOk || r.verdict == Verdict::kBlocked)
           << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
@@ -283,10 +290,126 @@ TEST(Scenario, FaultsOnNonAbdConfigsAreErrors) {
        {Algorithm::kModeled, Algorithm::kAlg2, Algorithm::kAlg4}) {
     Scenario s;
     s.algorithm = alg;
-    s.faults = CrashPlan{FaultKind::kMinorityCrash, 0};
+    s.faults = FaultPlan{FaultKind::kMinorityCrash, 0};
     const ScenarioResult r = run_scenario(s);
     EXPECT_EQ(r.verdict, Verdict::kError) << to_string(alg);
   }
+}
+
+// ---------- stall-fault axis ----------
+
+TEST(Scenario, StallFaultsOnAbdAreErrors) {
+  // Stalls are a simulator-family fault; ABD has the crash axis instead.
+  Scenario s = abd_scenario(0);
+  s.faults = FaultPlan{FaultKind::kStall, 0};
+  const ScenarioResult r = run_scenario(s);
+  EXPECT_EQ(r.verdict, Verdict::kError);
+}
+
+TEST(Scenario, StallRunsBlockOrPassButNeverErrorOrViolate) {
+  // The registers are wait-free: live processes always finish, so every
+  // stall schedule is kOk (nobody was actually stalled: p=2 has no
+  // strict minority) or kBlocked (stalled ops stranded, history clean).
+  int blocked = 0;
+  for (const Algorithm alg :
+       {Algorithm::kModeled, Algorithm::kAlg2, Algorithm::kAlg4}) {
+    for (const AdversaryKind adv :
+         {AdversaryKind::kRandom, AdversaryKind::kRoundRobin}) {
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Scenario s;
+        s.algorithm = alg;
+        s.semantics = sim::Semantics::kLinearizable;
+        s.adversary = adv;
+        s.processes = 4;
+        s.seed = seed;
+        s.faults = FaultPlan{FaultKind::kStall, 1};
+        const ScenarioResult r = run_scenario(s);
+        ASSERT_TRUE(r.verdict == Verdict::kOk ||
+                    r.verdict == Verdict::kBlocked)
+            << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
+        if (r.verdict == Verdict::kBlocked) {
+          ++blocked;
+          EXPECT_NE(r.detail.find("stalled"), std::string::npos) << r.detail;
+          EXPECT_NE(r.detail.find("checked clean"), std::string::npos)
+              << r.detail;
+        }
+      }
+    }
+  }
+  EXPECT_GT(blocked, 0);
+}
+
+TEST(Scenario, StallRunsAreDeterministic) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (std::uint64_t fault_seed = 0; fault_seed < 2; ++fault_seed) {
+      Scenario s;
+      s.algorithm = Algorithm::kAlg2;
+      s.processes = 5;
+      s.seed = seed;
+      s.faults = FaultPlan{FaultKind::kStall, fault_seed};
+      const ScenarioResult a = run_scenario(s);
+      const ScenarioResult b = run_scenario(s);
+      EXPECT_EQ(a.verdict, b.verdict) << s.key();
+      EXPECT_EQ(a.steps, b.steps) << s.key();
+      EXPECT_EQ(a.history_hash, b.history_hash) << s.key();
+      EXPECT_EQ(a.detail, b.detail) << s.key();
+    }
+  }
+}
+
+TEST(Scenario, TwoProcessStallPlansDegenerateToFaultFreeRuns) {
+  // p=2 has no strict minority: the plan freezes nobody and the run
+  // completes exactly like its fault-free twin (only the key differs).
+  Scenario s;
+  s.algorithm = Algorithm::kAlg4;
+  s.processes = 2;
+  s.seed = 3;
+  const ScenarioResult clean = run_scenario(s);
+  s.faults = FaultPlan{FaultKind::kStall, 0};
+  const ScenarioResult stalled = run_scenario(s);
+  EXPECT_EQ(stalled.verdict, Verdict::kOk);
+  EXPECT_EQ(clean.history_hash, stalled.history_hash);
+  EXPECT_EQ(clean.steps, stalled.steps);
+}
+
+TEST(Enumerate, StallAxisMultipliesSimulatorFamiliesOnly) {
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 2;
+  o.faults = {FaultKind::kNone, FaultKind::kStall};
+  o.crash_seeds = {0, 1, 2};
+  const std::vector<Scenario> all = enumerate_scenarios(o);
+  // modeled: 3 semantics × (1 none + 3 stall); alg2/alg4: 4 each;
+  // abd: 1 (stall does not apply).  × 2 adversaries × 1 procs × 2 seeds.
+  EXPECT_EQ(all.size(), (3u * 4u + 4u + 4u + 1u) * 2u * 1u * 2u);
+  std::set<std::string> keys;
+  for (const Scenario& s : all) {
+    keys.insert(s.key());
+    if (s.algorithm == Algorithm::kAbd) {
+      EXPECT_EQ(s.faults.kind, FaultKind::kNone) << s.key();
+    }
+  }
+  EXPECT_EQ(keys.size(), all.size());
+}
+
+TEST(Sweep, StallSweepDigestIsIndependentOfThreadsAndBatch) {
+  SweepOptions o;
+  o.algorithms = {Algorithm::kModeled, Algorithm::kAlg2, Algorithm::kAlg4};
+  o.faults = {FaultKind::kStall};
+  o.crash_seeds = {0, 1};
+  o.process_counts = {3};
+  o.seed_begin = 0;
+  o.seed_end = 15;
+  o.threads = 1;
+  const SweepSummary seq = run_sweep(o);
+  o.threads = 4;
+  o.batch_size = 3;
+  const SweepSummary par = run_sweep(o);
+  EXPECT_EQ(seq.stable_text(), par.stable_text());
+  EXPECT_GT(seq.blocked, 0u);
+  EXPECT_EQ(seq.violations, 0u);
+  EXPECT_EQ(seq.errors, 0u);
+  EXPECT_EQ(seq.ok + seq.blocked, seq.scenarios);
 }
 
 TEST(Scenario, ViolationInBudgetExhaustedScheduleIsNotMasked) {

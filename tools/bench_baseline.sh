@@ -24,7 +24,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_checker.json}"
-BENCHES=(perf_wsl perf_sweep perf_checker)
+BENCHES=(perf_wsl perf_sweep perf_checker perf_term)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "bench_baseline: build dir '${BUILD_DIR}' not found" >&2
@@ -54,17 +54,43 @@ if [[ "${#ran[@]}" -eq 0 ]]; then
   exit 1
 fi
 
-python3 - "${OUT}" "${tmpdir}" "${ran[@]}" <<'EOF'
-import json, subprocess, sys
+python3 - "${OUT}" "${tmpdir}" "${BUILD_DIR}" "${ran[@]}" <<'EOF'
+import json, os, platform, subprocess, sys
 
-out, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+out, tmpdir, build_dir, benches = (sys.argv[1], sys.argv[2], sys.argv[3],
+                                   sys.argv[4:])
+
+def run(cmd):
+    try:
+        return subprocess.run(cmd, capture_output=True, text=True,
+                              check=False).stdout.strip()
+    except OSError:
+        return ""
+
+commit = run(["git", "rev-parse", "--short", "HEAD"])
+
+# Machine-class metadata: bench timings are only comparable within one
+# class, so snapshots carry enough to tell classes apart.  The compiler
+# is read from the build's CMake cache (falling back to `c++`), since a
+# compiler change moves timings as much as a hardware change.
+compiler_path = "c++"
 try:
-    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                            capture_output=True, text=True,
-                            check=False).stdout.strip()
+    with open(os.path.join(build_dir, "CMakeCache.txt")) as f:
+        for line in f:
+            if line.startswith("CMAKE_CXX_COMPILER:"):
+                compiler_path = line.split("=", 1)[1].strip()
+                break
 except OSError:
-    commit = ""
-doc = {"commit": commit, "benches": {}}
+    pass
+compiler = run([compiler_path, "--version"]).splitlines()
+machine = {
+    "os": platform.system(),
+    "arch": platform.machine(),
+    "cpus": os.cpu_count() or 0,
+    "compiler": compiler[0] if compiler else "unknown",
+}
+
+doc = {"commit": commit, "machine": machine, "benches": {}}
 for name in benches:
     with open(f"{tmpdir}/{name}.json") as f:
         doc["benches"][name] = json.load(f)

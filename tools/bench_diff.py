@@ -10,6 +10,13 @@ new/old ratio exceeds --threshold.  Warn-only by default: exit status is
 hard gate); pass --strict to exit 1 when any regression is flagged.
 Benchmarks present in only one snapshot are listed but never flagged.
 
+Snapshots embed machine-class metadata (os/arch/cpus/compiler, written
+by bench_baseline.sh).  Timings are only comparable within one machine
+class: when the classes differ (or a pre-metadata snapshot leaves them
+unknown), the comparison still prints but --strict does NOT gate on it —
+a blessed baseline only hard-fails runs from the machine class it was
+blessed on.
+
 When running under GitHub Actions (GITHUB_ACTIONS=true), regressions are
 also emitted as ::warning:: annotations so they surface on the run page.
 """
@@ -20,8 +27,8 @@ import os
 import sys
 
 
-def load_times(path):
-    """Returns {bench_file/bench_name: real_time_ns} from a snapshot."""
+def load_snapshot(path):
+    """Returns ({bench_file/bench_name: real_time_ns}, machine_dict)."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
@@ -31,7 +38,7 @@ def load_times(path):
             if b.get("run_type") == "aggregate":
                 continue
             times[f"{group}/{b['name']}"] = float(b["real_time"])
-    return times
+    return times, doc.get("machine")
 
 
 def main():
@@ -42,7 +49,8 @@ def main():
                     help="flag when new/old real_time exceeds this "
                          "(default: 1.5)")
     ap.add_argument("--strict", action="store_true",
-                    help="exit 1 when regressions are flagged "
+                    help="exit 1 when regressions are flagged and the "
+                         "snapshots share a machine class "
                          "(default: warn only)")
     args = ap.parse_args()
 
@@ -53,9 +61,20 @@ def main():
               "skipping comparison", file=sys.stderr)
         return 1 if args.strict else 0
 
-    old = load_times(args.baseline)
-    new = load_times(args.new)
+    old, old_machine = load_snapshot(args.baseline)
+    new, new_machine = load_snapshot(args.new)
     gha = os.environ.get("GITHUB_ACTIONS") == "true"
+
+    machines_known = old_machine is not None and new_machine is not None
+    machines_match = machines_known and old_machine == new_machine
+    if not machines_known:
+        print("bench_diff: machine-class metadata missing from a snapshot "
+              "(pre-metadata baseline?); timings may not be comparable",
+              file=sys.stderr)
+    elif not machines_match:
+        print("bench_diff: machine classes differ — timings are not "
+              f"directly comparable\n  baseline: {old_machine}\n"
+              f"  new:      {new_machine}", file=sys.stderr)
 
     regressions = []
     for name in sorted(old.keys() & new.keys()):
@@ -78,6 +97,12 @@ def main():
             for name, ratio in regressions:
                 print(f"::warning title=bench regression::{name} is "
                       f"{ratio:.2f}x slower than the checked-in baseline")
+        if args.strict and not machines_match:
+            # A strict gate across machine classes would fail on hardware
+            # or toolchain differences, not code; report but do not gate.
+            print("bench_diff: --strict not enforced (machine classes "
+                  "differ or are unknown)", file=sys.stderr)
+            return 0
         return 1 if args.strict else 0
     print("\nbench_diff: no regressions beyond "
           f"{args.threshold:.2f}x")

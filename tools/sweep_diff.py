@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two sweep result stores (sweep_main --out JSONL files).
+
+Usage:
+    tools/sweep_diff.py OLD.jsonl NEW.jsonl [--max-print N]
+
+Each store line is one canonical JSON record per scenario with a unique
+"key" field (the scenario key).  Stores are byte-stable for fixed sweep
+options, so diffing the store of the same sweep across two commits
+answers "which scenarios changed behaviour?" — for safety sweeps that is
+a verdict/steps/history-hash change, for termination sweeps a
+termination/rounds/outcome-hash change.
+
+Scenarios are classified as:
+  * changed — same key in both stores, any field differs (the differing
+    field names are listed);
+  * added   — key only in NEW;
+  * removed — key only in OLD.
+
+Exit status: 0 when the stores are identical (zero differences),
+1 when any scenario changed / was added / was removed, 2 on bad input
+(unreadable file, malformed JSON, missing or duplicate keys).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_store(path):
+    """Returns {key: record} from a JSONL store; exits 2 on bad input."""
+    records = {}
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    sys.exit(f"sweep_diff: {path}:{lineno}: malformed JSON "
+                             f"({e})")
+                key = rec.get("key")
+                if not isinstance(key, str) or not key:
+                    sys.exit(f"sweep_diff: {path}:{lineno}: record has no "
+                             "'key' field")
+                if key in records:
+                    sys.exit(f"sweep_diff: {path}:{lineno}: duplicate key "
+                             f"'{key}'")
+                records[key] = rec
+    except OSError as e:
+        sys.exit(f"sweep_diff: cannot read {path}: {e}")
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--max-print", type=int, default=20, metavar="N",
+                    help="print at most N scenarios per class "
+                         "(default: 20; the counts are always complete)")
+    args = ap.parse_args()
+
+    old = load_store(args.old)
+    new = load_store(args.new)
+
+    removed = sorted(old.keys() - new.keys())
+    added = sorted(new.keys() - old.keys())
+    changed = []  # (key, [field, ...])
+    unchanged = 0
+    for key in sorted(old.keys() & new.keys()):
+        a, b = old[key], new[key]
+        fields = sorted(set(a) | set(b))
+        diff_fields = [f for f in fields if a.get(f) != b.get(f)]
+        if diff_fields:
+            changed.append((key, diff_fields))
+        else:
+            unchanged += 1
+
+    def clip(items):
+        shown = items[:args.max_print]
+        extra = len(items) - len(shown)
+        return shown, extra
+
+    shown, extra = clip(changed)
+    for key, fields in shown:
+        details = []
+        for f in fields:
+            details.append(f"{f}: {old[key].get(f)!r} -> {new[key].get(f)!r}")
+        print(f"changed {key} ({'; '.join(details)})")
+    if extra > 0:
+        print(f"changed ... and {extra} more")
+    shown, extra = clip(removed)
+    for key in shown:
+        print(f"removed {key}")
+    if extra > 0:
+        print(f"removed ... and {extra} more")
+    shown, extra = clip(added)
+    for key in shown:
+        print(f"added {key}")
+    if extra > 0:
+        print(f"added ... and {extra} more")
+
+    print(f"sweep_diff: {unchanged} unchanged, {len(changed)} changed, "
+          f"{len(added)} added, {len(removed)} removed")
+    return 1 if (changed or added or removed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

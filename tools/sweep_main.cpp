@@ -1,30 +1,45 @@
 // sweep_main — CLI driver for the parallel scenario-sweep engine.
 //
-// Runs the cross-product of register semantics × algorithm × adversary ×
-// process count × crash-fault plan × seed, validating every recorded
-// history with the appropriate checker, and prints an aggregate summary
-// whose digest is a pure function of the flags: back-to-back runs with
-// identical flags emit byte-identical digest sections regardless of
-// --threads.
+// Two modes share the pool, the digest discipline, and the result store:
+//
+//  * Safety (default): the cross-product of register semantics ×
+//    algorithm × adversary × process count × fault plan × seed, every
+//    recorded history validated with the appropriate checker.
+//  * Termination (--term): the termination lab — algorithm family
+//    (consensus, composed, coin, game) × adversary (scripted Theorem 6,
+//    random, stalling) × process count × round budget × seed, recording
+//    per-scenario termination statistics instead of only a verdict.
+//
+// In both modes the aggregate summary's digest is a pure function of the
+// flags: back-to-back runs with identical flags emit byte-identical
+// digest sections regardless of --threads, and --out writes one
+// canonical JSONL record per scenario (also byte-identical across thread
+// counts) for cross-commit diffing with tools/sweep_diff.py.
 //
 // Examples:
 //   sweep_main --processes 3 --seeds 0:1000 --threads 8
 //   sweep_main --algorithms alg2,abd --adversaries rand --seeds 0:50
-//   sweep_main --semantics wsl --processes 2,3,4 --writes 1 --seeds 7:9
 //   sweep_main --algorithms abd --faults minority --seeds 0:200 --threads 8
+//   sweep_main --algorithms alg2 --faults stall --seeds 0:100
+//   sweep_main --term --families game --term-adversaries scripted \
+//       --processes 5 --seeds 0:100 --out term.jsonl
 //
-// Exit status: 0 when no scenario verdict is VIOLATION or ERROR (blocked
-// runs are the expected outcome of the crash axis and do not fail the
-// sweep); 1 on violations or errors; 2 on bad usage.
+// Exit status: 0 when nothing failed (safety: no VIOLATION/ERROR —
+// blocked runs are the fault axes doing their job; termination: no
+// safety violation or error — capped runs are Theorem 6 doing its job);
+// 1 on failures; 2 on bad usage.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sweep/store.hpp"
 #include "sweep/sweep.hpp"
+#include "term/term_sweep.hpp"
 
 namespace {
 
@@ -32,30 +47,50 @@ using rlt::sweep::AdversaryKind;
 using rlt::sweep::Algorithm;
 using rlt::sweep::SweepOptions;
 using rlt::sweep::SweepSummary;
+using rlt::term::TermSweepOptions;
 
 [[noreturn]] void usage(int code) {
   std::cerr <<
       "usage: sweep_main [options]\n"
+      "safety mode (default):\n"
       "  --algorithms LIST   comma list of modeled,alg2,alg4,abd "
       "(default: all)\n"
       "  --semantics LIST    comma list of atomic,lin,wsl — the register\n"
       "                      models swept for 'modeled' scenarios "
       "(default: all)\n"
       "  --adversaries LIST  comma list of rand,rr (default: both)\n"
-      "  --faults LIST       comma list of none,minority (default: none).\n"
+      "  --faults LIST       comma list of none,minority,stall "
+      "(default: none).\n"
       "                      'minority' seeds strict-minority crash\n"
-      "                      schedules into abd scenarios; runs stranded\n"
-      "                      by crashes report the 'blocked' verdict\n"
-      "  --crash-seeds A:B   crash-time seed range for faulty scenarios,\n"
-      "                      A inclusive, B exclusive (default: 0:1)\n"
-      "  --processes LIST    comma list of process counts (default: 3)\n"
+      "                      schedules into abd scenarios; 'stall' freezes\n"
+      "                      a seeded strict minority of simulator-family\n"
+      "                      processes after one step.  Runs stranded by\n"
+      "                      either report the 'blocked' verdict\n"
+      "  --crash-seeds A:B   fault-schedule seed range for faulty\n"
+      "                      scenarios, A inclusive, B exclusive "
+      "(default: 0:1)\n"
+      "  --writes N          writes per writer role (default: 2)\n"
+      "termination mode:\n"
+      "  --term              run the termination lab instead\n"
+      "  --families LIST     comma list of consensus,composed,coin,game\n"
+      "                      (default: all)\n"
+      "  --term-adversaries LIST\n"
+      "                      comma list of scripted,rand,stall (default:\n"
+      "                      all; scripted pairs only with composed/game)\n"
+      "  --rounds LIST       comma list of round budgets (default: 64)\n"
+      "common:\n"
+      "  --processes LIST    comma list of process counts (default: 3,\n"
+      "                      or 4 with --term)\n"
       "  --seeds A:B         seed range, A inclusive, B exclusive, A < B "
       "(default: 0:10)\n"
-      "  --writes N          writes per writer role (default: 2)\n"
       "  --threads N         pool worker threads (default: 1)\n"
       "  --batch N           scenarios per pool task (default: 16; the\n"
       "                      digest does not depend on this)\n"
-      "  --max-actions N     per-scenario action budget (default: 1000000)\n"
+      "  --max-actions N     per-scenario action budget (default: 1000000,\n"
+      "                      or 2000000 with --term)\n"
+      "  --out PATH          write one canonical JSONL record per scenario\n"
+      "                      (byte-identical across --threads; diff stores\n"
+      "                      with tools/sweep_diff.py)\n"
       "  --progress N        progress line every N scenarios (default: off)\n"
       "  --list              print the scenario keys and exit\n"
       "  --help              this text\n";
@@ -141,11 +176,57 @@ void parse_faults(const std::string& v, SweepOptions& o) {
       o.faults.push_back(rlt::sweep::FaultKind::kNone);
     } else if (name == "minority") {
       o.faults.push_back(rlt::sweep::FaultKind::kMinorityCrash);
+    } else if (name == "stall") {
+      o.faults.push_back(rlt::sweep::FaultKind::kStall);
     } else {
       bad_value("--faults", name);
     }
   }
   if (o.faults.empty()) bad_value("--faults", v);
+}
+
+void parse_families(const std::string& v, TermSweepOptions& o) {
+  o.families.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "consensus") {
+      o.families.push_back(rlt::term::Family::kConsensus);
+    } else if (name == "composed") {
+      o.families.push_back(rlt::term::Family::kComposed);
+    } else if (name == "coin") {
+      o.families.push_back(rlt::term::Family::kSharedCoin);
+    } else if (name == "game") {
+      o.families.push_back(rlt::term::Family::kGame);
+    } else {
+      bad_value("--families", name);
+    }
+  }
+  if (o.families.empty()) bad_value("--families", v);
+}
+
+void parse_term_adversaries(const std::string& v, TermSweepOptions& o) {
+  o.adversaries.clear();
+  for (const std::string& name : split_csv(v)) {
+    if (name == "scripted") {
+      o.adversaries.push_back(rlt::term::TermAdversary::kScripted);
+    } else if (name == "rand" || name == "random") {
+      o.adversaries.push_back(rlt::term::TermAdversary::kRandom);
+    } else if (name == "stall" || name == "stalling") {
+      o.adversaries.push_back(rlt::term::TermAdversary::kStalling);
+    } else {
+      bad_value("--term-adversaries", name);
+    }
+  }
+  if (o.adversaries.empty()) bad_value("--term-adversaries", v);
+}
+
+void parse_rounds(const std::string& v, TermSweepOptions& o) {
+  o.round_budgets.clear();
+  for (const std::string& item : split_csv(v)) {
+    const std::uint64_t r = parse_u64("--rounds", item);
+    if (r < 1 || r > 1'000'000) bad_value("--rounds", item);
+    o.round_budgets.push_back(static_cast<int>(r));
+  }
+  if (o.round_budgets.empty()) bad_value("--rounds", v);
 }
 
 void parse_crash_seeds(const std::string& v, SweepOptions& o) {
@@ -204,8 +285,17 @@ void parse_seeds(const std::string& v, SweepOptions& o) {
 
 int main(int argc, char** argv) {
   SweepOptions opts;
+  TermSweepOptions topts;
+  bool term_mode = false;
   bool list_only = false;
   std::uint64_t progress_every = 0;
+  std::string out_path;
+  // Mode-specific flags are rejected in the other mode; collect what was
+  // used so the check is order-independent.
+  std::vector<std::string> safety_flags_used;
+  std::vector<std::string> term_flags_used;
+  bool processes_set = false;
+  bool max_actions_set = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -219,16 +309,41 @@ int main(int argc, char** argv) {
     };
     if (a == "--help" || a == "-h") usage(0);
     else if (a == "--list") list_only = true;
-    else if (a == "--algorithms") parse_algorithms(next(), opts);
-    else if (a == "--semantics") parse_semantics(next(), opts);
-    else if (a == "--adversaries") parse_adversaries(next(), opts);
-    else if (a == "--faults") parse_faults(next(), opts);
-    else if (a == "--crash-seeds") parse_crash_seeds(next(), opts);
-    else if (a == "--processes") parse_processes(next(), opts);
-    else if (a == "--seeds") parse_seeds(next(), opts);
-    else if (a == "--writes") {
+    else if (a == "--term") term_mode = true;
+    else if (a == "--out") out_path = next();
+    else if (a == "--algorithms") {
+      safety_flags_used.push_back(a);
+      parse_algorithms(next(), opts);
+    } else if (a == "--semantics") {
+      safety_flags_used.push_back(a);
+      parse_semantics(next(), opts);
+    } else if (a == "--adversaries") {
+      safety_flags_used.push_back(a);
+      parse_adversaries(next(), opts);
+    } else if (a == "--faults") {
+      safety_flags_used.push_back(a);
+      parse_faults(next(), opts);
+    } else if (a == "--crash-seeds") {
+      safety_flags_used.push_back(a);
+      parse_crash_seeds(next(), opts);
+    } else if (a == "--families") {
+      term_flags_used.push_back(a);
+      parse_families(next(), topts);
+    } else if (a == "--term-adversaries") {
+      term_flags_used.push_back(a);
+      parse_term_adversaries(next(), topts);
+    } else if (a == "--rounds") {
+      term_flags_used.push_back(a);
+      parse_rounds(next(), topts);
+    } else if (a == "--processes") {
+      processes_set = true;
+      parse_processes(next(), opts);
+    } else if (a == "--seeds") {
+      parse_seeds(next(), opts);
+    } else if (a == "--writes") {
       // <= 99 keeps written_value()'s per-(role, index) encoding free of
       // cross-role collisions (values are 100*(role+1)+i).
+      safety_flags_used.push_back(a);
       opts.writes_per_process =
           static_cast<int>(parse_u64("--writes", next()));
       if (opts.writes_per_process < 1 || opts.writes_per_process > 99) {
@@ -247,6 +362,7 @@ int main(int argc, char** argv) {
         bad_value("--batch", args[i]);
       }
     } else if (a == "--max-actions") {
+      max_actions_set = true;
       opts.max_actions_per_scenario = parse_u64("--max-actions", next());
     } else if (a == "--progress") {
       progress_every = parse_u64("--progress", next());
@@ -256,34 +372,93 @@ int main(int argc, char** argv) {
     }
   }
 
-  SweepSummary sum;
+  if (term_mode && !safety_flags_used.empty()) {
+    std::cerr << "sweep_main: " << safety_flags_used.front()
+              << " is a safety-mode flag and has no effect with --term\n";
+    usage(2);
+  }
+  if (!term_mode && !term_flags_used.empty()) {
+    std::cerr << "sweep_main: " << term_flags_used.front()
+              << " needs --term\n";
+    usage(2);
+  }
+  // Shared flags land in `opts`; mirror them into the term options.
+  if (term_mode) {
+    if (processes_set) topts.process_counts = opts.process_counts;
+    if (max_actions_set) {
+      topts.max_actions_per_scenario = opts.max_actions_per_scenario;
+    }
+    topts.seed_begin = opts.seed_begin;
+    topts.seed_end = opts.seed_end;
+    topts.threads = opts.threads;
+    topts.batch_size = opts.batch_size;
+  }
+
   try {
     if (list_only) {
-      for (const rlt::sweep::Scenario& s :
-           rlt::sweep::enumerate_scenarios(opts)) {
-        std::cout << s.key() << "\n";
+      if (term_mode) {
+        for (const rlt::term::TermScenario& s :
+             rlt::term::enumerate_term_scenarios(topts)) {
+          std::cout << s.key() << "\n";
+        }
+      } else {
+        for (const rlt::sweep::Scenario& s :
+             rlt::sweep::enumerate_scenarios(opts)) {
+          std::cout << s.key() << "\n";
+        }
       }
       return 0;
     }
-    sum = rlt::sweep::run_sweep(opts, progress_every);
+    std::unique_ptr<rlt::sweep::JsonlFileSink> sink;
+    if (!out_path.empty()) {
+      sink = std::make_unique<rlt::sweep::JsonlFileSink>(out_path);
+    }
+    std::string stable;
+    std::uint64_t elapsed_ns = 0;
+    std::uint64_t wall_ns_total = 0;
+    std::uint64_t wall_ns_max = 0;
+    std::uint64_t steals = 0;
+    bool failed = false;
+    if (term_mode) {
+      const rlt::term::TermSummary sum =
+          rlt::term::run_term_sweep(topts, progress_every, sink.get());
+      stable = sum.stable_text();
+      elapsed_ns = sum.elapsed_ns;
+      wall_ns_total = sum.wall_ns_total;
+      wall_ns_max = sum.wall_ns_max;
+      steals = sum.steals;
+      // Capped runs are Theorem 6 doing its job; only broken safety or
+      // machinery failures fail a termination sweep.
+      failed = sum.safety_violations != 0 || sum.errors != 0;
+    } else {
+      const SweepSummary sum =
+          rlt::sweep::run_sweep(opts, progress_every, sink.get());
+      stable = sum.stable_text();
+      elapsed_ns = sum.elapsed_ns;
+      wall_ns_total = sum.wall_ns_total;
+      wall_ns_max = sum.wall_ns_max;
+      steals = sum.steals;
+      // Blocked runs are the fault axes doing their job (their histories
+      // were still checked clean up to the block); only violations and
+      // errors fail the sweep.
+      failed = sum.violations != 0 || sum.errors != 0;
+    }
+    if (sink) sink->close();
+
+    // Deterministic section first (byte-identical across runs), then
+    // timing, which naturally varies.
+    std::cout << stable;
+    std::cout << "--- timing (not digest material) ---\n"
+              << "elapsed_ms " << elapsed_ns / 1'000'000 << "\n"
+              << "scenario_ms_total " << wall_ns_total / 1'000'000 << "\n"
+              << "scenario_ms_max " << wall_ns_max / 1'000'000 << "\n"
+              << "threads " << opts.threads << "\n"
+              << "steals " << steals << "\n";
+    return failed ? 1 : 0;
   } catch (const std::exception& e) {
-    // Oversized cross-products and thread-spawn failures land here.
+    // Oversized cross-products, unwritable stores, and thread-spawn
+    // failures land here.
     std::cerr << "sweep_main: " << e.what() << "\n";
     return 2;
   }
-
-  // Deterministic section first (byte-identical across runs), then
-  // timing, which naturally varies.
-  std::cout << sum.stable_text();
-  std::cout << "--- timing (not digest material) ---\n"
-            << "elapsed_ms " << sum.elapsed_ns / 1'000'000 << "\n"
-            << "scenario_ms_total " << sum.wall_ns_total / 1'000'000 << "\n"
-            << "scenario_ms_max " << sum.wall_ns_max / 1'000'000 << "\n"
-            << "threads " << opts.threads << "\n"
-            << "steals " << sum.steals << "\n";
-
-  // Blocked runs are the crash axis doing its job (their histories were
-  // still checked clean up to the block); only violations and errors
-  // fail the sweep.
-  return (sum.violations == 0 && sum.errors == 0) ? 0 : 1;
 }
