@@ -1,0 +1,631 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "explore/policy.hpp"
+#include "explore/shrink.hpp"
+#include "sim/schedule_policy.hpp"
+#include "sweep/fnv.hpp"
+#include "sweep/pool.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::explore {
+namespace {
+
+using sweep::fnv_mix_str;
+using sweep::fnv_mix_u64;
+using sweep::kFnvOffset;
+
+constexpr std::size_t kMaxReportedFailures = 16;
+constexpr std::uint64_t kMaxInstances = 1'000'000;
+/// Violation ranks (kViolation outranks kBlocked outranks everything).
+constexpr int kRankViolation = 3;
+constexpr int kRankBlocked = 2;
+
+/// Independent derived seed streams (domain-separated FNV mixes).
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_u64(h, a);
+  fnv_mix_u64(h, b);
+  fnv_mix_u64(h, c);
+  return h;
+}
+
+[[nodiscard]] bool game_like(term::Family f) {
+  return f == term::Family::kGame || f == term::Family::kComposed;
+}
+
+/// One run's deterministic outcome, whichever objective produced it.
+struct ProbeOutcome {
+  std::uint64_t score = 0;
+  int rank = 0;  ///< kViolation only.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t steps = 0;
+  std::string verdict;
+};
+
+ProbeOutcome probe(const ExploreInstance& e, RecordingPolicy& policy) {
+  ProbeOutcome out;
+  if (e.objective == Objective::kRounds) {
+    term::TermProbeSpec spec;
+    spec.family = e.family;
+    spec.processes = e.processes;
+    spec.max_rounds = e.max_rounds;
+    spec.max_actions = e.max_actions;
+    spec.seed = e.seed;
+    spec.game_semantics = game_like(e.family) ? sim::Semantics::kLinearizable
+                                              : sim::Semantics::kAtomic;
+    sim::PolicyAdversary adv(policy);
+    const term::TermProbe p = term::run_term_probe(spec, adv);
+    out.score = p.rounds_score;
+    out.fingerprint = p.outcome_hash;
+    out.steps = p.steps;
+    out.verdict = p.decided ? "decided" : p.capped ? "capped" : "budget";
+  } else {
+    sweep::Scenario s;
+    s.algorithm = e.algorithm;
+    s.semantics = e.semantics;
+    s.processes = e.processes;
+    s.seed = e.seed;
+    s.writes_per_process = e.writes_per_process;
+    s.max_actions = e.max_actions;
+    s.abd_read_write_back = e.abd_read_write_back;
+    const sweep::ScenarioResult r = sweep::run_scenario_policy(s, policy);
+    out.rank = r.verdict == sweep::Verdict::kViolation ? kRankViolation
+               : r.verdict == sweep::Verdict::kBlocked ? kRankBlocked
+                                                       : 0;
+    // Lexicographic (rank, peak concurrency): the concurrency observation
+    // gives hill climbing a gradient toward overlap-heavy schedules even
+    // while no violation has surfaced yet.
+    out.score = (static_cast<std::uint64_t>(out.rank) << 32) |
+                std::min<std::uint64_t>(policy.peak_pending(), 0xffffffffu);
+    out.fingerprint = r.history_hash;
+    out.steps = r.steps;
+    out.verdict = sweep::to_string(r.verdict);
+  }
+  return out;
+}
+
+/// Seeded trace mutation for the hill-climbing strategy: point rewrites,
+/// chunk deletions, insertions, and tail truncations (1-3 of them).
+ScheduleTrace mutate(const ScheduleTrace& base, util::Rng& m) {
+  ScheduleTrace t = base;
+  if (t.choices.empty()) {
+    t.choices.push_back(static_cast<std::uint32_t>(m.next_u64()));
+    return t;
+  }
+  const int mutations = 1 + static_cast<int>(m.uniform(3));
+  for (int i = 0; i < mutations && !t.choices.empty(); ++i) {
+    const std::size_t size = t.choices.size();
+    switch (m.uniform(4)) {
+      case 0: {  // point rewrite
+        const std::size_t pos = static_cast<std::size_t>(m.uniform(size));
+        t.choices[pos] = static_cast<std::uint32_t>(m.next_u64());
+        break;
+      }
+      case 1: {  // chunk deletion
+        const std::size_t pos = static_cast<std::size_t>(m.uniform(size));
+        const std::size_t len = 1 + static_cast<std::size_t>(m.uniform(
+                                        std::max<std::uint64_t>(size / 8, 1)));
+        const std::size_t end = std::min(pos + len, size);
+        t.choices.erase(
+            t.choices.begin() + static_cast<std::ptrdiff_t>(pos),
+            t.choices.begin() + static_cast<std::ptrdiff_t>(end));
+        break;
+      }
+      case 2: {  // insertion
+        const std::size_t pos = static_cast<std::size_t>(m.uniform(size + 1));
+        t.choices.insert(t.choices.begin() + static_cast<std::ptrdiff_t>(pos),
+                         static_cast<std::uint32_t>(m.next_u64()));
+        break;
+      }
+      default: {  // tail truncation (keeps at least one choice)
+        if (size > 1) {
+          t.choices.resize(1 + static_cast<std::size_t>(m.uniform(size - 1)));
+        }
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+std::unique_ptr<RecordingPolicy> make_policy(const ExploreInstance& e, int k,
+                                             const ScheduleTrace& incumbent) {
+  switch (e.strategy) {
+    case Strategy::kRandom:
+      return std::make_unique<RandomPolicy>(mix_seed(e.seed, 0xA11, k));
+    case Strategy::kGreedy: {
+      // Run 0 is the pure heuristic; later runs jitter ~1/16 of the
+      // decisions so the budget explores the heuristic's neighborhood.
+      const std::uint32_t jitter = k == 0 ? 0 : 16;
+      if (e.objective == Objective::kRounds) {
+        return std::make_unique<GreedyRoundsPolicy>(
+            game_like(e.family), mix_seed(e.seed, 0x9EE, k), jitter);
+      }
+      return std::make_unique<GreedyViolationPolicy>(
+          mix_seed(e.seed, 0x9EE, k), jitter);
+    }
+    case Strategy::kHillClimb: {
+      if (k == 0) {
+        return std::make_unique<RandomPolicy>(mix_seed(e.seed, 0xA11, 0));
+      }
+      util::Rng m(mix_seed(e.seed, 0xB17, k));
+      return std::make_unique<ReplayPolicy>(mutate(incumbent, m),
+                                            mix_seed(e.seed, 0xFA11, k));
+    }
+  }
+  RLT_CHECK_MSG(false, "unknown strategy");
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(Objective o) noexcept {
+  switch (o) {
+    case Objective::kRounds: return "rounds";
+    case Objective::kViolation: return "viol";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kGreedy: return "greedy";
+    case Strategy::kHillClimb: return "hill";
+    case Strategy::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::string ExploreInstance::key() const {
+  std::ostringstream os;
+  os << "explore/" << to_string(objective) << '/';
+  if (objective == Objective::kRounds) {
+    os << term::to_string(family) << '/' << to_string(strategy) << "/p"
+       << processes << "/r" << max_rounds;
+  } else {
+    os << sweep::to_string(algorithm) << '/' << to_string(strategy) << "/p"
+       << processes << "/w" << writes_per_process;
+  }
+  os << "/b" << search_budget;
+  if (!abd_read_write_back) os << "/nowb";
+  os << "/seed" << seed;
+  return os.str();
+}
+
+ReplayReport replay_trace(const ExploreInstance& e, const ScheduleTrace& trace,
+                          std::uint64_t fallback_seed) {
+  ReplayPolicy policy(trace, fallback_seed);
+  const ProbeOutcome p = probe(e, policy);
+  ReplayReport r;
+  r.score = p.score;
+  r.rank = p.rank;
+  r.fingerprint = p.fingerprint;
+  r.steps = p.steps;
+  r.effective = policy.recorded();
+  r.verdict = p.verdict;
+  return r;
+}
+
+ExploreOutcome run_explore_instance(const ExploreInstance& e) {
+  ExploreOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    RLT_CHECK_MSG(e.search_budget >= 1, "search budget must be positive");
+    out.fallback_seed = mix_seed(e.seed, 0x5EED, 0);
+    ScheduleTrace incumbent;
+    bool have_best = false;
+    for (int k = 0; k < e.search_budget; ++k) {
+      const std::unique_ptr<RecordingPolicy> policy =
+          make_policy(e, k, incumbent);
+      const ProbeOutcome p = probe(e, *policy);
+      ++out.runs;
+      out.total_steps += p.steps;
+      if (!have_best || p.score > out.best_score) {
+        have_best = true;
+        out.best_score = p.score;
+        out.found_rank = p.rank;
+        out.fingerprint = p.fingerprint;
+        out.best_trace = policy->recorded();
+        incumbent = out.best_trace;
+        out.detail = p.verdict;
+      }
+    }
+    // Shrink whatever the search "found": a violation/blocked schedule,
+    // or a budget-defeating survival (the non-terminating witness).
+    // The probe's verdict string — not a score threshold — decides: the
+    // coin family's score (longest personal walk) routinely exceeds any
+    // round bound on runs that decided just fine.
+    const bool worth_shrinking =
+        e.objective == Objective::kViolation
+            ? out.found_rank >= kRankBlocked
+            : out.detail == "capped";
+    out.unshrunk_len = out.best_trace.size();
+    if (worth_shrinking && e.shrink_budget > 0) {
+      const int target_rank = out.found_rank;
+      const std::uint64_t target_score = out.best_score;
+      const auto keep = [&](const ScheduleTrace& candidate) {
+        const ReplayReport r =
+            replay_trace(e, candidate, out.fallback_seed);
+        return e.objective == Objective::kViolation
+                   ? r.rank >= target_rank
+                   : r.score >= target_score;
+      };
+      ShrinkResult sr =
+          shrink(out.best_trace, keep, e.shrink_budget);
+      out.shrunk = true;
+      out.locally_minimal = sr.locally_minimal;
+      out.shrink_probes = sr.probes;
+      out.best_trace = std::move(sr.trace);
+      // The persisted record describes the SHRUNK trace: re-derive its
+      // own deterministic replay facts.
+      const ReplayReport fin =
+          replay_trace(e, out.best_trace, out.fallback_seed);
+      out.best_score = fin.score;
+      out.found_rank = fin.rank;
+      out.fingerprint = fin.fingerprint;
+      out.detail = fin.verdict;
+    }
+    out.trace_fnv = trace_hash(out.best_trace);
+  } catch (const std::exception& ex) {
+    out = ExploreOutcome{};
+    out.error = true;
+    out.detail = std::string("error: ") + ex.what();
+  } catch (...) {
+    out = ExploreOutcome{};
+    out.error = true;
+    out.detail = "error: unknown exception";
+  }
+  out.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return out;
+}
+
+std::vector<ExploreInstance> enumerate_explore_instances(
+    const ExploreOptions& o) {
+  RLT_CHECK_MSG(o.seed_begin < o.seed_end, "instance-seed range is empty");
+  RLT_CHECK_MSG(o.search_budget >= 1, "search budget must be positive");
+  RLT_CHECK_MSG(!o.process_counts.empty(), "process-count list is empty");
+  if (o.objective == Objective::kRounds) {
+    RLT_CHECK_MSG(!o.families.empty(), "family list is empty");
+    RLT_CHECK_MSG(!o.round_budgets.empty(), "round-budget list is empty");
+  } else {
+    RLT_CHECK_MSG(!o.algorithms.empty(), "algorithm list is empty");
+  }
+  const std::uint64_t seeds = o.seed_end - o.seed_begin;
+  const std::uint64_t configs =
+      (o.objective == Objective::kRounds
+           ? o.families.size() * o.round_budgets.size()
+           : o.algorithms.size()) *
+      o.process_counts.size();
+  RLT_CHECK_MSG(configs <= kMaxInstances / seeds,
+                "exploration cross-product exceeds the instance limit");
+  std::vector<ExploreInstance> out;
+  out.reserve(configs * seeds);
+  for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
+    for (const int procs : o.process_counts) {
+      if (o.objective == Objective::kRounds) {
+        for (const term::Family f : o.families) {
+          for (const int rounds : o.round_budgets) {
+            ExploreInstance e;
+            e.objective = o.objective;
+            e.strategy = o.strategy;
+            e.family = f;
+            e.processes = procs;
+            e.max_rounds = rounds;
+            e.max_actions = o.max_actions_per_run;
+            e.seed = seed;
+            e.search_budget = o.search_budget;
+            e.shrink_budget = o.shrink_budget;
+            out.push_back(e);
+          }
+        }
+      } else {
+        for (const sweep::Algorithm a : o.algorithms) {
+          ExploreInstance e;
+          e.objective = o.objective;
+          e.strategy = o.strategy;
+          e.algorithm = a;
+          e.semantics = sim::Semantics::kLinearizable;
+          e.processes = procs;
+          e.writes_per_process = o.writes_per_process;
+          e.max_actions = o.max_actions_per_run;
+          e.seed = seed;
+          e.search_budget = o.search_budget;
+          e.shrink_budget = o.shrink_budget;
+          e.abd_read_write_back =
+              a == sweep::Algorithm::kAbd ? o.abd_read_write_back : true;
+          out.push_back(e);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExploreSummary::stable_text() const {
+  std::ostringstream os;
+  os << "instances " << instances << '\n'
+     << "search_runs " << search_runs << '\n'
+     << "violations_found " << violations_found << '\n'
+     << "blocked_found " << blocked_found << '\n'
+     << "shrunk_traces " << shrunk_traces << '\n'
+     << "errors " << errors << '\n'
+     << "steps " << total_steps << '\n'
+     << "best_score " << best_score << '\n'
+     << "best_key " << (best_key.empty() ? "n/a" : best_key) << '\n'
+     << "digest " << std::hex << digest << std::dec << '\n';
+  for (const std::string& f : failures) os << "failure " << f << '\n';
+  if (failures_truncated > 0) {
+    os << "failure ... and " << failures_truncated
+       << " more failing instance(s) not listed\n";
+  }
+  return os.str();
+}
+
+ExploreSummary run_explore(const ExploreOptions& o,
+                           std::uint64_t progress_every,
+                           sweep::RecordSink* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ExploreInstance> instances =
+      enumerate_explore_instances(o);
+  std::vector<ExploreOutcome> outcomes(instances.size());
+
+  std::uint64_t steal_count = 0;
+  {
+    sweep::WorkStealingPool pool(o.threads);
+    std::atomic<std::uint64_t> completed{0};
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, o.batch_size));
+    for (std::size_t begin = 0; begin < instances.size(); begin += batch) {
+      const std::size_t end = std::min(begin + batch, instances.size());
+      pool.submit([&instances, &outcomes, &completed, progress_every, begin,
+                   end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          outcomes[i] = run_explore_instance(instances[i]);
+          const std::uint64_t done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (progress_every > 0 && done % progress_every == 0) {
+            std::cerr << "[explore] " << done << " instances done\n";
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+    steal_count = pool.steals();
+  }
+
+  // Deterministic fold: enumeration order, no wall-clock fields.
+  ExploreSummary sum;
+  sum.digest = kFnvOffset;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const ExploreInstance& e = instances[i];
+    const ExploreOutcome& r = outcomes[i];
+    const std::string key = e.key();
+    ++sum.instances;
+    sum.search_runs += r.runs;
+    if (r.found_rank >= kRankViolation) ++sum.violations_found;
+    if (r.found_rank == kRankBlocked) ++sum.blocked_found;
+    if (r.shrunk) ++sum.shrunk_traces;
+    if (r.error) ++sum.errors;
+    sum.total_steps += r.total_steps;
+    sum.wall_ns_total += r.wall_ns;
+    if (!r.error && r.best_score > sum.best_score) {
+      sum.best_score = r.best_score;
+      sum.best_key = key;
+    }
+    if (sum.best_key.empty() && !r.error && i == 0) sum.best_key = key;
+    fnv_mix_str(sum.digest, key);
+    fnv_mix_u64(sum.digest, r.best_score);
+    fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.found_rank));
+    fnv_mix_u64(sum.digest, r.fingerprint);
+    fnv_mix_u64(sum.digest, r.trace_fnv);
+    fnv_mix_u64(sum.digest, r.runs);
+    fnv_mix_u64(sum.digest, r.total_steps);
+    fnv_mix_u64(sum.digest, r.shrunk ? 1 : 0);
+    fnv_mix_u64(sum.digest, r.locally_minimal ? 1 : 0);
+    fnv_mix_u64(sum.digest, r.shrink_probes);
+    fnv_mix_u64(sum.digest, r.error ? 1 : 0);
+    if (sink != nullptr) {
+      const char* found = "none";
+      if (e.objective == Objective::kViolation) {
+        found = r.found_rank >= kRankViolation ? "violation"
+                : r.found_rank == kRankBlocked ? "blocked"
+                                               : "none";
+      } else {
+        // The best run's own verdict ("decided" / "capped" / "budget"),
+        // not a score threshold — see the shrink-gate comment above.
+        found = r.detail.c_str();
+      }
+      sweep::Record rec;
+      rec.str("key", key)
+          .str("mode", "explore")
+          .str("objective", to_string(e.objective))
+          .str("strategy", to_string(e.strategy))
+          .str("target", e.objective == Objective::kRounds
+                             ? term::to_string(e.family)
+                             : sweep::to_string(e.algorithm))
+          .u64("processes", static_cast<std::uint64_t>(e.processes))
+          .u64("rounds", static_cast<std::uint64_t>(e.max_rounds))
+          .u64("writes", static_cast<std::uint64_t>(e.writes_per_process))
+          .u64("max_actions", e.max_actions)
+          .u64("seed", e.seed)
+          .u64("budget", static_cast<std::uint64_t>(e.search_budget))
+          .boolean("write_back", e.abd_read_write_back)
+          .u64("runs", r.runs)
+          .u64("best_score", r.best_score)
+          .str("found", r.error ? "error" : found)
+          .hex("fingerprint", r.fingerprint)
+          .hex("trace_fnv", r.trace_fnv)
+          .u64("trace_len", r.best_trace.size())
+          .u64("unshrunk_len", r.unshrunk_len)
+          .boolean("shrunk", r.shrunk)
+          .boolean("locally_minimal", r.locally_minimal)
+          .u64("shrink_probes", r.shrink_probes)
+          .u64("fallback_seed", r.fallback_seed)
+          .str("trace", encode_trace(r.best_trace))
+          .str("detail", r.detail);
+      sink->append(rec);
+    }
+    if (r.error) {
+      if (sum.failures.size() < kMaxReportedFailures) {
+        sum.failures.push_back(key + ": " + r.detail);
+      } else {
+        ++sum.failures_truncated;
+      }
+    }
+  }
+
+  sum.steals = steal_count;
+  sum.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return sum;
+}
+
+// ---- persisted-record parsing (the --replay path) -----------------------
+
+namespace {
+
+std::optional<std::string> field_str(const std::string& line,
+                                     const std::string& name) {
+  const std::string needle = "\"" + name + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + needle.size();
+  std::string out;
+  for (std::size_t i = begin; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c == '\\') return std::nullopt;  // no escapes in replayable fields
+    out += c;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> field_u64(const std::string& line,
+                                       const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+  }
+  return v;
+}
+
+std::optional<bool> field_bool(const std::string& line,
+                               const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  if (line.compare(at + needle.size(), 4, "true") == 0) return true;
+  if (line.compare(at + needle.size(), 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> field_hex(const std::string& line,
+                                       const std::string& name) {
+  const std::optional<std::string> s = field_str(line, name);
+  if (!s || s->size() < 3 || s->compare(0, 2, "0x") != 0) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < s->size(); ++i) {
+    const char c = (*s)[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else return std::nullopt;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<PersistedTrace> parse_explore_record(const std::string& line,
+                                                   std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<PersistedTrace> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (field_str(line, "mode").value_or("") != "explore") {
+    return fail("not an explore record (mode != \"explore\")");
+  }
+  PersistedTrace out;
+  const auto objective = field_str(line, "objective");
+  const auto strategy = field_str(line, "strategy");
+  const auto target = field_str(line, "target");
+  const auto trace = field_str(line, "trace");
+  if (!objective || !strategy || !target || !trace) {
+    return fail("record is missing objective/strategy/target/trace");
+  }
+  ExploreInstance& e = out.instance;
+  if (*objective == "rounds") {
+    e.objective = Objective::kRounds;
+  } else if (*objective == "viol") {
+    e.objective = Objective::kViolation;
+  } else {
+    return fail("unknown objective '" + *objective + "'");
+  }
+  if (*strategy == "greedy") e.strategy = Strategy::kGreedy;
+  else if (*strategy == "hill") e.strategy = Strategy::kHillClimb;
+  else if (*strategy == "random") e.strategy = Strategy::kRandom;
+  else return fail("unknown strategy '" + *strategy + "'");
+  if (e.objective == Objective::kRounds) {
+    if (*target == "consensus") e.family = term::Family::kConsensus;
+    else if (*target == "composed") e.family = term::Family::kComposed;
+    else if (*target == "coin") e.family = term::Family::kSharedCoin;
+    else if (*target == "game") e.family = term::Family::kGame;
+    else return fail("unknown family '" + *target + "'");
+  } else {
+    if (*target == "modeled") e.algorithm = sweep::Algorithm::kModeled;
+    else if (*target == "alg2") e.algorithm = sweep::Algorithm::kAlg2;
+    else if (*target == "alg4") e.algorithm = sweep::Algorithm::kAlg4;
+    else if (*target == "abd") e.algorithm = sweep::Algorithm::kAbd;
+    else return fail("unknown algorithm '" + *target + "'");
+    e.semantics = sim::Semantics::kLinearizable;
+  }
+  const auto processes = field_u64(line, "processes");
+  const auto rounds = field_u64(line, "rounds");
+  const auto writes = field_u64(line, "writes");
+  const auto max_actions = field_u64(line, "max_actions");
+  const auto seed = field_u64(line, "seed");
+  const auto budget = field_u64(line, "budget");
+  const auto write_back = field_bool(line, "write_back");
+  const auto fallback_seed = field_u64(line, "fallback_seed");
+  const auto fingerprint = field_hex(line, "fingerprint");
+  const auto best_score = field_u64(line, "best_score");
+  if (!processes || !rounds || !writes || !max_actions || !seed || !budget ||
+      !write_back || !fallback_seed || !fingerprint || !best_score) {
+    return fail("record is missing config fields");
+  }
+  e.processes = static_cast<int>(*processes);
+  e.max_rounds = static_cast<int>(*rounds);
+  e.writes_per_process = static_cast<int>(*writes);
+  e.max_actions = *max_actions;
+  e.seed = *seed;
+  e.search_budget = static_cast<int>(*budget);
+  e.abd_read_write_back = *write_back;
+  const std::optional<ScheduleTrace> decoded = decode_trace(*trace);
+  if (!decoded) return fail("malformed trace field");
+  out.trace = *decoded;
+  out.fallback_seed = *fallback_seed;
+  out.fingerprint = *fingerprint;
+  out.best_score = *best_score;
+  return out;
+}
+
+}  // namespace rlt::explore

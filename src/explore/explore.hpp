@@ -1,0 +1,193 @@
+// The exploration lab: adaptive-adversary schedule SEARCH.
+//
+// Where the sweep engine (src/sweep/) and the termination lab (src/term/)
+// *sample* the schedule space — scripted schedules and seeded-random
+// adversaries — this subsystem *searches* it.  A search instance fixes a
+// workload (a term family for the rounds objective, a register algorithm
+// for the violation objective), a process count, and a scheduler seed
+// (the coin stream), then spends a budget of runs looking for the
+// worst-case schedule under one of two objectives:
+//
+//  * kRounds    — maximize rounds-to-decide for the term families.  The
+//    Theorem 6 regime: on merely linearizable game registers an adaptive
+//    adversary can keep the game (and the composed A') running forever;
+//    the greedy strategy rediscovers that schedule from observations.
+//  * kViolation — hunt Verdict::kViolation / kBlocked for the register
+//    families (modeled / Alg2 / Alg4 / ABD).  Correct algorithms should
+//    survive the search (assurance); planted ablations (ABD without the
+//    read write-back) must be found.
+//
+// Three strategies: a greedy observing heuristic, hill-climbing mutation
+// of recorded traces, and budgeted random restarts.  Every incumbent
+// best schedule is captured as a replayable ScheduleTrace; traces whose
+// runs exhibit the objective (a violation, a blocked run, a round-cap
+// survival) are reduced by the delta-debugging shrinker before they are
+// persisted.  Instances run in parallel on the sweep engine's
+// work-stealing pool; the summary (and the per-instance store records)
+// folds in enumeration order, so — like every aggregate in this repo —
+// its digest is a pure function of the options, independent of thread
+// count and batch size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/trace.hpp"
+#include "sweep/scenario.hpp"
+#include "sweep/store.hpp"
+#include "term/term_scenario.hpp"
+
+namespace rlt::explore {
+
+enum class Objective : std::uint8_t { kRounds, kViolation };
+enum class Strategy : std::uint8_t { kGreedy, kHillClimb, kRandom };
+
+[[nodiscard]] const char* to_string(Objective o) noexcept;
+[[nodiscard]] const char* to_string(Strategy s) noexcept;
+
+/// One fully determined search instance.
+struct ExploreInstance {
+  Objective objective = Objective::kRounds;
+  Strategy strategy = Strategy::kGreedy;
+  /// kRounds: which term family.
+  term::Family family = term::Family::kGame;
+  /// kViolation: which register algorithm (semantics applies to kModeled;
+  /// the game registers of a kRounds probe are always kLinearizable).
+  sweep::Algorithm algorithm = sweep::Algorithm::kAbd;
+  sim::Semantics semantics = sim::Semantics::kLinearizable;
+  int processes = 4;
+  int max_rounds = 16;          ///< kRounds: round budget.
+  int writes_per_process = 2;   ///< kViolation: writer workload.
+  std::uint64_t max_actions = 2'000'000;
+  std::uint64_t seed = 0;       ///< Coin stream + search randomness root.
+  int search_budget = 32;       ///< Runs this instance may spend.
+  std::uint64_t shrink_budget = 4096;  ///< Shrink replays (0 = no shrink).
+  /// Ablation knob (tests/CI): disables ABD's read write-back, planting
+  /// genuine violations for the search to find.  Marked in key().
+  bool abd_read_write_back = true;
+
+  /// Stable key, e.g. "explore/rounds/game/greedy/p4/r16/b32/seed0" or
+  /// "explore/viol/abd/hill/p5/w2/b128/nowb/seed0".
+  [[nodiscard]] std::string key() const;
+};
+
+/// What one search instance produced.  Everything except `wall_ns` is a
+/// pure function of the instance.
+struct ExploreOutcome {
+  std::uint64_t best_score = 0;
+  /// kViolation: 3 = violation found, 2 = blocked found, 0 = neither.
+  int found_rank = 0;
+  /// Replay fingerprint of the best (post-shrink) trace: history hash
+  /// for kViolation, outcome hash for kRounds.
+  std::uint64_t fingerprint = 0;
+  /// The incumbent best schedule (post-shrink when shrinking applied).
+  ScheduleTrace best_trace;
+  std::uint64_t trace_fnv = 0;   ///< trace_hash(best_trace).
+  /// Seed of the replay fallback stream (trace.hpp); persisting it makes
+  /// shrunk (shorter-than-run) traces replay deterministically.
+  std::uint64_t fallback_seed = 0;
+  std::uint32_t runs = 0;         ///< Search runs actually executed.
+  std::uint64_t total_steps = 0;  ///< Across all search runs.
+  std::size_t unshrunk_len = 0;   ///< Best trace length before shrinking.
+  bool shrunk = false;            ///< A shrink pass ran.
+  bool locally_minimal = false;   ///< The shrink reached a fixpoint.
+  std::uint64_t shrink_probes = 0;
+  bool error = false;
+  std::string detail;
+  std::uint64_t wall_ns = 0;  ///< Measured; NOT digest material.
+};
+
+/// Runs one search instance to completion.  Deterministic (modulo
+/// wall_ns); never throws — failures become error outcomes.
+[[nodiscard]] ExploreOutcome run_explore_instance(const ExploreInstance& e);
+
+/// Replays `trace` against the instance's workload and reports the same
+/// deterministic fields a search run would.  The building block for
+/// counterexample reproduction (and the record→replay→re-record tests).
+struct ReplayReport {
+  std::uint64_t score = 0;
+  int rank = 0;                ///< kViolation rank (0 for kRounds).
+  std::uint64_t fingerprint = 0;
+  std::uint64_t steps = 0;
+  ScheduleTrace effective;     ///< Re-recorded effective trace.
+  std::string verdict;         ///< Human-readable outcome.
+};
+[[nodiscard]] ReplayReport replay_trace(const ExploreInstance& e,
+                                        const ScheduleTrace& trace,
+                                        std::uint64_t fallback_seed);
+
+/// The search cross-product plus execution knobs.
+struct ExploreOptions {
+  Objective objective = Objective::kRounds;
+  Strategy strategy = Strategy::kGreedy;
+  /// kRounds axes:
+  std::vector<term::Family> families = {term::Family::kGame};
+  std::vector<int> round_budgets = {16};
+  /// kViolation axes:
+  std::vector<sweep::Algorithm> algorithms = {sweep::Algorithm::kAbd};
+  int writes_per_process = 2;
+  bool abd_read_write_back = true;
+  /// Shared:
+  std::vector<int> process_counts = {4};
+  std::uint64_t seed_begin = 0;  ///< Inclusive (instance seeds).
+  std::uint64_t seed_end = 4;    ///< Exclusive.
+  int search_budget = 32;
+  std::uint64_t shrink_budget = 4096;
+  std::uint64_t max_actions_per_run = 2'000'000;
+  int threads = 1;
+  /// Instances per pool task (instances are heavy; default 1).
+  int batch_size = 1;
+};
+
+/// Materializes the instance list (seeds outermost, like the sweeps).
+[[nodiscard]] std::vector<ExploreInstance> enumerate_explore_instances(
+    const ExploreOptions& o);
+
+/// Aggregated, thread-count-stable outcome of an exploration.
+struct ExploreSummary {
+  std::uint64_t instances = 0;
+  std::uint64_t search_runs = 0;
+  std::uint64_t violations_found = 0;  ///< Instances whose best is kViolation.
+  std::uint64_t blocked_found = 0;     ///< ... whose best is kBlocked.
+  std::uint64_t shrunk_traces = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t best_score = 0;   ///< Max over instances.
+  std::string best_key;           ///< First instance attaining it.
+  /// Stable digest over every instance outcome in enumeration order.
+  std::uint64_t digest = 0;
+  /// Measured, NOT digest material:
+  std::uint64_t wall_ns_total = 0;
+  std::uint64_t elapsed_ns = 0;
+  std::uint64_t steals = 0;
+  std::vector<std::string> failures;
+  std::uint64_t failures_truncated = 0;
+
+  /// Deterministic section, byte-identical across runs/threads/batches.
+  [[nodiscard]] std::string stable_text() const;
+};
+
+/// Runs the search on `o.threads` pool workers.  When `sink` is
+/// non-null, one canonical record per instance — including the encoded
+/// best trace, replayable via replay_trace / sweep_main --replay — is
+/// appended in enumeration order after the pool drains.
+[[nodiscard]] ExploreSummary run_explore(const ExploreOptions& o,
+                                         std::uint64_t progress_every = 0,
+                                         sweep::RecordSink* sink = nullptr);
+
+/// Rebuilds an instance + trace from a store record line written by
+/// run_explore (the "--replay" path).  Returns nullopt (with an error in
+/// `*error`) if the line is not an explore record.
+struct PersistedTrace {
+  ExploreInstance instance;
+  ScheduleTrace trace;
+  std::uint64_t fallback_seed = 0;
+  std::uint64_t fingerprint = 0;  ///< Expected replay fingerprint.
+  std::uint64_t best_score = 0;   ///< Expected replay score.
+};
+[[nodiscard]] std::optional<PersistedTrace> parse_explore_record(
+    const std::string& line, std::string* error);
+
+}  // namespace rlt::explore

@@ -1,0 +1,534 @@
+#include "explore/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "game/encoding.hpp"
+#include "util/assert.hpp"
+
+namespace rlt::explore {
+namespace {
+
+using sim::Action;
+using sim::OpKind;
+using sim::PendingOpInfo;
+
+/// Pending-op metadata keyed by op id (one scheduler snapshot per pick).
+using PendingMap = std::map<int, PendingOpInfo>;
+
+PendingMap snapshot_pending(sim::Scheduler& sched) {
+  PendingMap out;
+  for (const PendingOpInfo& info : sched.pending_ops()) {
+    out.emplace(info.op_id, info);
+  }
+  return out;
+}
+
+/// Menu index of the minimal-commitment choice for `op_id` (the
+/// adversary commits as little and as late as possible, like the
+/// Theorem 6 script).  npos if the op has no menu entry.
+std::size_t min_commit_index(const std::vector<Action>& menu, int op_id) {
+  std::size_t best = std::string::npos;
+  std::size_t best_commit = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    const Action& a = menu[i];
+    if (a.kind != Action::Kind::kRespond || a.op_id != op_id) continue;
+    if (a.choice.commit_extension.size() < best_commit) {
+      best_commit = a.choice.commit_extension.size();
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Menu index of the minimal-commitment choice for `op_id` returning
+/// exactly `value`; npos if no choice yields it.
+std::size_t value_index(const std::vector<Action>& menu, int op_id,
+                        sim::Value value) {
+  std::size_t best = std::string::npos;
+  std::size_t best_commit = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    const Action& a = menu[i];
+    if (a.kind != Action::Kind::kRespond || a.op_id != op_id) continue;
+    if (a.choice.value != value) continue;
+    if (a.choice.commit_extension.size() < best_commit) {
+      best_commit = a.choice.commit_extension.size();
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Menu index of the extreme-value choice for `op_id` (`largest` picks
+/// the maximum value, else the minimum), minimal commitment on ties.
+std::size_t extreme_value_index(const std::vector<Action>& menu, int op_id,
+                                bool largest) {
+  std::size_t best = std::string::npos;
+  sim::Value best_value = 0;
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    const Action& a = menu[i];
+    if (a.kind != Action::Kind::kRespond || a.op_id != op_id) continue;
+    if (best == std::string::npos ||
+        (largest ? a.choice.value > best_value
+                 : a.choice.value < best_value)) {
+      best_value = a.choice.value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Index of the step entry for process `p`; npos if not steppable.
+std::size_t step_index(const std::vector<Action>& menu, sim::ProcessId p) {
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    if (menu[i].kind == Action::Kind::kStep && menu[i].process == p) return i;
+  }
+  return std::string::npos;
+}
+
+/// First respond entry in menu order, minimal commitment for its op —
+/// the guaranteed-progress fallback.
+std::size_t any_respond_index(const std::vector<Action>& menu) {
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    if (menu[i].kind == Action::Kind::kRespond) {
+      return min_commit_index(menu, menu[i].op_id);
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+// ---- RecordingPolicy ----------------------------------------------------
+
+std::size_t RecordingPolicy::pick(sim::Scheduler& sched,
+                                  const std::vector<sim::Action>& menu) {
+  peak_pending_ = std::max(peak_pending_,
+                           static_cast<std::uint64_t>(
+                               sched.pending_ops().size()));
+  const std::size_t i = decide(sched, menu);
+  RLT_CHECK_MSG(i < menu.size(), "policy decision out of range");
+  recorded_.choices.push_back(static_cast<std::uint32_t>(i));
+  return i;
+}
+
+std::size_t RecordingPolicy::pick_split(const sim::SplitMenu& menu) {
+  peak_pending_ = std::max(
+      peak_pending_, static_cast<std::uint64_t>(menu.deliveries.size()));
+  const std::size_t i = decide_split(menu);
+  RLT_CHECK_MSG(i < menu.size(), "policy decision out of range");
+  recorded_.choices.push_back(static_cast<std::uint32_t>(i));
+  return i;
+}
+
+// ---- RandomPolicy -------------------------------------------------------
+
+std::size_t RandomPolicy::decide(sim::Scheduler&,
+                                 const std::vector<sim::Action>& menu) {
+  return static_cast<std::size_t>(rng_.uniform(menu.size()));
+}
+
+std::size_t RandomPolicy::decide_split(const sim::SplitMenu& menu) {
+  return static_cast<std::size_t>(rng_.uniform(menu.size()));
+}
+
+// ---- ReplayPolicy -------------------------------------------------------
+
+std::size_t ReplayPolicy::next_index(std::size_t menu_size) {
+  if (pos_ < trace_.choices.size()) {
+    return trace_.choices[pos_++] % menu_size;
+  }
+  return static_cast<std::size_t>(fallback_.uniform(menu_size));
+}
+
+std::size_t ReplayPolicy::decide(sim::Scheduler&,
+                                 const std::vector<sim::Action>& menu) {
+  return next_index(menu.size());
+}
+
+std::size_t ReplayPolicy::decide_split(const sim::SplitMenu& menu) {
+  return next_index(menu.size());
+}
+
+// ---- GreedyRoundsPolicy -------------------------------------------------
+
+std::size_t GreedyRoundsPolicy::decide(sim::Scheduler& sched,
+                                       const std::vector<sim::Action>& menu) {
+  if (players_.empty()) {
+    players_.resize(static_cast<std::size_t>(sched.process_count()));
+    steps_taken_.resize(static_cast<std::size_t>(sched.process_count()), 0);
+  }
+  std::size_t chosen;
+  if (jitter_den_ > 0 && rng_.chance(1, jitter_den_)) {
+    chosen = static_cast<std::size_t>(rng_.uniform(menu.size()));
+  } else {
+    chosen = game_aware_ ? decide_game(sched, menu)
+                         : decide_lockstep(sched, menu);
+  }
+  update_book(sched, menu[chosen]);
+  return chosen;
+}
+
+std::size_t GreedyRoundsPolicy::decide_split(const sim::SplitMenu& menu) {
+  // The rounds objective never drives the message-passing family; if it
+  // ever does, favor starting work (conservative, deterministic).
+  if (jitter_den_ > 0 && rng_.chance(1, jitter_den_)) {
+    return static_cast<std::size_t>(rng_.uniform(menu.size()));
+  }
+  return 0;  // first start if any, else the oldest delivery
+}
+
+std::size_t GreedyRoundsPolicy::decide_game(
+    sim::Scheduler& sched, const std::vector<sim::Action>& menu) {
+  const int n = sched.process_count();
+  const PendingMap pending = snapshot_pending(sched);
+  const auto& coins = sched.coin_log();
+  const int coins_flipped = static_cast<int>(coins.size());
+
+  // Respond rules, scanned over pending ops in age order.  Each op gets
+  // a priority; delayed ops (the heart of the schedule: p1's R1 write,
+  // the hosts' R2 reads, reads whose round's coin is still unflipped)
+  // get none and fall through to the step rules below.
+  std::size_t best = std::string::npos;
+  int best_priority = 0;
+  for (const auto& [op_id, info] : pending) {
+    const bool is_player = info.process >= 2;
+    int priority = 0;
+    std::size_t index = std::string::npos;
+    if (info.kind == OpKind::kWrite) {
+      if (is_player) {
+        // Players' writes (the ⊥s, the R2 resets, the increments)
+        // complete immediately, like the script's Phase 1/2.
+        priority = 9;
+        index = min_commit_index(menu, op_id);
+      } else if (info.process == 1 && info.reg == game::kR1) {
+        // w1 stays pending — "maximize concurrent uncommitted writes" —
+        // until every player's first R1 read of its round was served, so
+        // the write order is still open when the coin is revealed.
+        const int j = info.value == game::kBot
+                          ? 0
+                          : game::r1_round(info.value);
+        bool players_served = true;
+        for (int p = 2; p < n && players_served; ++p) {
+          if (sched.process_done(p)) continue;
+          const PlayerState& ps = players_[static_cast<std::size_t>(p)];
+          if (ps.round < j || (ps.round == j && ps.r1_reads < 1)) {
+            players_served = false;
+          }
+        }
+        if (players_served) {
+          priority = 8;
+          index = min_commit_index(menu, op_id);
+        }
+      } else {
+        // p0's R1 write (so the coin flip can happen), the C write, the
+        // hosts' R2 resets: respond promptly, minimal commitment.
+        priority = 8;
+        index = min_commit_index(menu, op_id);
+      }
+    } else if (is_player && info.reg == game::kR1) {
+      // A player's R1 read: served only once its round's coin is known
+      // AND the targeted value — [c, j] (first read) / [1-c, j] (second
+      // read), the adaptive rediscovery of Theorem 6's Cases 1/2 — is
+      // feasible.  Until then the read is simply delayed: the hosts'
+      // writes that make the target feasible are still on their way.
+      const int j = players_[static_cast<std::size_t>(info.process)].round;
+      if (j >= 1 && coins_flipped >= j) {
+        const int c = coins[static_cast<std::size_t>(j - 1)].outcome;
+        const int reads =
+            players_[static_cast<std::size_t>(info.process)].r1_reads;
+        const sim::Value target =
+            game::host_r1_value(reads == 0 ? c : 1 - c, j, false);
+        const std::size_t at = value_index(menu, op_id, target);
+        if (at != std::string::npos) {
+          priority = 7;
+          index = at;
+        }
+      }
+    } else if (is_player && info.reg == game::kC) {
+      // Delayed until p0's C write of this round landed, so the read
+      // returns c rather than a leftover ⊥.
+      const int j = players_[static_cast<std::size_t>(info.process)].round;
+      if (j >= 1 && coins_flipped >= j) {
+        const int c = coins[static_cast<std::size_t>(j - 1)].outcome;
+        const std::size_t at = value_index(menu, op_id, c);
+        if (at != std::string::npos) {
+          priority = 7;
+          index = at;
+        }
+      }
+    } else if (is_player && info.reg == game::kR2) {
+      // Line 32 counter read: delayed until every live player's line-31
+      // reset landed (a straggler's R2 := 0 would wipe increments that
+      // already happened — Figure 2's ordering, rediscovered).  The
+      // increment chains then run sequentially, so the maximal feasible
+      // value is the accumulated count.
+      const int jp = players_[static_cast<std::size_t>(info.process)].round;
+      bool resets_done = true;
+      bool chain_free = true;
+      for (int q = 2; q < n; ++q) {
+        if (sched.process_done(q)) continue;
+        const PlayerState& qs = players_[static_cast<std::size_t>(q)];
+        if (qs.round < jp || (qs.round == jp && !qs.r2_reset)) {
+          resets_done = false;
+        }
+        if (q != info.process && qs.mid_increment) chain_free = false;
+      }
+      if (resets_done && chain_free) {
+        priority = 6;
+        index = extreme_value_index(menu, op_id, /*largest=*/true);
+      }
+    } else if (!is_player && info.reg == game::kR2) {
+      // Line 11: hold the host's read open across the increments and
+      // release it only once n-2 is feasible AND every live player has
+      // opened its next round — a player whose increment responded but
+      // whose coroutine has not resumed yet has not yet executed the
+      // line-34 bookkeeping Lemma 17 asserts against.
+      const int jh = host_round_[info.process == 0 ? 0 : 1];
+      bool players_past = true;
+      for (int q = 2; q < n && players_past; ++q) {
+        if (sched.process_done(q)) continue;
+        if (players_[static_cast<std::size_t>(q)].round <= jh) {
+          players_past = false;
+        }
+      }
+      const std::size_t max_i =
+          extreme_value_index(menu, op_id, /*largest=*/true);
+      if (players_past && max_i != std::string::npos &&
+          menu[max_i].choice.value >= n - 2) {
+        priority = 5;
+        index = max_i;
+      }
+    } else {
+      // Registers outside the game pattern (a composed run's consensus
+      // phase, should it ever use interval semantics): respond promptly.
+      priority = 4;
+      index = min_commit_index(menu, op_id);
+    }
+    if (priority > best_priority && index != std::string::npos) {
+      best_priority = priority;
+      best = index;
+    }
+  }
+  if (best != std::string::npos) return best;
+
+  // Step rules: players first (ascending), gated out of phase 2 until
+  // both hosts parked a pending R2 read at line 11 (so the hosts' R2
+  // resets land before any increment); then p1 (so w1 is invoked and
+  // pending before w0 responds); p0 last.
+  bool hosts_parked = true;
+  for (int h = 0; h < 2 && h < n; ++h) {
+    bool parked = false;
+    for (const auto& [op_id, info] : pending) {
+      if (info.process == h && info.kind == OpKind::kRead &&
+          info.reg == game::kR2) {
+        parked = true;
+      }
+    }
+    if (!parked) hosts_parked = false;
+  }
+  for (int p = 2; p < n; ++p) {
+    if (players_[static_cast<std::size_t>(p)].c_read && !hosts_parked) {
+      continue;  // wait for the hosts to pass line 10
+    }
+    const std::size_t i = step_index(menu, p);
+    if (i != std::string::npos) return i;
+  }
+  for (const int h : {1, 0}) {
+    const std::size_t i = step_index(menu, h);
+    if (i != std::string::npos) return i;
+  }
+  // Everything is delayed or gated: break the quietest delay rather than
+  // stall (a dead player can make a delay condition unsatisfiable).
+  const std::size_t r = any_respond_index(menu);
+  if (r != std::string::npos) return r;
+  return 0;  // only gated steps remain: take the first
+}
+
+std::size_t GreedyRoundsPolicy::decide_lockstep(
+    sim::Scheduler& sched, const std::vector<sim::Action>& menu) {
+  // "Delay the process closest to deciding": keep processes in lockstep
+  // by always stepping the least-advanced one, which maximizes how long
+  // races (consensus ties, coin drift near zero) stay open.
+  std::size_t best = std::string::npos;
+  std::uint64_t best_steps = 0;
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    if (menu[i].kind != Action::Kind::kStep) continue;
+    const std::uint64_t taken =
+        steps_taken_[static_cast<std::size_t>(menu[i].process)];
+    if (best == std::string::npos || taken < best_steps) {
+      best = i;
+      best_steps = taken;
+    }
+  }
+  if (best != std::string::npos) return best;
+  const std::size_t r = any_respond_index(menu);
+  if (r != std::string::npos) return r;
+  (void)sched;
+  return 0;
+}
+
+void GreedyRoundsPolicy::update_book(sim::Scheduler& sched,
+                                     const sim::Action& chosen) {
+  if (chosen.kind == Action::Kind::kStep) {
+    steps_taken_[static_cast<std::size_t>(chosen.process)] += 1;
+    return;
+  }
+  if (chosen.process < 2) {
+    // Host round tracking: the round is encoded in the host's R1 write.
+    for (const PendingOpInfo& info : sched.pending_ops()) {
+      if (info.op_id == chosen.op_id && info.kind == OpKind::kWrite &&
+          info.reg == game::kR1 && info.value != game::kBot) {
+        host_round_[chosen.process == 0 ? 0 : 1] =
+            game::r1_round(info.value);
+      }
+    }
+    return;
+  }
+  // Look the op up pre-apply: the scheduler state still has it pending.
+  for (const PendingOpInfo& info : sched.pending_ops()) {
+    if (info.op_id != chosen.op_id) continue;
+    PlayerState& ps = players_[static_cast<std::size_t>(chosen.process)];
+    if (info.kind == OpKind::kWrite && info.reg == game::kR1 &&
+        info.value == game::kBot) {
+      // The ⊥ write opens the player's next round.
+      ps.round += 1;
+      ps.r1_reads = 0;
+      ps.c_read = false;
+      ps.r2_reset = false;
+    } else if (info.kind == OpKind::kWrite && info.reg == game::kR2) {
+      if (info.value == 0) {
+        // Line 31 (increments write >= 1, so value 0 is always the reset).
+        ps.r2_reset = true;
+      } else {
+        ps.mid_increment = false;  // line 34 landed; release the chain
+      }
+    } else if (info.kind == OpKind::kRead && info.reg == game::kR2) {
+      ps.mid_increment = true;  // line 32 served; increment in flight
+    } else if (info.kind == OpKind::kRead && info.reg == game::kR1) {
+      ps.r1_reads = std::min(ps.r1_reads + 1, 2);
+    } else if (info.kind == OpKind::kRead && info.reg == game::kC) {
+      ps.c_read = true;
+    }
+    return;
+  }
+}
+
+// ---- GreedyViolationPolicy ----------------------------------------------
+
+std::size_t GreedyViolationPolicy::decide(
+    sim::Scheduler& sched, const std::vector<sim::Action>& menu) {
+  if (steps_taken_.empty()) {
+    steps_taken_.resize(static_cast<std::size_t>(sched.process_count()), 0);
+  }
+  if (jitter_den_ > 0 && rng_.chance(1, jitter_den_)) {
+    return static_cast<std::size_t>(rng_.uniform(menu.size()));
+  }
+  const PendingMap pending = snapshot_pending(sched);
+  std::size_t pending_writes = 0;
+  for (const auto& [op_id, info] : pending) {
+    if (info.kind == OpKind::kWrite) ++pending_writes;
+  }
+  // Maximize overlap: keep stepping (invoking) while processes can, but
+  // retire writes beyond a small concurrency cap — the WSL model's write
+  // menus are factorial in the uncommitted-write count.
+  if (pending_writes < 3) {
+    std::size_t best = std::string::npos;
+    std::uint64_t best_steps = 0;
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+      if (menu[i].kind != Action::Kind::kStep) continue;
+      const std::uint64_t taken =
+          steps_taken_[static_cast<std::size_t>(menu[i].process)];
+      if (best == std::string::npos || taken < best_steps) {
+        best = i;
+        best_steps = taken;
+      }
+    }
+    if (best != std::string::npos) {
+      steps_taken_[static_cast<std::size_t>(menu[best].process)] += 1;
+      return best;
+    }
+  }
+  // Respond: writes first (minimal commitment), then reads served
+  // alternately newest-/oldest-feasible value — the new/old inversion
+  // generator.
+  for (const auto& [op_id, info] : pending) {
+    if (info.kind != OpKind::kWrite) continue;
+    const std::size_t i = min_commit_index(menu, op_id);
+    if (i != std::string::npos) return i;
+  }
+  for (const auto& [op_id, info] : pending) {
+    if (info.kind != OpKind::kRead) continue;
+    const std::size_t i = extreme_value_index(menu, op_id, serve_newest_);
+    if (i != std::string::npos) {
+      serve_newest_ = !serve_newest_;
+      return i;
+    }
+  }
+  return 0;  // only steps remain (write cap active): take the first
+}
+
+std::size_t GreedyViolationPolicy::decide_split(const sim::SplitMenu& menu) {
+  // ABD's message grammar (mp/abd.cpp): 1 = write/write-back request,
+  // 2 = write ack, 3 = read query, 4 = read reply.
+  constexpr std::int64_t kMsgWrite = 1;
+  constexpr std::int64_t kMsgRead = 3;
+  if (jitter_den_ > 0 && rng_.chance(1, jitter_den_)) {
+    return static_cast<std::size_t>(rng_.uniform(menu.size()));
+  }
+  // Node count, inferred from the envelopes seen so far (broadcasts
+  // reach every node, so one started op pins it exactly).
+  for (const std::int32_t node : menu.start_nodes) {
+    abd_nodes_ = std::max(abd_nodes_, node + 1);
+  }
+  for (const sim::SplitMenu::Delivery& d : menu.deliveries) {
+    abd_nodes_ = std::max({abd_nodes_, d.from + 1, d.to + 1});
+  }
+  const int n = abd_nodes_;
+  const int quorum = n / 2 + 1;
+  // The largest server set a read quorum can still avoid; parking write
+  // requests on it keeps the write pending (sub-quorum acks) while a
+  // minority holds the new timestamp.
+  const int parked = n - quorum;
+  if (static_cast<int>(abd_quorum_hi_.size()) < n) {
+    abd_quorum_hi_.resize(static_cast<std::size_t>(n), true);
+  }
+  const std::size_t starts = menu.start_nodes.size();
+  // 1. Client-bound acks/replies flow freely (a parked write never
+  //    collects more than `parked` < quorum of them).
+  for (std::size_t j = 0; j < menu.deliveries.size(); ++j) {
+    const std::int64_t t = menu.deliveries[j].type;
+    if (t != kMsgWrite && t != kMsgRead) return starts + j;
+  }
+  // 2. Read queries, but only into the reader's assigned quorum: the
+  //    low quorum {0..q-1} overlaps the parked servers (sees the new
+  //    timestamp), the high quorum {n-q..n-1} avoids them (stale).
+  for (std::size_t j = 0; j < menu.deliveries.size(); ++j) {
+    const sim::SplitMenu::Delivery& d = menu.deliveries[j];
+    if (d.type != kMsgRead) continue;
+    const bool hi = abd_quorum_hi_[static_cast<std::size_t>(d.from)];
+    const bool in_quorum = hi ? d.to >= n - quorum : d.to < quorum;
+    if (in_quorum) return starts + j;
+  }
+  // 3. Write (and write-back) requests reach the parked minority only.
+  for (std::size_t j = 0; j < menu.deliveries.size(); ++j) {
+    const sim::SplitMenu::Delivery& d = menu.deliveries[j];
+    if (d.type == kMsgWrite && d.to < parked) return starts + j;
+  }
+  // 4. Nothing useful in flight: start the next operation (node order,
+  //    so the writer's parked write exists before the first read), and
+  //    alternate the quorum assignment — fresh read, then stale read —
+  //    which is exactly the new/old inversion when write-back is off.
+  if (starts > 0) {
+    const std::int32_t node = menu.start_nodes.front();
+    abd_quorum_hi_[static_cast<std::size_t>(node)] = !abd_toggle_hi_;
+    abd_toggle_hi_ = !abd_toggle_hi_;
+    return 0;
+  }
+  // 5. Endgame drain: release the parked messages oldest-first so every
+  //    operation completes and the run classifies on its full history.
+  return starts;
+}
+
+}  // namespace rlt::explore

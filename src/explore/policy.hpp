@@ -1,0 +1,176 @@
+// The exploration lab's concrete schedule policies.
+//
+// Every policy here *records*: the effective menu index of each decision
+// it makes is appended to an internal ScheduleTrace, so any run — random,
+// greedy, or a replayed mutant — can be reproduced exactly by replaying
+// its recorded trace (record → replay → re-record is a fixed point).
+// Policies also track an observation the violation objective uses as a
+// search gradient: the peak number of concurrent pending operations (or
+// in-flight messages, for the ABD driver) seen across the run.
+//
+//  * RandomPolicy — uniform over the menu; the budgeted-restart baseline.
+//  * ReplayPolicy — replays a trace (index mod menu size) and falls back
+//    to a seeded random continuation when the trace runs out.  Mutants
+//    and shrunk traces run through this.
+//  * GreedyRoundsPolicy — the adaptive adversary for the rounds
+//    objective.  Against the game-register families on merely
+//    linearizable registers it rediscovers the Theorem 6 schedule from
+//    observations alone: it keeps one host's write pending to maximize
+//    concurrent uncommitted writes, watches the coin log, and then picks
+//    read linearizations that keep every player in the game — forever.
+//    For families without the game's register pattern it degrades to a
+//    lockstep rule (step the least-advanced process) that delays whoever
+//    is closest to deciding.
+//  * GreedyViolationPolicy — the adaptive adversary for the violation
+//    objective.  Simulator families: maximize operation overlap (prefer
+//    steps while any process can still invoke) and serve reads
+//    alternately newest/oldest value to provoke new/old inversions.
+//    ABD: the new/old-inversion generator — park every write on a
+//    sub-quorum of servers (so it stays pending and only a minority
+//    holds the new timestamp), serialize the reads, and steer each
+//    read's quorum alternately through servers that did and did not see
+//    the write.  Without the read write-back this produces a
+//    fresh-then-stale read pair on the first try; with it, ABD defends
+//    itself and the search comes home empty — which is the point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "explore/trace.hpp"
+#include "sim/schedule_policy.hpp"
+#include "util/rng.hpp"
+
+namespace rlt::explore {
+
+/// Common recording + observation base.  Subclasses implement the
+/// decision hooks; the base notes every effective choice.
+class RecordingPolicy : public sim::SchedulePolicy {
+ public:
+  std::size_t pick(sim::Scheduler& sched,
+                   const std::vector<sim::Action>& menu) final;
+  std::size_t pick_split(const sim::SplitMenu& menu) final;
+
+  /// The effective choices made so far (menu indices in decision order).
+  [[nodiscard]] const ScheduleTrace& recorded() const noexcept {
+    return recorded_;
+  }
+  /// Peak concurrent pending ops / in-flight messages observed.
+  [[nodiscard]] std::uint64_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
+
+ protected:
+  virtual std::size_t decide(sim::Scheduler& sched,
+                             const std::vector<sim::Action>& menu) = 0;
+  virtual std::size_t decide_split(const sim::SplitMenu& menu) = 0;
+
+ private:
+  ScheduleTrace recorded_;
+  std::uint64_t peak_pending_ = 0;
+};
+
+/// Uniform random over the menu (seeded).
+class RandomPolicy final : public RecordingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+ protected:
+  std::size_t decide(sim::Scheduler& sched,
+                     const std::vector<sim::Action>& menu) override;
+  std::size_t decide_split(const sim::SplitMenu& menu) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Replays `trace` (index mod menu size); random continuation seeded
+/// with `fallback_seed` once the trace is exhausted.  Total: any choice
+/// sequence is a valid schedule under this policy.
+class ReplayPolicy final : public RecordingPolicy {
+ public:
+  ReplayPolicy(ScheduleTrace trace, std::uint64_t fallback_seed)
+      : trace_(std::move(trace)), fallback_(fallback_seed) {}
+
+ protected:
+  std::size_t decide(sim::Scheduler& sched,
+                     const std::vector<sim::Action>& menu) override;
+  std::size_t decide_split(const sim::SplitMenu& menu) override;
+
+ private:
+  [[nodiscard]] std::size_t next_index(std::size_t menu_size);
+
+  ScheduleTrace trace_;
+  std::size_t pos_ = 0;
+  util::Rng fallback_;
+};
+
+/// Greedy adaptive adversary maximizing rounds-to-decide (see file
+/// comment).  `game_aware` enables the game-register rule set (the
+/// kGame / kComposed families); `jitter_den` > 0 makes roughly 1 in
+/// `jitter_den` decisions uniformly random (seeded) so repeated greedy
+/// runs within one search instance explore distinct schedules.
+class GreedyRoundsPolicy final : public RecordingPolicy {
+ public:
+  GreedyRoundsPolicy(bool game_aware, std::uint64_t jitter_seed,
+                     std::uint32_t jitter_den)
+      : game_aware_(game_aware), jitter_den_(jitter_den), rng_(jitter_seed) {}
+
+ protected:
+  std::size_t decide(sim::Scheduler& sched,
+                     const std::vector<sim::Action>& menu) override;
+  std::size_t decide_split(const sim::SplitMenu& menu) override;
+
+ private:
+  /// Per-player game bookkeeping, maintained from the choices this
+  /// policy itself schedules (the adversary's own observation log).
+  struct PlayerState {
+    int round = 0;        ///< Current game round (0 = not started).
+    int r1_reads = 0;     ///< R1 reads served this round (0, 1, or 2).
+    bool c_read = false;  ///< C read served this round (gate to phase 2).
+    bool r2_reset = false;  ///< Line-31 write (R2 := 0) landed this round.
+    /// Counter read served but the line-34 increment not yet written:
+    /// other increment chains must wait (two concurrent reads would both
+    /// see the same count and lose an increment).
+    bool mid_increment = false;
+  };
+
+  [[nodiscard]] std::size_t decide_game(
+      sim::Scheduler& sched, const std::vector<sim::Action>& menu);
+  [[nodiscard]] std::size_t decide_lockstep(
+      sim::Scheduler& sched, const std::vector<sim::Action>& menu);
+  void update_book(sim::Scheduler& sched, const sim::Action& chosen);
+
+  bool game_aware_;
+  std::uint32_t jitter_den_;
+  util::Rng rng_;
+  std::vector<PlayerState> players_;
+  int host_round_[2] = {0, 0};  ///< Hosts' rounds (from their R1 writes).
+  std::vector<std::uint64_t> steps_taken_;
+};
+
+/// Greedy adaptive adversary hunting kViolation/kBlocked (see file
+/// comment).  `jitter_den` as in GreedyRoundsPolicy.
+class GreedyViolationPolicy final : public RecordingPolicy {
+ public:
+  GreedyViolationPolicy(std::uint64_t jitter_seed, std::uint32_t jitter_den)
+      : jitter_den_(jitter_den), rng_(jitter_seed) {}
+
+ protected:
+  std::size_t decide(sim::Scheduler& sched,
+                     const std::vector<sim::Action>& menu) override;
+  std::size_t decide_split(const sim::SplitMenu& menu) override;
+
+ private:
+  std::uint32_t jitter_den_;
+  util::Rng rng_;
+  std::vector<std::uint64_t> steps_taken_;
+  bool serve_newest_ = true;  ///< Alternates read-value targeting.
+  /// ABD quorum steering (see decide_split): node count inferred from
+  /// envelopes, per-node quorum assignment, and the hi/lo alternator.
+  int abd_nodes_ = 0;
+  bool abd_toggle_hi_ = true;
+  std::vector<bool> abd_quorum_hi_;
+};
+
+}  // namespace rlt::explore

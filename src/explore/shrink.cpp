@@ -1,0 +1,97 @@
+#include "explore/shrink.hpp"
+
+#include <algorithm>
+
+namespace rlt::explore {
+namespace {
+
+/// `t` without the half-open index range [begin, end).
+ScheduleTrace without_range(const ScheduleTrace& t, std::size_t begin,
+                            std::size_t end) {
+  ScheduleTrace out;
+  out.choices.reserve(t.choices.size() - (end - begin));
+  out.choices.insert(out.choices.end(), t.choices.begin(),
+                     t.choices.begin() + static_cast<std::ptrdiff_t>(begin));
+  out.choices.insert(out.choices.end(),
+                     t.choices.begin() + static_cast<std::ptrdiff_t>(end),
+                     t.choices.end());
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(ScheduleTrace t, const KeepPredicate& keep,
+                    std::uint64_t budget) {
+  ShrinkResult r;
+  auto probe = [&](const ScheduleTrace& candidate) {
+    ++r.probes;
+    return keep(candidate);
+  };
+
+  // ddmin chunk removal down to granularity 1.  Returns true iff the
+  // scan ran to completion (granularity 1, no removal possible) within
+  // budget; `changed` reports whether anything was removed.
+  auto removal_pass = [&](bool& changed) {
+    std::size_t chunks = 2;
+    while (!t.choices.empty()) {
+      if (r.probes >= budget) return false;
+      chunks = std::min(chunks, t.choices.size());
+      const std::size_t len = t.choices.size();
+      bool removed = false;
+      for (std::size_t k = 0; k < chunks && r.probes < budget; ++k) {
+        // Chunk k covers [k*len/chunks, (k+1)*len/chunks) — an exact
+        // integer split, every element in exactly one chunk.
+        const std::size_t begin = k * len / chunks;
+        const std::size_t end = (k + 1) * len / chunks;
+        if (begin == end) continue;
+        ScheduleTrace candidate = without_range(t, begin, end);
+        if (probe(candidate)) {
+          t = std::move(candidate);
+          chunks = std::max<std::size_t>(chunks - 1, 2);
+          removed = true;
+          changed = true;
+          break;
+        }
+      }
+      if (removed) continue;
+      if (chunks >= t.choices.size()) return true;  // 1-minimal
+      chunks = std::min(t.choices.size(), chunks * 2);
+    }
+    return true;  // empty trace: nothing left to remove
+  };
+
+  // Lower surviving choices to 0, the canonical smallest menu index.
+  auto lowering_pass = [&](bool& changed) {
+    for (std::size_t i = 0; i < t.choices.size(); ++i) {
+      if (t.choices[i] == 0) continue;
+      if (r.probes >= budget) return false;
+      ScheduleTrace candidate = t;
+      candidate.choices[i] = 0;
+      if (probe(candidate)) {
+        t = std::move(candidate);
+        changed = true;
+      }
+    }
+    return true;
+  };
+
+  // Iterate to a fixpoint: a lowering can unlock a removal and vice
+  // versa, and local minimality is only claimed once a full round of
+  // both passes completes with no change.
+  bool complete = false;
+  for (;;) {
+    bool changed = false;
+    if (!removal_pass(changed)) break;
+    if (!lowering_pass(changed)) break;
+    if (!changed) {
+      complete = true;
+      break;
+    }
+  }
+
+  r.trace = std::move(t);
+  r.locally_minimal = complete;
+  return r;
+}
+
+}  // namespace rlt::explore

@@ -1,0 +1,46 @@
+// Counterexample shrinking: ddmin over schedule traces.
+//
+// Given a trace whose replay exhibits a property (a checker violation, a
+// blocked run, a round-cap survival) and a predicate that replays a
+// candidate and reports whether the property still holds, `shrink`
+// reduces the trace with classic delta debugging [Zeller & Hildebrandt]:
+//
+//  1. chunk removal at geometrically refined granularity (ddmin), which
+//     also truncates tails — a counterexample usually manifests early
+//     and drags a long irrelevant suffix behind it;
+//  2. a choice-lowering pass that rewrites surviving entries to 0 (the
+//     canonical smallest menu index).
+//
+// The result is *locally minimal* when both passes complete: removing
+// any single remaining choice, or lowering any remaining entry to 0,
+// loses the property.  Replay totality (indices mod menu size, seeded
+// fallback after exhaustion — see trace.hpp) guarantees every candidate
+// is a valid schedule, so the predicate never has to reject for shape.
+//
+// Every predicate call replays a full run, so the pass is budgeted;
+// exhausting the budget returns the best trace found so far with
+// `locally_minimal = false`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "explore/trace.hpp"
+
+namespace rlt::explore {
+
+/// Replays a candidate; true iff the property of interest still holds.
+using KeepPredicate = std::function<bool(const ScheduleTrace&)>;
+
+struct ShrinkResult {
+  ScheduleTrace trace;       ///< Reduced trace (still satisfies `keep`).
+  std::uint64_t probes = 0;  ///< Predicate calls spent.
+  bool locally_minimal = false;  ///< Both passes ran to completion.
+};
+
+/// Reduces `t` (which must satisfy `keep`) spending at most `budget`
+/// predicate calls.  Deterministic: same inputs, same result.
+[[nodiscard]] ShrinkResult shrink(ScheduleTrace t, const KeepPredicate& keep,
+                                  std::uint64_t budget);
+
+}  // namespace rlt::explore

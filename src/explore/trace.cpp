@@ -1,0 +1,54 @@
+#include "explore/trace.hpp"
+
+#include <limits>
+
+#include "sweep/fnv.hpp"
+
+namespace rlt::explore {
+
+std::uint64_t trace_hash(const ScheduleTrace& t) {
+  std::uint64_t h = sweep::kFnvOffset;
+  sweep::fnv_mix_u64(h, t.choices.size());
+  for (const std::uint32_t c : t.choices) {
+    sweep::fnv_mix_u64(h, c);
+  }
+  return h;
+}
+
+std::string encode_trace(const ScheduleTrace& t) {
+  std::string out;
+  out.reserve(t.choices.size() * 3);
+  for (std::size_t i = 0; i < t.choices.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(t.choices[i]);
+  }
+  return out;
+}
+
+std::optional<ScheduleTrace> decode_trace(const std::string& text) {
+  ScheduleTrace t;
+  if (text.empty()) return t;
+  std::uint64_t value = 0;
+  bool in_number = false;
+  for (const char ch : text) {
+    if (ch >= '0' && ch <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+      if (value > std::numeric_limits<std::uint32_t>::max()) {
+        return std::nullopt;
+      }
+      in_number = true;
+    } else if (ch == ',') {
+      if (!in_number) return std::nullopt;  // empty element
+      t.choices.push_back(static_cast<std::uint32_t>(value));
+      value = 0;
+      in_number = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!in_number) return std::nullopt;  // trailing comma
+  t.choices.push_back(static_cast<std::uint32_t>(value));
+  return t;
+}
+
+}  // namespace rlt::explore

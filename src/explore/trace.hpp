@@ -1,0 +1,47 @@
+// Replayable schedule traces.
+//
+// A `ScheduleTrace` is the sequence of menu indices a SchedulePolicy
+// returned during one run (src/sim/schedule_policy.hpp).  Because every
+// decision menu is enumerated deterministically, replaying the indices
+// reproduces the run byte-for-byte: same history, same fingerprint, same
+// verdict.  Replay is total: an index is reduced modulo the live menu
+// size, and a trace shorter than the run falls back to a seeded random
+// policy — so every mutation or shrink of a trace is again a valid
+// schedule.  That closure property is what hill-climbing mutation and
+// delta-debugging shrinking rest on.
+//
+// Serialization is a compact comma-separated decimal string (embedded in
+// a canonical JSONL store record by src/explore/explore.cpp), so traces
+// diff cleanly and survive a store round-trip losslessly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rlt::explore {
+
+/// One recorded (or synthesized) schedule: menu indices in decision
+/// order.  Indices are interpreted modulo the menu size at replay time.
+struct ScheduleTrace {
+  std::vector<std::uint32_t> choices;
+
+  [[nodiscard]] bool empty() const noexcept { return choices.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return choices.size(); }
+
+  friend bool operator==(const ScheduleTrace&,
+                         const ScheduleTrace&) = default;
+};
+
+/// FNV-1a fingerprint of the choice sequence (digest material).
+[[nodiscard]] std::uint64_t trace_hash(const ScheduleTrace& t);
+
+/// "3,0,17" (empty string for the empty trace).
+[[nodiscard]] std::string encode_trace(const ScheduleTrace& t);
+
+/// Parses encode_trace output; nullopt on any malformed byte.
+[[nodiscard]] std::optional<ScheduleTrace> decode_trace(
+    const std::string& text);
+
+}  // namespace rlt::explore

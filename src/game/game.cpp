@@ -138,8 +138,17 @@ sim::Task player_body(sim::Proc& self, GameState& st, int i) {
     co_await self.write(kR2, 0);              // line 31
     Value v = co_await self.read(kR2);        // line 32
     v = v + 1;                                // line 33
-    co_await self.write(kR2, v);              // line 34
+    // Record the increment BEFORE suspending on the write: a host can
+    // observe R2 = n-2 (and pass line 12) as soon as the write's
+    // response lands, which under interval register semantics is an
+    // adversary action — the coroutine may not be resumed again until
+    // much later.  Setting the proxy after the co_await made Lemma 17's
+    // runtime check race against that resume (any schedule that lets
+    // the hosts run first tripped it spuriously); setting it here is
+    // sound because the host cannot read n-2 before every line-34 write
+    // has actually taken effect.
     me.increments_round = j;
+    co_await self.write(kR2, v);              // line 34
   }
   me.returned = true;  // line 36
 }

@@ -74,6 +74,12 @@ class Network {
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return in_flight_.size();
   }
+  /// The in-flight multiset, send order (adversarial schedule policies
+  /// inspect envelopes to steer quorums; index into it with deliver_at).
+  [[nodiscard]] const std::vector<Message>& in_flight_messages()
+      const noexcept {
+    return in_flight_;
+  }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return delivered_;

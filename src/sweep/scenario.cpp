@@ -14,6 +14,7 @@
 #include "registers/alg2_register.hpp"
 #include "registers/alg4_register.hpp"
 #include "sim/adversary.hpp"
+#include "sim/schedule_policy.hpp"
 #include "sim/scheduler.hpp"
 #include "sweep/fnv.hpp"
 #include "util/assert.hpp"
@@ -89,8 +90,16 @@ struct SimDrive {
 /// live — under interval semantics it stays pending forever, which is
 /// the interesting case for the checker) and is then never scheduled
 /// again; the surviving actions follow the scenario's adversary policy.
-SimDrive drive_sim(const Scenario& s, sim::Scheduler& sched) {
+/// A non-null `policy` (exploration) replaces the adversary axis
+/// entirely; run_scenario_policy rejects fault plans up front.
+SimDrive drive_sim(const Scenario& s, sim::Scheduler& sched,
+                   sim::SchedulePolicy* policy) {
   SimDrive d;
+  if (policy != nullptr) {
+    sim::PolicyAdversary adv(*policy);
+    d.outcome = sched.run(adv, s.max_actions);
+    return d;
+  }
   d.stalled = plan_stalls(s);
   if (d.stalled.empty()) {
     auto adv = make_adversary(s);
@@ -170,7 +179,8 @@ void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
   classify_run(h, expect_wsl, end, end_detail, out);
 }
 
-void run_modeled(const Scenario& s, ScenarioResult& out) {
+void run_modeled(const Scenario& s, sim::SchedulePolicy* policy,
+                 ScenarioResult& out) {
   sim::Scheduler sched(s.seed);
   sched.add_register(0, s.semantics, 0);
   for (int p = 0; p < s.processes; ++p) {
@@ -179,7 +189,7 @@ void run_modeled(const Scenario& s, ScenarioResult& out) {
       return modeled_proc(pr, p, writes);
     });
   }
-  const SimDrive d = drive_sim(s, sched);
+  const SimDrive d = drive_sim(s, sched, policy);
   finish_sim(sched, d, sched.global_history(),
              s.semantics == sim::Semantics::kWriteStrong, out);
 }
@@ -189,7 +199,7 @@ void run_modeled(const Scenario& s, ScenarioResult& out) {
 /// plain linearizability is asserted per run).
 template <class Reg>
 void run_implemented(const Scenario& s, bool expect_wsl,
-                     ScenarioResult& out) {
+                     sim::SchedulePolicy* policy, ScenarioResult& out) {
   sim::Scheduler sched(s.seed);
   Reg reg(sched, s.processes, /*first_base=*/100, /*initial=*/0);
   for (int p = 0; p < s.processes; ++p) {
@@ -199,7 +209,7 @@ void run_implemented(const Scenario& s, bool expect_wsl,
                         return implemented_proc(pr, reg, p, writes);
                       });
   }
-  const SimDrive d = drive_sim(s, sched);
+  const SimDrive d = drive_sim(s, sched, policy);
   finish_sim(sched, d, reg.hl_history(), expect_wsl, out);
 }
 
@@ -255,7 +265,8 @@ std::vector<PlannedCrash> plan_crashes(const Scenario& s) {
   return out;
 }
 
-void run_abd(const Scenario& s, ScenarioResult& out) {
+void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
+             ScenarioResult& out) {
   // Node 0 is the (single) writer; every node finishes with reads.  The
   // per-node programs are fixed; the adversary controls when operations
   // start and in which order messages are delivered, and the crash plan
@@ -351,7 +362,29 @@ void run_abd(const Scenario& s, ScenarioResult& out) {
       end_detail = "ABD driver exhausted its action budget";
       break;
     }
-    if (s.adversary == AdversaryKind::kRoundRobin) {
+    if (policy != nullptr) {
+      // Exploration: the policy picks from the full structural menu —
+      // every startable operation, then every in-flight message — which
+      // is strictly more adversarial than either seeded schedule below.
+      sim::SplitMenu menu;
+      menu.start_nodes.reserve(startable.size());
+      for (const int n : startable) {
+        menu.start_nodes.push_back(static_cast<std::int32_t>(n));
+      }
+      menu.deliveries.reserve(net.in_flight());
+      for (const mp::Message& m : net.in_flight_messages()) {
+        menu.deliveries.push_back({static_cast<std::int32_t>(m.from),
+                                   static_cast<std::int32_t>(m.to), m.type});
+      }
+      const std::size_t idx = policy->pick_split(menu);
+      RLT_CHECK_MSG(idx < menu.size(),
+                    "schedule policy picked outside the ABD menu");
+      if (idx < menu.start_nodes.size()) {
+        start_op(startable[idx]);
+      } else {
+        net.deliver_at(idx - menu.start_nodes.size());
+      }
+    } else if (s.adversary == AdversaryKind::kRoundRobin) {
       // Conservative schedule: drain the network oldest-first; start
       // operations round-robin only when it is quiet.
       if (flying) {
@@ -509,7 +542,10 @@ std::uint64_t hash_history(const History& h) {
   return out;
 }
 
-ScenarioResult run_scenario(const Scenario& s) {
+namespace {
+
+ScenarioResult run_scenario_impl(const Scenario& s,
+                                 sim::SchedulePolicy* policy) {
   ScenarioResult out;
   const auto t0 = std::chrono::steady_clock::now();
   try {
@@ -524,20 +560,23 @@ ScenarioResult run_scenario(const Scenario& s) {
     RLT_CHECK_MSG(s.faults.kind != FaultKind::kStall ||
                       s.algorithm != Algorithm::kAbd,
                   "stall faults apply to the simulator families only");
+    RLT_CHECK_MSG(policy == nullptr || !s.faults.active(),
+                  "fault plans do not combine with an external schedule "
+                  "policy");
     switch (s.algorithm) {
       case Algorithm::kModeled:
-        run_modeled(s, out);
+        run_modeled(s, policy, out);
         break;
       case Algorithm::kAlg2:
         run_implemented<registers::SimAlg2Register>(s, /*expect_wsl=*/true,
-                                                    out);
+                                                    policy, out);
         break;
       case Algorithm::kAlg4:
         run_implemented<registers::SimAlg4Register>(s, /*expect_wsl=*/false,
-                                                    out);
+                                                    policy, out);
         break;
       case Algorithm::kAbd:
-        run_abd(s, out);
+        run_abd(s, policy, out);
         break;
     }
   } catch (const std::exception& e) {
@@ -552,6 +591,17 @@ ScenarioResult run_scenario(const Scenario& s) {
           std::chrono::steady_clock::now() - t0)
           .count());
   return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& s) {
+  return run_scenario_impl(s, nullptr);
+}
+
+ScenarioResult run_scenario_policy(const Scenario& s,
+                                   sim::SchedulePolicy& schedule) {
+  return run_scenario_impl(s, &schedule);
 }
 
 }  // namespace rlt::sweep

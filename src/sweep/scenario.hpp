@@ -47,6 +47,10 @@
 
 #include "sim/regmodel.hpp"
 
+namespace rlt::sim {
+class SchedulePolicy;
+}  // namespace rlt::sim
+
 namespace rlt::sweep {
 
 /// Which register construction the scenario exercises.
@@ -162,6 +166,17 @@ struct ScenarioResult {
 /// identical results (modulo wall_ns).  Never throws; exceptions become
 /// Verdict::kError.
 [[nodiscard]] ScenarioResult run_scenario(const Scenario& s);
+
+/// Exploration hook: like run_scenario, but with every scheduling
+/// decision — simulator actions for the sim families, operation starts
+/// and message deliveries for ABD — made by `schedule` through indexed
+/// menus (sim/schedule_policy.hpp) instead of the scenario's seeded
+/// adversary axis.  The scenario's own seed still feeds the scheduler's
+/// coin stream, so a run is a pure function of (scenario, policy
+/// decisions): record the decisions and the run replays byte-identically.
+/// Fault plans do not combine with external schedules (kError).
+[[nodiscard]] ScenarioResult run_scenario_policy(const Scenario& s,
+                                                 sim::SchedulePolicy& schedule);
 
 /// Folds the checker verdicts on the recorded history together with how
 /// the run ended into `out.verdict`/`out.detail`.  The checkers run on

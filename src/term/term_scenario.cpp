@@ -342,6 +342,178 @@ std::string TermScenario::key() const {
   return os.str();
 }
 
+TermProbe run_term_probe(const TermProbeSpec& spec,
+                         sim::Adversary& adversary) {
+  RLT_CHECK_MSG(spec.processes >= 1 && spec.processes <= 64,
+                "probe processes out of range");
+  RLT_CHECK_MSG(
+      spec.processes >= 3 || (spec.family != Family::kGame &&
+                              spec.family != Family::kComposed),
+      "the game families need >= 3 processes");
+  RLT_CHECK_MSG(spec.max_rounds >= 1, "probe round budget must be positive");
+  const int n = spec.processes;
+  const std::uint64_t cap_score =
+      static_cast<std::uint64_t>(spec.max_rounds) + 1;
+  TermProbe out;
+  Hash hash;
+  hash.mix(static_cast<std::uint64_t>(spec.family));
+  switch (spec.family) {
+    case Family::kConsensus: {
+      consensus::ConsensusConfig cfg;
+      cfg.n = n;
+      cfg.max_rounds = spec.max_rounds;
+      sim::Scheduler sched(spec.seed);
+      TermScenario inputs_key;  // reuse the scenario input derivation
+      inputs_key.processes = n;
+      inputs_key.seed = spec.seed;
+      consensus::ConsensusState st(cfg, derive_inputs(inputs_key));
+      setup_consensus(sched, cfg, sim::Semantics::kAtomic);
+      for (int i = 0; i < cfg.n; ++i) {
+        sched.add_process("c" + std::to_string(i), [&st, i](sim::Proc& p) {
+          return consensus_proc(p, st, i);
+        });
+      }
+      const sim::RunOutcome outcome = sched.run(adversary, spec.max_actions);
+      out.decided = true;
+      int max_round = 0;
+      for (int i = 0; i < cfg.n; ++i) {
+        const std::size_t ui = static_cast<std::size_t>(i);
+        hash.mix_i(st.decisions[ui]);
+        hash.mix_i(st.decided_round[ui]);
+        if (st.decisions[ui] < 0) out.decided = false;
+        max_round = std::max(max_round, st.decided_round[ui]);
+      }
+      out.capped = st.hit_round_cap || outcome == sim::RunOutcome::kActionCap;
+      out.rounds_reached = st.max_round_entered;
+      out.rounds_score = out.decided ? static_cast<std::uint64_t>(max_round)
+                         : st.hit_round_cap
+                             ? cap_score
+                             : static_cast<std::uint64_t>(out.rounds_reached);
+      out.steps = sched.actions_applied();
+      out.coin_flips = sched.coin_log().size();
+      break;
+    }
+    case Family::kSharedCoin: {
+      consensus::SharedCoinConfig cfg;
+      cfg.n = n;
+      cfg.first_reg = 0;
+      cfg.threshold_per_proc = 2;
+      sim::Scheduler sched(spec.seed);
+      setup_shared_coin(sched, cfg, sim::Semantics::kAtomic);
+      std::vector<int> outs(static_cast<std::size_t>(cfg.n), -1);
+      for (int i = 0; i < cfg.n; ++i) {
+        sched.add_process("coin" + std::to_string(i),
+                          [cfg, i, &outs](sim::Proc& p) {
+                            return coin_proc(p, cfg, i, &outs);
+                          });
+      }
+      const std::uint64_t budget =
+          std::min(spec.max_actions,
+                   static_cast<std::uint64_t>(spec.max_rounds + 2) *
+                       static_cast<std::uint64_t>(n) *
+                       static_cast<std::uint64_t>(n + 6));
+      const sim::RunOutcome outcome = sched.run(adversary, budget);
+      std::vector<int> flips(static_cast<std::size_t>(cfg.n), 0);
+      for (const sim::CoinRecord& c : sched.coin_log()) {
+        ++flips[static_cast<std::size_t>(c.process)];
+      }
+      out.decided = true;
+      int longest = 0;
+      for (int i = 0; i < cfg.n; ++i) {
+        const std::size_t ui = static_cast<std::size_t>(i);
+        hash.mix_i(outs[ui]);
+        hash.mix_i(flips[ui]);
+        if (outs[ui] < 0) out.decided = false;
+        longest = std::max(longest, flips[ui]);
+      }
+      out.capped = outcome == sim::RunOutcome::kActionCap;
+      out.rounds_reached = longest;
+      // The walk has no structural cap: the objective is the longest
+      // personal walk the adversary sustained, decided or not.
+      out.rounds_score = static_cast<std::uint64_t>(longest);
+      out.steps = sched.actions_applied();
+      out.coin_flips = sched.coin_log().size();
+      break;
+    }
+    case Family::kGame: {
+      game::GameConfig cfg;
+      cfg.n = n;
+      cfg.max_rounds = spec.max_rounds;
+      game::GameState state(cfg);
+      const std::uint64_t budget =
+          std::min(spec.max_actions,
+                   static_cast<std::uint64_t>(cfg.max_rounds + 2) *
+                       (static_cast<std::uint64_t>(cfg.n) * 400 + 4000));
+      const game::GameRunResult gr = game::run_game_adversary(
+          state, spec.game_semantics, adversary, budget, spec.seed);
+      for (int i = 0; i < cfg.n; ++i) {
+        const game::ProcStatus& p = state.procs[static_cast<std::size_t>(i)];
+        hash.mix_i(p.returned ? 1 : 0);
+        hash.mix_i(p.exit_round);
+        hash.mix_i(static_cast<int>(p.exit_line));
+      }
+      out.decided = gr.terminated;
+      out.capped = gr.capped || gr.outcome == sim::RunOutcome::kActionCap;
+      out.rounds_reached = gr.rounds_reached;
+      out.rounds_score =
+          out.decided ? static_cast<std::uint64_t>(gr.termination_round)
+          : out.capped ? cap_score
+                       : static_cast<std::uint64_t>(gr.rounds_reached);
+      out.steps = gr.actions;
+      out.coin_flips = gr.coin_flips;
+      break;
+    }
+    case Family::kComposed: {
+      game::GameConfig gc;
+      gc.n = n;
+      gc.max_rounds = spec.max_rounds;
+      consensus::ConsensusConfig cc;
+      cc.n = n;
+      cc.max_rounds = spec.max_rounds;
+      const std::uint64_t budget = std::min(
+          spec.max_actions,
+          static_cast<std::uint64_t>(gc.max_rounds + 2) *
+                  (static_cast<std::uint64_t>(gc.n) * 400 + 4000) +
+              static_cast<std::uint64_t>(cc.max_rounds + 2) *
+                  (static_cast<std::uint64_t>(gc.n) * 2000 + 8000));
+      const consensus::ComposedStats st = consensus::run_composed_adversary(
+          gc, cc, spec.game_semantics, adversary, budget, spec.seed);
+      out.decided = true;
+      int max_round = 0;
+      for (int i = 0; i < n; ++i) {
+        const std::size_t ui = static_cast<std::size_t>(i);
+        hash.mix_i(st.game_returned[ui] ? 1 : 0);
+        hash.mix_i(st.decisions[ui]);
+        hash.mix_i(st.decided_round[ui]);
+        if (!st.game_returned[ui] || st.decisions[ui] < 0) {
+          out.decided = false;
+        }
+        max_round = std::max(max_round, st.decided_round[ui]);
+      }
+      hash.mix_i(st.game_rounds);
+      out.capped = st.game_capped || st.consensus_capped ||
+                   st.outcome == sim::RunOutcome::kActionCap;
+      out.rounds_reached = st.game_rounds;
+      out.rounds_score =
+          out.decided ? static_cast<std::uint64_t>(max_round)
+          : (st.game_capped || st.consensus_capped)
+              ? cap_score
+              : static_cast<std::uint64_t>(st.game_rounds);
+      out.steps = st.actions;
+      out.coin_flips = st.coin_flips;
+      break;
+    }
+  }
+  hash.mix(out.decided ? 1 : 0);
+  hash.mix(out.capped ? 1 : 0);
+  hash.mix_i(out.rounds_reached);
+  hash.mix(out.rounds_score);
+  hash.mix(out.coin_flips);
+  hash.mix(out.steps);
+  out.outcome_hash = hash.h;
+  return out;
+}
+
 TermRecord run_term_scenario(const TermScenario& s) {
   TermRecord out;
   Hash hash;

@@ -44,6 +44,12 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/regmodel.hpp"
+
+namespace rlt::sim {
+class Adversary;
+}  // namespace rlt::sim
+
 namespace rlt::term {
 
 /// Which algorithm family the scenario measures termination of.
@@ -125,5 +131,44 @@ struct TermRecord {
 /// identical records (modulo wall_ns).  Never throws; exceptions become
 /// error records.
 [[nodiscard]] TermRecord run_term_scenario(const TermScenario& s);
+
+/// One exploration probe of a term family under an external adversary.
+struct TermProbeSpec {
+  Family family = Family::kGame;
+  int processes = 4;
+  int max_rounds = 16;
+  std::uint64_t max_actions = 2'000'000;
+  /// Scheduler seed: the coin stream.  Fixed across a search instance,
+  /// so the adversary searches schedules against one coin sequence — the
+  /// adaptive-adversary regime of the paper.
+  std::uint64_t seed = 0;
+  /// Register semantics of the game registers (kGame / kComposed).  The
+  /// Theorem 6 separation lives at kLinearizable; consensus/coin run on
+  /// atomic registers regardless, per the paper.
+  sim::Semantics game_semantics = sim::Semantics::kLinearizable;
+};
+
+/// What one probe produced.  Pure function of (spec, adversary
+/// decisions), which makes recorded probe schedules replayable.
+struct TermProbe {
+  /// The exploration lab's rounds-to-decide objective: the decision
+  /// round when the run decided; `rounds_reached` when it ran out of
+  /// budget mid-protocol; `max_rounds + 1` when it survived to the
+  /// structural round cap without deciding (the Theorem 6 signature, and
+  /// the objective's maximum).
+  std::uint64_t rounds_score = 0;
+  bool decided = false;  ///< Every process completed its protocol.
+  bool capped = false;   ///< Structural round cap (or action cap) hit.
+  int rounds_reached = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t coin_flips = 0;
+  /// FNV fingerprint over the full outcome; byte-identical on replay.
+  std::uint64_t outcome_hash = 0;
+};
+
+/// Runs one probe under `adversary`.  Throws on invalid specs (the
+/// exploration lab validates its axes up front).
+[[nodiscard]] TermProbe run_term_probe(const TermProbeSpec& spec,
+                                       sim::Adversary& adversary);
 
 }  // namespace rlt::term

@@ -91,6 +91,16 @@ std::string TermSummary::stable_text() const {
   for (const TailPoint& t : tail) {
     os << "tail round>" << t.k << ' ' << t.over << '\n';
   }
+  for (const FamilyRoundHist& h : hists) {
+    for (std::size_t r = 0; r < h.buckets.size(); ++r) {
+      if (h.buckets[r] == 0) continue;
+      os << "hist " << to_string(h.family) << " r" << r << ' '
+         << h.buckets[r] << '\n';
+    }
+    if (h.capped > 0) {
+      os << "hist " << to_string(h.family) << " capped " << h.capped << '\n';
+    }
+  }
   os << "digest " << std::hex << digest << std::dec << '\n';
   for (const std::string& f : failures) os << "failure " << f << '\n';
   if (failures_truncated > 0) {
@@ -136,16 +146,31 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
   sum.digest = sweep::kFnvOffset;
   std::vector<int> terminated_rounds;  ///< For the survival tail.
   std::uint64_t never_terminated = 0;  ///< Capped-without-terminating.
+  // Per-family decision-round histograms, keyed by the Family enum value
+  // (fixed small range), materialized into sum.hists after the fold.
+  constexpr std::size_t kFamilies = 4;
+  static_assert(static_cast<std::size_t>(Family::kGame) == kFamilies - 1,
+                "a Family enumerator was added: grow the histogram fold");
+  std::vector<FamilyRoundHist> hist_by_family(kFamilies);
+  std::vector<bool> family_present(kFamilies, false);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const TermRecord& r = records[i];
+    const std::size_t fam = static_cast<std::size_t>(scenarios[i].family);
+    FamilyRoundHist& hist = hist_by_family[fam];
+    family_present[fam] = true;
     ++sum.scenarios;
     if (r.terminated) {
       ++sum.terminated;
       sum.rounds_sum += static_cast<std::uint64_t>(r.rounds);
       sum.round_max = std::max(sum.round_max, r.rounds);
       terminated_rounds.push_back(r.rounds);
+      const std::size_t bucket = static_cast<std::size_t>(r.rounds);
+      if (hist.buckets.size() <= bucket) hist.buckets.resize(bucket + 1, 0);
+      ++hist.buckets[bucket];
+      ++hist.terminated;
     } else if (r.capped) {
       ++never_terminated;
+      ++hist.capped;
     }
     if (r.capped) ++sum.capped;
     if (!r.safety_ok) ++sum.safety_violations;
@@ -188,6 +213,33 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
         ++sum.failures_truncated;
       }
     }
+  }
+
+  // Materialize the per-family histograms in Family enum order and, when
+  // persisting, append one canonical record per family after the
+  // scenario records (same enumeration-order stability contract).
+  for (std::size_t fam = 0; fam < kFamilies; ++fam) {
+    if (!family_present[fam]) continue;
+    FamilyRoundHist hist = std::move(hist_by_family[fam]);
+    hist.family = static_cast<Family>(fam);
+    if (sink != nullptr) {
+      std::ostringstream buckets;
+      bool first = true;
+      for (std::size_t r = 0; r < hist.buckets.size(); ++r) {
+        if (hist.buckets[r] == 0) continue;
+        if (!first) buckets << ' ';
+        buckets << 'r' << r << ':' << hist.buckets[r];
+        first = false;
+      }
+      sweep::Record rec;
+      rec.str("key", std::string("term-hist/") + to_string(hist.family))
+          .str("mode", "term-hist")
+          .u64("terminated", hist.terminated)
+          .u64("capped", hist.capped)
+          .str("buckets", buckets.str());
+      sink->append(rec);
+    }
+    sum.hists.push_back(std::move(hist));
   }
 
   // Survival tail at powers of two, from the plain round list collected

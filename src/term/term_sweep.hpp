@@ -54,6 +54,19 @@ struct TailPoint {
   std::uint64_t over = 0;
 };
 
+/// Per-family decision-round histogram: `buckets[r]` counts terminated
+/// scenarios of `family` whose decision round was r (index 0 exists for
+/// the coin family, whose stalled runs can decide at walk length 0);
+/// capped runs have no decision round and are counted separately.
+/// Folded in enumeration order, so — like everything in the summary —
+/// byte-stable across thread counts and batch sizes.
+struct FamilyRoundHist {
+  Family family = Family::kConsensus;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t terminated = 0;  ///< Sum of buckets.
+  std::uint64_t capped = 0;      ///< Runs with no decision round.
+};
+
 /// Aggregated outcome of a termination sweep.
 struct TermSummary {
   std::uint64_t scenarios = 0;
@@ -68,6 +81,10 @@ struct TermSummary {
   /// Survival tail at k = 1, 2, 4, 8, … (≤ round_max, at least k=1 when
   /// any run terminated or capped).
   std::vector<TailPoint> tail;
+  /// Decision-round histograms, one per family present in the sweep
+  /// (Family enum order).  Also emitted into the result store as one
+  /// "term-hist/<family>" record per family, after the scenario records.
+  std::vector<FamilyRoundHist> hists;
   /// Stable digest over every record in enumeration order.
   std::uint64_t digest = 0;
   /// Measured, NOT digest material:

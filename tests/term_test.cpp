@@ -220,6 +220,33 @@ TEST(TermSweep, DigestDependsOnTheAxes) {
   EXPECT_NE(base.digest, run_term_sweep(seeds).digest);
 }
 
+TEST(TermSweep, DecisionRoundHistogramsFoldStably) {
+  const TermSummary seq = run_term_sweep(small_sweep(1));
+  TermSweepOptions par = small_sweep(4);
+  par.batch_size = 2;
+  const TermSummary con = run_term_sweep(par);
+  ASSERT_EQ(seq.hists.size(), 4u);  // every family present
+  ASSERT_EQ(con.hists.size(), seq.hists.size());
+  std::uint64_t terminated = 0;
+  std::uint64_t capped = 0;
+  for (std::size_t i = 0; i < seq.hists.size(); ++i) {
+    EXPECT_EQ(seq.hists[i].family, con.hists[i].family);
+    EXPECT_EQ(seq.hists[i].buckets, con.hists[i].buckets);
+    EXPECT_EQ(seq.hists[i].capped, con.hists[i].capped);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : seq.hists[i].buckets) sum += b;
+    EXPECT_EQ(sum, seq.hists[i].terminated);
+    terminated += sum;
+    capped += seq.hists[i].capped;
+  }
+  // Buckets partition the terminated runs; the capped column holds the
+  // scripted Theorem 6 slice (6 seeds, never decides).
+  EXPECT_EQ(terminated, seq.terminated);
+  EXPECT_EQ(capped, 6u);
+  EXPECT_NE(seq.stable_text().find("hist game capped 6"), std::string::npos)
+      << seq.stable_text();
+}
+
 TEST(TermSweep, StableTextUsesIntegerRendering) {
   // 5/8 scenarios terminated must print as 0.6250 (integer math, not
   // locale- or FP-formatting-dependent).
@@ -243,20 +270,29 @@ TEST(TermStore, RecordsAreCanonicalJsonInEnumerationOrder) {
   sweep::StringSink sink;
   (void)run_term_sweep(o, 0, &sink);
   const std::vector<TermScenario> scenarios = enumerate_term_scenarios(o);
-  // One line per scenario, each starting with the scenario's key.
+  // One line per scenario, each starting with the scenario's key, then
+  // one per-family decision-round histogram record per family present.
   std::istringstream is(sink.text());
   std::string line;
   std::size_t i = 0;
+  std::size_t hists = 0;
   while (std::getline(is, line)) {
-    ASSERT_LT(i, scenarios.size());
-    const std::string prefix =
-        "{\"key\":\"" + scenarios[i].key() + "\",\"mode\":\"term\",";
-    EXPECT_EQ(line.compare(0, prefix.size(), prefix), 0)
-        << "line " << i << ": " << line;
+    if (i < scenarios.size()) {
+      const std::string prefix =
+          "{\"key\":\"" + scenarios[i].key() + "\",\"mode\":\"term\",";
+      EXPECT_EQ(line.compare(0, prefix.size(), prefix), 0)
+          << "line " << i << ": " << line;
+    } else {
+      EXPECT_EQ(line.compare(0, 18, "{\"key\":\"term-hist/"), 0)
+          << "trailer " << i << ": " << line;
+      EXPECT_NE(line.find("\"mode\":\"term-hist\""), std::string::npos);
+      ++hists;
+    }
     EXPECT_EQ(line.back(), '}');
     ++i;
   }
-  EXPECT_EQ(i, scenarios.size());
+  EXPECT_EQ(i - hists, scenarios.size());
+  EXPECT_EQ(hists, 4u);  // all four families present in the small sweep
 }
 
 TEST(TermStore, BytesAreIndependentOfThreadsAndBatch) {

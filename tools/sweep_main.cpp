@@ -1,6 +1,7 @@
 // sweep_main — CLI driver for the parallel scenario-sweep engine.
 //
-// Two modes share the pool, the digest discipline, and the result store:
+// Three modes share the pool, the digest discipline, and the result
+// store:
 //
 //  * Safety (default): the cross-product of register semantics ×
 //    algorithm × adversary × process count × fault plan × seed, every
@@ -9,27 +10,44 @@
 //    (consensus, composed, coin, game) × adversary (scripted Theorem 6,
 //    random, stalling) × process count × round budget × seed, recording
 //    per-scenario termination statistics instead of only a verdict.
+//  * Exploration (--explore): the exploration lab — instead of sampling
+//    schedules it SEARCHES them: per (workload, instance seed) an
+//    adaptive adversary (--strategy greedy|hill|random) spends
+//    --search-budget runs maximizing rounds-to-decide (--objective
+//    rounds, term families) or hunting checker violations (--objective
+//    violation, register families).  Best schedules are recorded as
+//    replayable traces, shrunk with delta debugging, and persisted via
+//    --out; `--replay store.jsonl` re-runs persisted traces and verifies
+//    they reproduce byte-identically.
 //
-// In both modes the aggregate summary's digest is a pure function of the
+// In every mode the aggregate summary's digest is a pure function of the
 // flags: back-to-back runs with identical flags emit byte-identical
 // digest sections regardless of --threads, and --out writes one
-// canonical JSONL record per scenario (also byte-identical across thread
-// counts) for cross-commit diffing with tools/sweep_diff.py.
+// canonical JSONL record per scenario/instance (also byte-identical
+// across thread counts) for cross-commit diffing with
+// tools/sweep_diff.py.
 //
 // Examples:
 //   sweep_main --processes 3 --seeds 0:1000 --threads 8
 //   sweep_main --algorithms alg2,abd --adversaries rand --seeds 0:50
 //   sweep_main --algorithms abd --faults minority --seeds 0:200 --threads 8
-//   sweep_main --algorithms alg2 --faults stall --seeds 0:100
-//   sweep_main --term --families game --term-adversaries scripted \
+//   sweep_main --term --families game --term-adversaries scripted
 //       --processes 5 --seeds 0:100 --out term.jsonl
+//   sweep_main --explore --objective rounds --families game
+//       --strategy greedy --rounds 16 --search-budget 8 --seeds 0:4
+//   sweep_main --explore --objective violation --algorithms abd
+//       --ablate nowb --search-budget 200 --seeds 0:2 --out cex.jsonl
+//   sweep_main --replay cex.jsonl
 //
 // Exit status: 0 when nothing failed (safety: no VIOLATION/ERROR —
 // blocked runs are the fault axes doing their job; termination: no
-// safety violation or error — capped runs are Theorem 6 doing its job);
+// safety violation or error — capped runs are Theorem 6 doing its job;
+// exploration: no instance errored — FINDING a violation is the
+// objective, not a failure; replay: every persisted trace reproduced);
 // 1 on failures; 2 on bad usage.
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -37,12 +55,14 @@
 #include <string>
 #include <vector>
 
+#include "explore/explore.hpp"
 #include "sweep/store.hpp"
 #include "sweep/sweep.hpp"
 #include "term/term_sweep.hpp"
 
 namespace {
 
+using rlt::explore::ExploreOptions;
 using rlt::sweep::AdversaryKind;
 using rlt::sweep::Algorithm;
 using rlt::sweep::SweepOptions;
@@ -78,9 +98,27 @@ using rlt::term::TermSweepOptions;
       "                      comma list of scripted,rand,stall (default:\n"
       "                      all; scripted pairs only with composed/game)\n"
       "  --rounds LIST       comma list of round budgets (default: 64)\n"
+      "exploration mode:\n"
+      "  --explore           run the schedule-search lab instead\n"
+      "  --objective NAME    rounds (maximize rounds-to-decide, term\n"
+      "                      families; reuses --families/--rounds) or\n"
+      "                      violation (hunt checker violations, register\n"
+      "                      families; reuses --algorithms/--writes)\n"
+      "                      (default: rounds)\n"
+      "  --strategy NAME     greedy, hill, or random (default: greedy)\n"
+      "  --search-budget N   runs per search instance, >= 1 (default: 32)\n"
+      "  --shrink-budget N   replays the counterexample shrinker may\n"
+      "                      spend per instance; 0 disables shrinking\n"
+      "                      (default: 4096)\n"
+      "  --ablate KIND       plant a known bug for the search to find:\n"
+      "                      'nowb' disables ABD's read write-back\n"
+      "  --replay PATH       replay every explore record in a JSONL store\n"
+      "                      and verify each reproduces byte-identically\n"
+      "                      (standalone mode; exit 0 iff all match)\n"
       "common:\n"
-      "  --processes LIST    comma list of process counts (default: 3,\n"
-      "                      or 4 with --term)\n"
+      "  --processes LIST    comma list of process counts (default: 3;\n"
+      "                      4 with --term and --explore --objective\n"
+      "                      rounds)\n"
       "  --seeds A:B         seed range, A inclusive, B exclusive, A < B "
       "(default: 0:10)\n"
       "  --threads N         pool worker threads (default: 1)\n"
@@ -261,6 +299,74 @@ void parse_processes(const std::string& v, SweepOptions& o) {
   if (o.process_counts.empty()) bad_value("--processes", v);
 }
 
+void parse_objective(const std::string& v, ExploreOptions& o) {
+  if (v == "rounds") o.objective = rlt::explore::Objective::kRounds;
+  else if (v == "violation" || v == "viol") {
+    o.objective = rlt::explore::Objective::kViolation;
+  } else {
+    bad_value("--objective", v);
+  }
+}
+
+void parse_strategy(const std::string& v, ExploreOptions& o) {
+  if (v == "greedy") o.strategy = rlt::explore::Strategy::kGreedy;
+  else if (v == "hill" || v == "hillclimb") {
+    o.strategy = rlt::explore::Strategy::kHillClimb;
+  } else if (v == "random" || v == "rand") {
+    o.strategy = rlt::explore::Strategy::kRandom;
+  } else {
+    bad_value("--strategy", v);
+  }
+}
+
+void parse_ablate(const std::string& v, ExploreOptions& o) {
+  // The one supported plant: ABD without the read write-back phase (the
+  // ablation the sweep tests use), which breaks linearizability across
+  // readers — a ground-truth target for the violation search.
+  if (v == "nowb") o.abd_read_write_back = false;
+  else bad_value("--ablate", v);
+}
+
+/// Replays every explore record in a store written with --out; exit 0
+/// iff every persisted trace reproduces its recorded score and
+/// fingerprint byte-identically.
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "sweep_main: cannot open " << path << "\n";
+    return 2;
+  }
+  std::string line;
+  std::uint64_t replayed = 0;
+  std::uint64_t matched = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Errored instances persist no meaningful trace; nothing to verify.
+    if (line.find("\"found\":\"error\"") != std::string::npos) continue;
+    std::string err;
+    const auto pt = rlt::explore::parse_explore_record(line, &err);
+    if (!pt) continue;  // other record kinds (safety/term) are fine
+    ++replayed;
+    const rlt::explore::ReplayReport rep =
+        rlt::explore::replay_trace(pt->instance, pt->trace,
+                                   pt->fallback_seed);
+    const bool ok =
+        rep.fingerprint == pt->fingerprint && rep.score == pt->best_score;
+    if (ok) ++matched;
+    std::cout << pt->instance.key() << ": "
+              << (ok ? "reproduced" : "MISMATCH") << " (" << rep.verdict
+              << ", score " << rep.score << ", fingerprint 0x" << std::hex
+              << rep.fingerprint << std::dec << ", " << pt->trace.size()
+              << " choices)\n";
+  }
+  if (replayed == 0) {
+    std::cerr << "sweep_main: no explore records in " << path << "\n";
+    return 2;
+  }
+  std::cout << "replayed " << replayed << ", reproduced " << matched << "\n";
+  return matched == replayed ? 0 : 1;
+}
+
 void parse_seeds(const std::string& v, SweepOptions& o) {
   const std::size_t colon = v.find(':');
   if (colon == std::string::npos) {
@@ -286,16 +392,27 @@ void parse_seeds(const std::string& v, SweepOptions& o) {
 int main(int argc, char** argv) {
   SweepOptions opts;
   TermSweepOptions topts;
+  ExploreOptions eopts;
   bool term_mode = false;
+  bool explore_mode = false;
   bool list_only = false;
   std::uint64_t progress_every = 0;
   std::string out_path;
-  // Mode-specific flags are rejected in the other mode; collect what was
-  // used so the check is order-independent.
-  std::vector<std::string> safety_flags_used;
-  std::vector<std::string> term_flags_used;
+  std::string replay_path;
+  // Mode-specific flags are rejected in the other modes; collect what
+  // was used, by category, so the check is order-independent.
+  std::vector<std::string> safety_flags_used;   ///< safety mode only
+  std::vector<std::string> algo_flags_used;     ///< safety or --explore viol
+  std::vector<std::string> term_flags_used;     ///< --term only
+  std::vector<std::string> family_flags_used;   ///< --term or --explore rounds
+  std::vector<std::string> explore_flags_used;  ///< --explore only
   bool processes_set = false;
   bool max_actions_set = false;
+  bool batch_set = false;
+  bool families_set = false;
+  bool rounds_set = false;
+  bool algorithms_set = false;
+  bool ablate_set = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -310,9 +427,12 @@ int main(int argc, char** argv) {
     if (a == "--help" || a == "-h") usage(0);
     else if (a == "--list") list_only = true;
     else if (a == "--term") term_mode = true;
+    else if (a == "--explore") explore_mode = true;
+    else if (a == "--replay") replay_path = next();
     else if (a == "--out") out_path = next();
     else if (a == "--algorithms") {
-      safety_flags_used.push_back(a);
+      algo_flags_used.push_back(a);
+      algorithms_set = true;
       parse_algorithms(next(), opts);
     } else if (a == "--semantics") {
       safety_flags_used.push_back(a);
@@ -327,14 +447,38 @@ int main(int argc, char** argv) {
       safety_flags_used.push_back(a);
       parse_crash_seeds(next(), opts);
     } else if (a == "--families") {
-      term_flags_used.push_back(a);
+      family_flags_used.push_back(a);
+      families_set = true;
       parse_families(next(), topts);
     } else if (a == "--term-adversaries") {
       term_flags_used.push_back(a);
       parse_term_adversaries(next(), topts);
     } else if (a == "--rounds") {
-      term_flags_used.push_back(a);
+      family_flags_used.push_back(a);
+      rounds_set = true;
       parse_rounds(next(), topts);
+    } else if (a == "--objective") {
+      explore_flags_used.push_back(a);
+      parse_objective(next(), eopts);
+    } else if (a == "--strategy") {
+      explore_flags_used.push_back(a);
+      parse_strategy(next(), eopts);
+    } else if (a == "--search-budget") {
+      explore_flags_used.push_back(a);
+      // Like --seeds: a zero budget would search nothing and report a
+      // trivially green summary; reject it as bad usage.
+      const std::uint64_t b = parse_u64("--search-budget", next());
+      if (b < 1 || b > 1'000'000) bad_value("--search-budget", args[i]);
+      eopts.search_budget = static_cast<int>(b);
+    } else if (a == "--shrink-budget") {
+      explore_flags_used.push_back(a);
+      const std::uint64_t b = parse_u64("--shrink-budget", next());
+      if (b > 1'000'000'000) bad_value("--shrink-budget", args[i]);
+      eopts.shrink_budget = b;
+    } else if (a == "--ablate") {
+      explore_flags_used.push_back(a);
+      ablate_set = true;
+      parse_ablate(next(), eopts);
     } else if (a == "--processes") {
       processes_set = true;
       parse_processes(next(), opts);
@@ -343,7 +487,7 @@ int main(int argc, char** argv) {
     } else if (a == "--writes") {
       // <= 99 keeps written_value()'s per-(role, index) encoding free of
       // cross-role collisions (values are 100*(role+1)+i).
-      safety_flags_used.push_back(a);
+      algo_flags_used.push_back(a);
       opts.writes_per_process =
           static_cast<int>(parse_u64("--writes", next()));
       if (opts.writes_per_process < 1 || opts.writes_per_process > 99) {
@@ -357,6 +501,7 @@ int main(int argc, char** argv) {
         bad_value("--threads", args[i]);
       }
     } else if (a == "--batch") {
+      batch_set = true;
       opts.batch_size = static_cast<int>(parse_u64("--batch", next()));
       if (opts.batch_size < 1 || opts.batch_size > 1'000'000) {
         bad_value("--batch", args[i]);
@@ -372,9 +517,37 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (term_mode && !safety_flags_used.empty()) {
+  if (!replay_path.empty()) {
+    if (term_mode || explore_mode || !safety_flags_used.empty() ||
+        !algo_flags_used.empty() || !term_flags_used.empty() ||
+        !family_flags_used.empty() || !explore_flags_used.empty()) {
+      std::cerr << "sweep_main: --replay is standalone (it reads every "
+                   "config from the store)\n";
+      usage(2);
+    }
+    return run_replay(replay_path);
+  }
+  if (term_mode && explore_mode) {
+    std::cerr << "sweep_main: --term and --explore are exclusive\n";
+    usage(2);
+  }
+  if (!explore_mode && !explore_flags_used.empty()) {
+    std::cerr << "sweep_main: " << explore_flags_used.front()
+              << " needs --explore\n";
+    usage(2);
+  }
+  if ((term_mode || explore_mode) && !safety_flags_used.empty()) {
     std::cerr << "sweep_main: " << safety_flags_used.front()
-              << " is a safety-mode flag and has no effect with --term\n";
+              << " is a safety-mode flag and has no effect with --term/"
+                 "--explore\n";
+    usage(2);
+  }
+  if (!term_mode &&
+      !(explore_mode &&
+        eopts.objective == rlt::explore::Objective::kRounds) &&
+      !family_flags_used.empty()) {
+    std::cerr << "sweep_main: " << family_flags_used.front()
+              << " needs --term or --explore --objective rounds\n";
     usage(2);
   }
   if (!term_mode && !term_flags_used.empty()) {
@@ -382,7 +555,21 @@ int main(int argc, char** argv) {
               << " needs --term\n";
     usage(2);
   }
-  // Shared flags land in `opts`; mirror them into the term options.
+  if ((term_mode ||
+       (explore_mode &&
+        eopts.objective == rlt::explore::Objective::kRounds)) &&
+      !algo_flags_used.empty()) {
+    std::cerr << "sweep_main: " << algo_flags_used.front()
+              << " applies to the safety sweep or --explore --objective "
+                 "violation\n";
+    usage(2);
+  }
+  if (ablate_set &&
+      eopts.objective != rlt::explore::Objective::kViolation) {
+    std::cerr << "sweep_main: --ablate needs --objective violation\n";
+    usage(2);
+  }
+  // Shared flags land in `opts`; mirror them into the mode options.
   if (term_mode) {
     if (processes_set) topts.process_counts = opts.process_counts;
     if (max_actions_set) {
@@ -393,10 +580,36 @@ int main(int argc, char** argv) {
     topts.threads = opts.threads;
     topts.batch_size = opts.batch_size;
   }
+  if (explore_mode) {
+    if (families_set) eopts.families = topts.families;
+    if (rounds_set) eopts.round_budgets = topts.round_budgets;
+    if (algorithms_set) eopts.algorithms = opts.algorithms;
+    eopts.writes_per_process = opts.writes_per_process;
+    eopts.process_counts =
+        processes_set
+            ? opts.process_counts
+            : std::vector<int>{
+                  eopts.objective == rlt::explore::Objective::kRounds ? 4
+                                                                      : 3};
+    if (max_actions_set) {
+      eopts.max_actions_per_run = opts.max_actions_per_scenario;
+    }
+    eopts.seed_begin = opts.seed_begin;
+    eopts.seed_end = opts.seed_end;
+    eopts.threads = opts.threads;
+    // Search instances are heavy (budget × runs each); default to one
+    // instance per pool task unless the caller asked otherwise.
+    eopts.batch_size = batch_set ? opts.batch_size : 1;
+  }
 
   try {
     if (list_only) {
-      if (term_mode) {
+      if (explore_mode) {
+        for (const rlt::explore::ExploreInstance& e :
+             rlt::explore::enumerate_explore_instances(eopts)) {
+          std::cout << e.key() << "\n";
+        }
+      } else if (term_mode) {
         for (const rlt::term::TermScenario& s :
              rlt::term::enumerate_term_scenarios(topts)) {
           std::cout << s.key() << "\n";
@@ -419,7 +632,18 @@ int main(int argc, char** argv) {
     std::uint64_t wall_ns_max = 0;
     std::uint64_t steals = 0;
     bool failed = false;
-    if (term_mode) {
+    if (explore_mode) {
+      const rlt::explore::ExploreSummary sum =
+          rlt::explore::run_explore(eopts, progress_every, sink.get());
+      stable = sum.stable_text();
+      elapsed_ns = sum.elapsed_ns;
+      wall_ns_total = sum.wall_ns_total;
+      wall_ns_max = 0;
+      steals = sum.steals;
+      // Finding a violation is the search succeeding at its job; only
+      // machinery errors fail an exploration.
+      failed = sum.errors != 0;
+    } else if (term_mode) {
       const rlt::term::TermSummary sum =
           rlt::term::run_term_sweep(topts, progress_every, sink.get());
       stable = sum.stable_text();
