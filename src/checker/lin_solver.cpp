@@ -41,6 +41,17 @@ struct SolveContext {
   /// Placeable reads grouped by returned value, sorted by value; inline.
   std::array<std::pair<Value, std::uint64_t>, 64> reads_by_value{};
   int nread_groups = 0;
+  /// Placeable writes grouped by written value, sorted by value; inline.
+  /// Consulted by the doomed-state prune.
+  std::array<std::pair<Value, std::uint64_t>, 64> writes_by_value{};
+  int nwrite_groups = 0;
+  /// Response time of every completed op (completion overlay applied);
+  /// the accept shortcut orders remaining free-mode writes by it.
+  std::array<Time, 64> resp{};
+  /// kExact only: exact_suffix[i] = ops of exact[i..] as a bitmask — the
+  /// writes still placeable once `exact_next` reaches `i`.
+  std::array<std::uint64_t, 65> exact_suffix{};
+  bool prune = true;
   /// Allowed pre-history values: caller-supplied list, or the register's
   /// initial value.
   const std::vector<Value>* initials = nullptr;
@@ -157,6 +168,78 @@ struct SolveContext {
     }
     return out;
   }
+
+  [[nodiscard]] std::uint64_t writes_of(Value v) const noexcept {
+    const auto begin = writes_by_value.begin();
+    const auto end = begin + nwrite_groups;
+    const auto it = std::lower_bound(
+        begin, end, v,
+        [](const auto& entry, Value value) { return entry.first < value; });
+    return it != end && it->first == v ? it->second : 0;
+  }
+
+  /// Doomed-state prune: true iff some unplaced completed read returns a
+  /// value that is neither the current register value nor produced by any
+  /// still-placeable write — no completion (and hence no done-state) is
+  /// reachable from (mask, value).  `future_writes` is the mask of writes
+  /// that may still be placed from this state.
+  [[nodiscard]] bool doomed(std::uint64_t mask, Value value,
+                            std::uint64_t future_writes) const noexcept {
+    for (int g = 0; g < nread_groups; ++g) {
+      const auto& [v, rmask] = reads_by_value[static_cast<std::size_t>(g)];
+      if ((rmask & ~mask) == 0) continue;  // every read of v already placed
+      if (v == value) continue;            // current value serves it
+      if ((writes_of(v) & future_writes) != 0) continue;  // a write can
+      return true;
+    }
+    return false;
+  }
+
+  /// Accept shortcut (find-one searches, every completed read placed):
+  /// tries to discharge the remaining write obligations directly.  Free
+  /// mode always succeeds — the remaining must-place ops are completed
+  /// writes, placeable in response-time order (any blocker responds
+  /// earlier and is therefore placed first).  Exact mode walks the
+  /// remaining committed suffix, which is the only extension the DFS
+  /// could try anyway (no read candidates remain), so failure here is
+  /// failure of the whole subtree.  Appends the placed ops to `order`
+  /// (rolled back by the caller on failure).
+  [[nodiscard]] bool try_accept_suffix(std::uint64_t mask, int exact_next,
+                                       std::vector<int>* order) const {
+    if (mode == WriteOrderMode::kExact) {
+      std::uint64_t m = mask;
+      for (std::size_t i = static_cast<std::size_t>(exact_next);
+           i < exact->size(); ++i) {
+        const int w_id = (*exact)[i];
+        if ((pred[static_cast<std::size_t>(w_id)] & ~m) != 0) return false;
+        m |= 1ULL << w_id;
+        if (order != nullptr) order->push_back(w_id);
+      }
+      return true;
+    }
+    std::uint64_t rem = must_place_mask & ~mask;  // completed writes only
+    std::array<int, 64> by_resp{};
+    int nrem = 0;
+    while (rem != 0) {
+      const int id = std::countr_zero(rem);
+      rem &= rem - 1;
+      int j = nrem++;
+      while (j > 0 && resp[static_cast<std::size_t>(
+                          by_resp[static_cast<std::size_t>(j - 1)])] >
+                          resp[static_cast<std::size_t>(id)]) {
+        by_resp[static_cast<std::size_t>(j)] =
+            by_resp[static_cast<std::size_t>(j - 1)];
+        --j;
+      }
+      by_resp[static_cast<std::size_t>(j)] = id;
+    }
+    if (order != nullptr) {
+      for (int i = 0; i < nrem; ++i) {
+        order->push_back(by_resp[static_cast<std::size_t>(i)]);
+      }
+    }
+    return true;
+  }
 };
 
 SolveContext make_context(const LinProblem& problem) {
@@ -169,6 +252,7 @@ SolveContext make_context(const LinProblem& problem) {
   ctx.view = HistoryView(h, problem.cutoff);
   ctx.mode = problem.mode;
   ctx.n = static_cast<int>(h.size());
+  ctx.prune = problem.prune;
   if (problem.initial_values.has_value()) {
     RLT_CHECK_MSG(!problem.initial_values->empty(),
                   "initial_values must not be empty when supplied");
@@ -199,6 +283,7 @@ SolveContext make_context(const LinProblem& problem) {
     if (ctx.view.is_write(id)) ctx.all_writes_mask |= bit;
     if (completed(id)) {
       ctx.completed_mask |= bit;
+      ctx.resp[static_cast<std::size_t>(id)] = response_of(id);
       if (ctx.view.is_read(id)) ctx.placeable_mask |= bit;
     }
   }
@@ -219,6 +304,10 @@ SolveContext make_context(const LinProblem& problem) {
       ctx.placeable_mask |= bit;
       ctx.must_place_mask |= bit;
       ctx.write_mask |= bit;
+    }
+    for (std::size_t i = ctx.exact->size(); i-- > 0;) {
+      ctx.exact_suffix[i] =
+          ctx.exact_suffix[i + 1] | (1ULL << (*ctx.exact)[i]);
     }
   } else {
     for (int id = 0; id < ctx.n; ++id) {
@@ -244,7 +333,36 @@ SolveContext make_context(const LinProblem& problem) {
     ctx.pred[static_cast<std::size_t>(o)] = preds;
   }
 
-  // Placeable reads grouped by returned value (sorted, deduplicated).
+  // Ops grouped by value (sorted, deduplicated): placeable reads for
+  // candidate generation, placeable writes for the doomed-state prune.
+  // Tiny arrays: insertion sort beats std::sort's dispatch overhead.
+  const auto group_by_value =
+      [](std::array<std::pair<Value, std::uint64_t>, 64>& groups,
+         int ngroups) {
+        for (int i = 1; i < ngroups; ++i) {
+          auto entry = groups[static_cast<std::size_t>(i)];
+          int j = i - 1;
+          while (j >= 0 &&
+                 groups[static_cast<std::size_t>(j)].first > entry.first) {
+            groups[static_cast<std::size_t>(j + 1)] =
+                groups[static_cast<std::size_t>(j)];
+            --j;
+          }
+          groups[static_cast<std::size_t>(j + 1)] = entry;
+        }
+        int w = 0;
+        for (int r = 1; r < ngroups; ++r) {
+          if (groups[static_cast<std::size_t>(r)].first ==
+              groups[static_cast<std::size_t>(w)].first) {
+            groups[static_cast<std::size_t>(w)].second |=
+                groups[static_cast<std::size_t>(r)].second;
+          } else {
+            groups[static_cast<std::size_t>(++w)] =
+                groups[static_cast<std::size_t>(r)];
+          }
+        }
+        return ngroups == 0 ? 0 : w + 1;
+      };
   int ngroups = 0;
   std::uint64_t reads = ctx.placeable_mask & ~ctx.write_mask;
   while (reads != 0) {
@@ -253,30 +371,16 @@ SolveContext make_context(const LinProblem& problem) {
     const Value v = id == cop ? problem.completion->value : ctx.view.value(id);
     ctx.reads_by_value[static_cast<std::size_t>(ngroups++)] = {v, 1ULL << id};
   }
-  // Tiny array: insertion sort beats std::sort's dispatch overhead.
-  for (int i = 1; i < ngroups; ++i) {
-    auto entry = ctx.reads_by_value[static_cast<std::size_t>(i)];
-    int j = i - 1;
-    while (j >= 0 &&
-           ctx.reads_by_value[static_cast<std::size_t>(j)].first > entry.first) {
-      ctx.reads_by_value[static_cast<std::size_t>(j + 1)] =
-          ctx.reads_by_value[static_cast<std::size_t>(j)];
-      --j;
-    }
-    ctx.reads_by_value[static_cast<std::size_t>(j + 1)] = entry;
+  ctx.nread_groups = group_by_value(ctx.reads_by_value, ngroups);
+  ngroups = 0;
+  std::uint64_t writes = ctx.write_mask;
+  while (writes != 0) {
+    const int id = std::countr_zero(writes);
+    writes &= writes - 1;
+    ctx.writes_by_value[static_cast<std::size_t>(ngroups++)] = {
+        ctx.view.value(id), 1ULL << id};
   }
-  int w = 0;
-  for (int r = 1; r < ngroups; ++r) {
-    if (ctx.reads_by_value[static_cast<std::size_t>(r)].first ==
-        ctx.reads_by_value[static_cast<std::size_t>(w)].first) {
-      ctx.reads_by_value[static_cast<std::size_t>(w)].second |=
-          ctx.reads_by_value[static_cast<std::size_t>(r)].second;
-    } else {
-      ctx.reads_by_value[static_cast<std::size_t>(++w)] =
-          ctx.reads_by_value[static_cast<std::size_t>(r)];
-    }
-  }
-  ctx.nread_groups = ngroups == 0 ? 0 : w + 1;
+  ctx.nwrite_groups = group_by_value(ctx.writes_by_value, ngroups);
   return ctx;
 }
 
@@ -308,7 +412,34 @@ bool dfs(SolveContext& ctx, std::uint64_t mask, Value value, int exact_next,
     if (ctx.done(mask)) out->insert(value);
   }
 
+  if (ctx.prune) {
+    const std::uint64_t future_writes =
+        ctx.mode == WriteOrderMode::kExact
+            ? ctx.exact_suffix[static_cast<std::size_t>(exact_next)]
+            : ctx.write_mask & ~mask;
+    if (ctx.doomed(mask, value, future_writes)) {
+      if constexpr (M == DfsMode::kFindOne) ctx.seen.insert(key);
+      return false;
+    }
+    if constexpr (M == DfsMode::kFindOne) {
+      // Every completed read placed: only write obligations remain.
+      if ((ctx.must_place_mask & ~ctx.write_mask & ~mask) == 0) {
+        const std::size_t mark = order != nullptr ? order->size() : 0;
+        if (ctx.try_accept_suffix(mask, exact_next, order)) return true;
+        if (order != nullptr) order->resize(mark);
+        ctx.seen.insert(key);
+        return false;
+      }
+    }
+  }
+
   std::uint64_t cand = ctx.candidates(mask, value, exact_next);
+  if (ctx.prune) {
+    // Eager read: placing an available read of the current value first
+    // dominates every other extension order — branch only on the lowest.
+    const std::uint64_t cand_reads = cand & ~ctx.write_mask;
+    if (cand_reads != 0) cand = cand_reads & (~cand_reads + 1);
+  }
   while (cand != 0) {
     const int id = std::countr_zero(cand);
     cand &= cand - 1;

@@ -30,6 +30,23 @@
 // node, and groups placeable reads by returned value, so candidate
 // generation is a table lookup instead of an O(n) scan.  Both solvers
 // share one DFS core over (placed-set, register-value) states.
+//
+// Dominance pruning (`LinProblem::prune`, on by default) cuts between
+// DFS extension orders without changing any verdict or final-value set:
+//  * eager read — when a completed read of the current register value is
+//    available, only the lowest-id such read is branched on.  Any
+//    completion can be reordered to place that read first (reads do not
+//    change the register, so every other op stays legal and available);
+//  * doomed state — fail immediately when some unplaced completed read
+//    returns a value that is neither the current register value nor the
+//    value of any still-placeable write: no completion can ever serve it;
+//  * accept shortcut (find-one searches only) — once every completed
+//    read is placed, the remaining obligations are writes with no value
+//    constraints: free-order instances always complete (place completed
+//    writes in response order), and exact-order instances reduce to a
+//    deterministic availability walk of the remaining committed suffix.
+// These collapse the exponential blowup of many concurrent writers: the
+// practical ceiling moves from ~6 writers per register to 10+.
 #pragma once
 
 #include <optional>
@@ -87,6 +104,11 @@ struct LinProblem {
     Time response = history::kNoTime;
   };
   std::optional<Completion> completion;
+
+  /// Dominance pruning between DFS extension orders (see file comment).
+  /// Verdict- and final-value-preserving; off only for A/B comparisons
+  /// and the pruning-equivalence tests.
+  bool prune = true;
 };
 
 /// Outcome of a solve.

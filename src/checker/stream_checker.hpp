@@ -1,0 +1,160 @@
+// On-line (streaming) linearizability checking with bounded memory.
+//
+// The batch checker (`check_linearizable`) validates a complete recorded
+// history post-hoc; the paper's properties, though, are properties of
+// unbounded executions, and the ROADMAP's line-rate goal needs a checker
+// that keeps up with a *stream* of events.  `StreamingChecker` accepts
+// invocation/response events one at a time (strictly increasing times)
+// and maintains, per register, an incremental frontier:
+//
+//  * a live *window* of operations not yet provably linearized — a plain
+//    `History` restricted to that register, fed to the backtracking
+//    solver (`lin_solver.hpp`) with the window's allowed initial values;
+//  * a set of allowed *initial values* summarizing everything behind the
+//    frontier: exactly the feasible final register values of the retired
+//    prefix (`feasible_final_values`).
+//
+// Retirement happens at per-register quiescent points: the moment a
+// register has no open operation, every window op real-time-precedes
+// every future op on that register, so any linearization of the suffix
+// can be appended to any linearization of the window.  The window is
+// collapsed to its feasible-final-value set and its operations retire
+// from the bitmask universe — live state stays bounded by the register's
+// maximum overlap degree, independent of stream length.  This is the
+// same collapse the simulator's `WindowedModel` performs, generalized to
+// arbitrary recorded streams and multiple registers (correct for the
+// whole history by the locality theorem: each register is checked
+// independently).
+//
+// The solver runs only at *read responses*.  Invocations add an op the
+// solver may ignore (pending reads are never placed; pending writes are
+// optional), and a write response is always the latest event in its
+// window, so the newly completed write can simply be appended to any
+// existing witness — neither can flip feasibility.  This, plus the
+// dominance pruning the solver applies by default, is what sustains
+// line-rate checking.
+//
+// Verdicts are *prefix-exact*: the checker rejects at precisely the
+// first event whose prefix is not linearizable (the batch checker's
+// minimal failing prefix), and `ok()` after the last event equals the
+// batch verdict on the whole stream — including streams that end with
+// pending (crashed / stalled) operations.  After a violation the checker
+// latches: counters keep counting, state stops evolving.
+//
+// Limits are reported through `error()`, separate from verdicts: windows
+// outgrow `max_live_ops` (or the solver's 64-op ceiling) only when a
+// register never quiesces, in which case the stream is *unvalidated*,
+// not wrong.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checker/lin_solver.hpp"
+
+namespace rlt::checker {
+
+struct StreamCheckerOptions {
+  /// Dominance pruning in the underlying solver (see lin_solver.hpp).
+  /// Off only for A/B comparisons; verdict-preserving either way.
+  bool prune = true;
+  /// Hard cap on any one register's live window, clamped to the solver's
+  /// 64-op ceiling.  Exceeding it latches an error (not a violation).
+  std::size_t max_live_ops = 64;
+};
+
+class StreamingChecker {
+ public:
+  explicit StreamingChecker(StreamCheckerOptions options = {});
+
+  /// Register initial value (Definition 2, property 3); defaults to 0.
+  /// Must be called before the register's first event.
+  void set_initial(history::RegisterId reg, Value v);
+
+  /// Feeds an invocation event; returns the operation's stream id (pass
+  /// it to `on_response`).  `value` is the written value for writes and
+  /// ignored for reads.  Event times must be strictly increasing.
+  int on_invoke(history::ProcessId process, history::RegisterId reg,
+                OpKind kind, Value value, Time now);
+
+  /// Feeds the response of operation `id` (reads: returning `result`).
+  void on_response(int id, Value result, Time now);
+
+  /// True while every fed prefix is linearizable and no limit was hit.
+  [[nodiscard]] bool ok() const noexcept {
+    return violation_event_ < 0 && error_.empty();
+  }
+
+  /// 0-based global index of the first event whose prefix is not
+  /// linearizable; -1 if every prefix so far is.
+  [[nodiscard]] std::int64_t first_violation_event() const noexcept {
+    return violation_event_;
+  }
+
+  /// Non-verdict failure (window overflow, out-of-order events, bad op
+  /// id); empty when the stream is fully validated.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  // Frontier instrumentation: live state must stay bounded regardless of
+  // stream length — the bounded-memory regression test pins these.
+  [[nodiscard]] std::size_t live_ops() const noexcept { return live_ops_; }
+  [[nodiscard]] std::size_t peak_live_ops() const noexcept {
+    return peak_live_ops_;
+  }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t retired_ops() const noexcept {
+    return retired_ops_;
+  }
+  [[nodiscard]] std::uint64_t solver_calls() const noexcept {
+    return solver_calls_;
+  }
+  [[nodiscard]] std::uint64_t collapses() const noexcept { return collapses_; }
+
+ private:
+  /// Per-register incremental frontier.
+  struct Lane {
+    History window;                 ///< Ops not yet retired (base reg ids).
+    std::vector<Value> initials;    ///< Allowed pre-window values.
+    int open = 0;                   ///< Invoked-but-unresponded window ops.
+  };
+  struct OpenRef {
+    history::RegisterId reg = -1;
+    int window_id = -1;  ///< Op id within the lane's window history.
+  };
+
+  [[nodiscard]] bool frozen() const noexcept { return !ok(); }
+  Lane& lane_for(history::RegisterId reg);
+  [[nodiscard]] bool window_feasible(const Lane& lane);
+  void collapse(Lane& lane);
+  void fail_limit(const std::string& what);
+
+  StreamCheckerOptions options_;
+  std::map<history::RegisterId, Value> initial_config_;
+  std::map<history::RegisterId, Lane> lanes_;
+  std::map<int, OpenRef> open_ops_;  ///< Stream id -> live window op.
+  int next_id_ = 0;
+  Time last_time_ = 0;
+  bool saw_event_ = false;
+  std::uint64_t events_ = 0;
+  std::int64_t violation_event_ = -1;
+  std::string error_;
+  std::size_t live_ops_ = 0;
+  std::size_t peak_live_ops_ = 0;
+  std::uint64_t retired_ops_ = 0;
+  std::uint64_t solver_calls_ = 0;
+  std::uint64_t collapses_ = 0;
+};
+
+/// Replays a recorded history through a StreamingChecker in event-time
+/// order (the stream the recorder would have produced) and returns the
+/// checker for inspection.  The differential bridge between the batch
+/// and streaming worlds: `check_stream(h).ok()` must agree with
+/// `check_linearizable(h).ok` whenever no limit error occurred.
+[[nodiscard]] StreamingChecker check_stream(const History& h,
+                                            StreamCheckerOptions options = {});
+
+}  // namespace rlt::checker

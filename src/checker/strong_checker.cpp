@@ -33,12 +33,19 @@ struct StrongSearch {
   /// rebuild; ids below are base-history ids.
   bool valid(const PreparedRun& run, std::size_t nevents,
              const std::vector<OpKey>& committed, std::string* why) const {
-    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
-    const HistoryView view(*run.h, t);
     const auto fail = [why](const std::string& reason) {
       if (why != nullptr) *why = reason;
       return false;
     };
+    // The empty prefix is unrepresentable as a cutoff when the run's
+    // first event is at time 0 (unsigned Time, inclusive cutoffs), so
+    // answer it directly: valid iff nothing is committed.
+    if (nevents == 0) {
+      return committed.empty() ||
+             fail("committed op not invoked in empty prefix");
+    }
+    const Time t = run.events[nevents - 1].time;
+    const HistoryView view(*run.h, t);
 
     std::vector<int> order;
     order.reserve(committed.size());
@@ -93,7 +100,10 @@ struct StrongSearch {
   std::vector<OpKey> extension_candidates(
       const PreparedRun& run, std::size_t nevents,
       const std::vector<OpKey>& committed) const {
-    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    // Empty prefix: nothing invoked yet (see valid() on why nevents == 0
+    // cannot be expressed as a cutoff).
+    if (nevents == 0) return {};
+    const Time t = run.events[nevents - 1].time;
     std::vector<OpKey> out;
     for (const OpRecord& op : run.h->ops()) {
       if (op.invoke > t) continue;

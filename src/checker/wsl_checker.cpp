@@ -86,7 +86,18 @@ struct TreeSearch {
                 const std::vector<OpKey>& committed, int cid,
                 std::string* why) {
     const PreparedRun& run = runs[static_cast<std::size_t>(run_idx)];
-    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    // The empty prefix has no representable cutoff when the run's first
+    // event is at time 0 (Time is unsigned and cutoffs are inclusive, so
+    // cutoff 0 would INCLUDE that op).  Resolve it directly: the empty
+    // prefix is feasible iff nothing has been committed yet.
+    if (nevents == 0) {
+      const bool ok0 = committed.empty();
+      if (!ok0 && why != nullptr) {
+        *why = render_infeasible(nevents, 0, committed);
+      }
+      return ok0;
+    }
+    const Time t = run.events[nevents - 1].time;
     bool ok;
     std::uint64_t key = 0;
     if (memoize) {
@@ -136,7 +147,10 @@ struct TreeSearch {
   std::vector<OpKey> extension_candidates(
       const PreparedRun& run, std::size_t nevents,
       const std::vector<OpKey>& committed) const {
-    const Time t = nevents == 0 ? 0 : run.events[nevents - 1].time;
+    // Empty prefix: nothing invoked, nothing to commit (and no cutoff
+    // can express it when events start at time 0 — see feasible()).
+    if (nevents == 0) return {};
+    const Time t = run.events[nevents - 1].time;
     std::vector<OpKey> out;
     for (const OpRecord& op : run.h->ops()) {
       if (!op.is_write() || op.invoke > t) continue;

@@ -76,6 +76,7 @@ ProbeOutcome probe(const ExploreInstance& e, RecordingPolicy& policy) {
     s.writes_per_process = e.writes_per_process;
     s.max_actions = e.max_actions;
     s.abd_read_write_back = e.abd_read_write_back;
+    s.online_check = e.online;
     const sweep::ScenarioResult r = sweep::run_scenario_policy(s, policy);
     out.rank = r.verdict == sweep::Verdict::kViolation ? kRankViolation
                : r.verdict == sweep::Verdict::kBlocked ? kRankBlocked
@@ -344,6 +345,7 @@ std::vector<ExploreInstance> enumerate_explore_instances(
           e.shrink_budget = o.shrink_budget;
           e.abd_read_write_back =
               a == sweep::Algorithm::kAbd ? o.abd_read_write_back : true;
+          e.online = o.online;
           out.push_back(e);
         }
       }

@@ -67,6 +67,10 @@ struct ExploreInstance {
   /// Ablation knob (tests/CI): disables ABD's read write-back, planting
   /// genuine violations for the search to find.  Marked in key().
   bool abd_read_write_back = true;
+  /// kViolation: streaming cross-check of every probed history (see
+  /// Scenario::online_check).  Excluded from key() for the same
+  /// byte-identical-on-agreement reason.
+  bool online = false;
 
   /// Stable key, e.g. "explore/rounds/game/greedy/p4/r16/b32/seed0" or
   /// "explore/viol/abd/hill/p5/w2/b128/nowb/seed0".
@@ -129,6 +133,8 @@ struct ExploreOptions {
   std::vector<sweep::Algorithm> algorithms = {sweep::Algorithm::kAbd};
   int writes_per_process = 2;
   bool abd_read_write_back = true;
+  /// Streaming cross-check on every kViolation probe (--online).
+  bool online = false;
   /// Shared:
   std::vector<int> process_counts = {4};
   std::uint64_t seed_begin = 0;  ///< Inclusive (instance seeds).

@@ -62,8 +62,16 @@ History History::prefix_at(Time t) const {
 
 std::vector<History> History::all_prefixes(bool include_empty) const {
   std::vector<History> out;
-  if (include_empty) out.push_back(prefix_at(0) /* may still be empty */);
-  if (include_empty && !out.back().empty()) out.pop_back();
+  if (include_empty) {
+    // A genuinely empty prefix: initial values, no ops.  prefix_at(0) is
+    // NOT that when an op is invoked at time 0 — Time is unsigned and
+    // cutoffs are inclusive, so no integer cutoff excludes such an op.
+    // (The old prefix_at(0)-then-pop-if-nonempty dance silently dropped
+    // the empty prefix for exactly those histories.)
+    History empty;
+    empty.initial_ = initial_;
+    out.push_back(std::move(empty));
+  }
   for (const Event& ev : events()) out.push_back(prefix_at(ev.time));
   return out;
 }

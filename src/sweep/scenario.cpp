@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "checker/lin_checker.hpp"
+#include "checker/stream_checker.hpp"
 #include "checker/wsl_checker.hpp"
 #include "mp/abd.hpp"
 #include "mp/network.hpp"
@@ -124,8 +125,33 @@ SimDrive drive_sim(const Scenario& s, sim::Scheduler& sched,
 /// includes pending reads (lin_solver.hpp), so a history cut short by a
 /// crash or a budget is checked on its completed prefix with the
 /// stranded ops as overlays.
-void check_history(const History& h, bool expect_wsl, ScenarioResult& out) {
+void check_history(const History& h, bool expect_wsl, bool online,
+                   ScenarioResult& out) {
   const checker::LinCheckResult lin = checker::check_linearizable(h);
+  if (online) {
+    // Differential gate: replay the history through the streaming
+    // checker and demand verdict agreement with the batch solver.  Any
+    // split is a checker bug (either side), which must surface loudly
+    // rather than silently trusting one of the two.
+    const checker::StreamingChecker sc = checker::check_stream(h);
+    if (!sc.error().empty()) {
+      out.verdict = Verdict::kError;
+      out.detail = "online checker could not validate the stream: " +
+                   sc.error();
+      return;
+    }
+    if (sc.ok() != lin.ok) {
+      out.verdict = Verdict::kError;
+      std::ostringstream os;
+      os << "online/batch checker disagreement: streaming "
+         << (sc.ok() ? std::string("accepts")
+                     : "rejects (event " +
+                           std::to_string(sc.first_violation_event()) + ")")
+         << " but batch " << (lin.ok ? "accepts" : "rejects");
+      out.detail = os.str();
+      return;
+    }
+  }
   if (!lin.ok) {
     out.verdict = Verdict::kViolation;
     out.detail = "linearizability violated: " + lin.error;
@@ -145,7 +171,7 @@ void check_history(const History& h, bool expect_wsl, ScenarioResult& out) {
 }
 
 void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
-                bool expect_wsl, ScenarioResult& out) {
+                bool expect_wsl, bool online, ScenarioResult& out) {
   out.steps = sched.actions_applied();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
@@ -176,7 +202,7 @@ void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
       end_detail = std::string("run ended early: ") + sim::to_string(d.outcome);
     }
   }
-  classify_run(h, expect_wsl, end, end_detail, out);
+  classify_run(h, expect_wsl, end, end_detail, out, online);
 }
 
 void run_modeled(const Scenario& s, sim::SchedulePolicy* policy,
@@ -191,7 +217,7 @@ void run_modeled(const Scenario& s, sim::SchedulePolicy* policy,
   }
   const SimDrive d = drive_sim(s, sched, policy);
   finish_sim(sched, d, sched.global_history(),
-             s.semantics == sim::Semantics::kWriteStrong, out);
+             s.semantics == sim::Semantics::kWriteStrong, s.online_check, out);
 }
 
 /// Drives Algorithm 2 (`expect_wsl=true`, per Theorem 10) or Algorithm 4
@@ -210,7 +236,7 @@ void run_implemented(const Scenario& s, bool expect_wsl,
                       });
   }
   const SimDrive d = drive_sim(s, sched, policy);
-  finish_sim(sched, d, reg.hl_history(), expect_wsl, out);
+  finish_sim(sched, d, reg.hl_history(), expect_wsl, s.online_check, out);
 }
 
 /// A node's crash moment, decided up front from the scenario's FaultPlan.
@@ -416,7 +442,7 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   // write strongly-linearizable, so both checks must pass — on every
   // exit path, so a violation in a blocked or budget-exhausted schedule
   // is never masked by the early-exit classification.
-  classify_run(h, /*expect_wsl=*/true, end, end_detail, out);
+  classify_run(h, /*expect_wsl=*/true, end, end_detail, out, s.online_check);
 }
 
 }  // namespace
@@ -480,7 +506,8 @@ std::string Scenario::key() const {
 }
 
 void classify_run(const History& h, bool expect_wsl, RunEnd end,
-                  const std::string& end_detail, ScenarioResult& out) {
+                  const std::string& end_detail, ScenarioResult& out,
+                  bool online) {
   // The backtracking solver handles at most 64 ops per register; sweep
   // workloads stay far below that, but a programmatic caller could
   // exceed it.  Degrade to "unvalidated" rather than throw.
@@ -493,9 +520,15 @@ void classify_run(const History& h, bool expect_wsl, RunEnd end,
     if (ops_on_reg > 64) checkable = false;
   }
   if (checkable) {
-    check_history(h, expect_wsl, out);
+    check_history(h, expect_wsl, online, out);
     if (out.verdict == Verdict::kViolation) {
       // The violation wins; keep the early-exit context for diagnosis.
+      if (!end_detail.empty()) out.detail += " [" + end_detail + "]";
+      return;
+    }
+    if (online && out.verdict == Verdict::kError) {
+      // A checker disagreement (or an unvalidatable stream) outranks the
+      // early-exit classification the same way a violation does.
       if (!end_detail.empty()) out.detail += " [" + end_detail + "]";
       return;
     }

@@ -115,6 +115,13 @@ struct Scenario {
   /// (see mp/abd.hpp).  Tests use it to plant genuine violations inside
   /// sweeps; key() marks it ("/nowb") so fingerprints stay honest.
   bool abd_read_write_back = true;
+  /// Cross-check every checkable history with the streaming online
+  /// checker (checker/stream_checker.hpp) and report any batch/online
+  /// disagreement as kError.  Deliberately EXCLUDED from key(): when the
+  /// checkers agree (the only non-error outcome) the records are
+  /// byte-identical to a plain run, so an --online sweep diffs clean
+  /// against a blessed store produced without it.
+  bool online_check = false;
 
   /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42",
   /// "abd/rand/p5/w2/fminority-c7/seed42", or
@@ -184,9 +191,13 @@ struct ScenarioResult {
 /// out of budget always wins over the stall classification (the verdict-
 /// masking bug class); pending ops stay in the history and reach the
 /// solver as possibly-effective pending writes.  `end_detail` describes
-/// the early exit (empty for kCompleted).
+/// the early exit (empty for kCompleted).  With `online`, the streaming
+/// checker replays the history event-by-event and any disagreement with
+/// the batch verdict classifies kError; on agreement the result is
+/// byte-identical to an offline classification.
 void classify_run(const history::History& h, bool expect_wsl, RunEnd end,
-                  const std::string& end_detail, ScenarioResult& out);
+                  const std::string& end_detail, ScenarioResult& out,
+                  bool online = false);
 
 /// Deterministic 64-bit fingerprint of a history (op tuples in id order).
 /// Covers invocation-only (pending) ops too — their invocation time and

@@ -101,6 +101,7 @@ std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
               s.writes_per_process = o.writes_per_process;
               s.max_actions = o.max_actions_per_scenario;
               s.faults = plan;
+              s.online_check = o.online;
               out.push_back(s);
             }
           }

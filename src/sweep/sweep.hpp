@@ -57,6 +57,11 @@ struct SweepOptions {
   /// and folded in index order, so the digest is independent of this
   /// knob.  1 = one task per scenario (the PR 1 behaviour).
   int batch_size = 16;
+  /// Streaming cross-check: every checkable history is also replayed
+  /// through the online checker, and any batch/online split reports as
+  /// an ERROR.  Excluded from scenario keys — an agreeing --online sweep
+  /// produces records byte-identical to an offline one.
+  bool online = false;
 };
 
 /// Materializes the cross-product, seeds outermost so that consecutive

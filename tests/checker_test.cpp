@@ -67,6 +67,27 @@ TEST(LinChecker, PrefixClosedness) {
   EXPECT_TRUE(check_all_prefixes_linearizable(h).ok);
 }
 
+TEST(LinChecker, HistoriesStartingAtTimeZeroAreHandled) {
+  // External (streamed) histories may start their clock at 0 — a time no
+  // inclusive unsigned cutoff can exclude.  Every checker must accept a
+  // clean t=0 history and reject a violating one; the tree checkers'
+  // empty-prefix handling (wsl_checker/strong_checker) must not build a
+  // wrong one-event "empty" view.
+  History good;
+  add(good, 0, OpKind::kWrite, 1, 0, 2);  // invoked at t=0
+  add(good, 1, OpKind::kRead, 1, 3, 4);
+  EXPECT_TRUE(check_linearizable(good).ok);
+  EXPECT_TRUE(check_all_prefixes_linearizable(good).ok);
+  EXPECT_TRUE(check_write_strong_linearizable(good).ok);
+  EXPECT_TRUE(check_strong_linearizable(good).ok);
+
+  History bad;
+  add(bad, 0, OpKind::kWrite, 1, 0, 2);
+  add(bad, 1, OpKind::kRead, 99, 3, 4);
+  EXPECT_FALSE(check_linearizable(bad).ok);
+  EXPECT_FALSE(check_write_strong_linearizable(bad).ok);
+}
+
 // ---------- write strong-linearizability ----------
 
 TEST(WslChecker, SequentialHistoryIsWsl) {

@@ -114,6 +114,27 @@ TEST(History, AllPrefixesEndsWithFullHistory) {
   EXPECT_EQ(prefixes.front().size(), 1u);
 }
 
+TEST(History, AllPrefixesIncludesEmptyPrefixForTimeZeroHistories) {
+  // Regression: Time is unsigned and cutoffs are inclusive, so no
+  // integer cutoff excludes an op invoked at time 0.  all_prefixes used
+  // to fake the empty prefix with prefix_at(0) and silently DROP it for
+  // exactly such histories; it must be built genuinely empty instead.
+  History h;
+  h.set_initial(0, 7);
+  h.add(make_op(0, 0, OpKind::kWrite, 1, 0, 2));  // invoked at t=0
+  const auto with_empty = h.all_prefixes(/*include_empty=*/true);
+  ASSERT_EQ(with_empty.size(), 3u);  // empty + one per event
+  EXPECT_TRUE(with_empty.front().empty());
+  EXPECT_EQ(with_empty.front().initial(0), 7);  // initials still carried
+  EXPECT_EQ(with_empty.back(), h);
+  // And histories that do NOT start at t=0 keep their behaviour.
+  History later;
+  later.add(make_op(0, 0, OpKind::kWrite, 1, 1, 2));
+  const auto lp = later.all_prefixes(/*include_empty=*/true);
+  ASSERT_EQ(lp.size(), 3u);
+  EXPECT_TRUE(lp.front().empty());
+}
+
 TEST(History, RestrictToRegisterMapsIds) {
   History h;
   h.set_initial(3, 9);

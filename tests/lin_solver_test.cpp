@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "checker/lin_solver.hpp"
+#include "checker/stream_checker.hpp"
 #include "history/view.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -670,6 +671,185 @@ TEST(LinSolverView, HistoryViewMatchesPrefixSemantics) {
     const history::HistoryView whole(h);
     EXPECT_EQ(whole.included_count(), h.size());
     EXPECT_EQ(whole.completed_count(), h.completed_count());
+  }
+}
+
+// ---------- dominance pruning ----------
+//
+// The pruning rules (lin_solver.hpp file comment) are verdict- and
+// final-value-preserving by construction; these tests pin that claim
+// empirically (prune on/off A/B over the oracle generator, both modes)
+// and pin the capability the pruning buys: adversarial many-writer
+// windows that the unpruned search cannot finish.
+
+TEST(LinSolverPrune, OnOffAgreeOnRandomHistoriesFreeMode) {
+  util::Rng rng(0x5EED);
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/10);
+    LinProblem on;
+    on.history = &h;
+    LinProblem off = on;
+    off.prune = false;
+    ASSERT_EQ(feasible(on), feasible(off)) << h.to_string();
+    ASSERT_EQ(feasible_final_values(on), feasible_final_values(off))
+        << h.to_string();
+    const LinSolution s = solve(on);
+    if (s.ok) {
+      // The pruned witness (eager-read + accept-shortcut paths included)
+      // must itself be a legal linearization.
+      EXPECT_TRUE(is_legal_sequential(h, s.order).ok) << h.to_string();
+    }
+  }
+}
+
+TEST(LinSolverPrune, OnOffAgreeOnRandomHistoriesExactMode) {
+  util::Rng rng(0xD00D);
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/10);
+    LinProblem on;
+    on.history = &h;
+    on.mode = WriteOrderMode::kExact;
+    on.exact_write_order = random_exact_order(rng, h);
+    LinProblem off = on;
+    off.prune = false;
+    ASSERT_EQ(feasible(on), feasible(off)) << h.to_string();
+    ASSERT_EQ(feasible_final_values(on), feasible_final_values(off))
+        << h.to_string();
+    const LinSolution s = solve(on);
+    if (s.ok) {
+      EXPECT_TRUE(is_legal_sequential(h, s.order).ok) << h.to_string();
+    }
+  }
+}
+
+TEST(LinSolverPrune, AllIntegerCutoffsMatchMaterializedPrefixes) {
+  // Permanent version of the cutoff fuzz: solving under EVERY integer
+  // cutoff — including cutoffs strictly between an invocation and its
+  // response, which no event-time loop probes — must agree with solving
+  // the materialized prefix, with pruning on and off.
+  util::Rng rng(20260808);
+  int probes = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const History h = random_history(rng, /*max_ops=*/10);
+    Time max_time = 0;
+    for (const OpRecord& op : h.ops()) {
+      max_time = std::max(max_time, op.invoke);
+      if (!op.pending()) max_time = std::max(max_time, op.response);
+    }
+    for (Time t = 0; t <= max_time + 1; ++t) {
+      const History copied = h.prefix_at(t);
+      for (const bool prune : {true, false}) {
+        LinProblem view_p;
+        view_p.history = &h;
+        view_p.cutoff = t;
+        view_p.prune = prune;
+        LinProblem copy_p;
+        copy_p.history = &copied;
+        copy_p.prune = prune;
+        ASSERT_EQ(feasible(view_p), feasible(copy_p))
+            << "cutoff t=" << t << " prune=" << prune << ":\n"
+            << h.to_string();
+        ASSERT_EQ(feasible_final_values(view_p),
+                  feasible_final_values(copy_p))
+            << "cutoff t=" << t << " prune=" << prune << ":\n"
+            << h.to_string();
+        ++probes;
+      }
+    }
+  }
+  EXPECT_GE(probes, 800);
+}
+
+/// The adversarial many-writer window: `writers` fully concurrent writes
+/// of distinct values, `reads_per_value` completed concurrent reads of
+/// each written value, and optionally one read of a value nobody writes.
+/// Every op overlaps every other, so the unpruned DFS faces the full
+/// writers! × interleavings explosion.
+History many_writer_window(int writers, int reads_per_value, bool add_bad_read) {
+  History h;
+  h.set_initial(0, 0);
+  Time t = 0;
+  std::vector<int> ids;
+  for (int w = 0; w < writers; ++w) {
+    ids.push_back(add(h, w, OpKind::kWrite, 10 + w, ++t, kNoTime));
+  }
+  for (int w = 0; w < writers; ++w) {
+    for (int r = 0; r < reads_per_value; ++r) {
+      ids.push_back(
+          add(h, writers + w, OpKind::kRead, 10 + w, ++t, kNoTime));
+    }
+  }
+  if (add_bad_read) {
+    ids.push_back(add(h, 2 * writers, OpKind::kRead, 99, ++t, kNoTime));
+  }
+  // Respond everyone long after every invocation: total overlap.
+  Time r = 1000;
+  for (const int id : ids) h.complete_op(id, h.op(id).value, ++r);
+  return h;
+}
+
+TEST(LinSolverPrune, ManyWriterInfeasibleWindowsSolveFast) {
+  // 8..10 writers/register — past the seed's practical ~6-writer ceiling.
+  // The doomed-state rule rejects the unobtainable read near the root;
+  // without pruning this family is a multi-minute search.
+  for (const int writers : {8, 9, 10}) {
+    const History h = many_writer_window(writers, /*reads_per_value=*/3,
+                                         /*add_bad_read=*/true);
+    LinProblem p;
+    p.history = &h;
+    EXPECT_FALSE(feasible(p)) << writers << " writers";
+  }
+}
+
+TEST(LinSolverPrune, ManyWriterFeasibleWindowsSolveFast) {
+  for (const int writers : {8, 9, 10}) {
+    const History h = many_writer_window(writers, /*reads_per_value=*/3,
+                                         /*add_bad_read=*/false);
+    LinProblem p;
+    p.history = &h;
+    const LinSolution s = solve(p);
+    ASSERT_TRUE(s.ok) << writers << " writers";
+    EXPECT_TRUE(is_legal_sequential(h, s.order).ok);
+  }
+}
+
+TEST(LinSolverPrune, ManyWriterFamilyAgreesWithUnprunedAtSmallSizes) {
+  // The same family, small enough for the unpruned search: verdicts and
+  // final-value sets must match, feasible and infeasible alike.
+  for (const int writers : {2, 3, 4}) {
+    for (const bool bad_read : {false, true}) {
+      const History h =
+          many_writer_window(writers, /*reads_per_value=*/2, bad_read);
+      LinProblem on;
+      on.history = &h;
+      LinProblem off = on;
+      off.prune = false;
+      ASSERT_EQ(feasible(on), feasible(off))
+          << writers << " writers, bad_read=" << bad_read;
+      ASSERT_EQ(feasible_final_values(on), feasible_final_values(off))
+          << writers << " writers, bad_read=" << bad_read;
+      EXPECT_EQ(feasible(on), !bad_read);
+    }
+  }
+}
+
+TEST(LinSolverPrune, StreamingCheckerClearsManyWriterWindows) {
+  // The capability the ISSUE names: with pruning, the ONLINE path checks
+  // windows of >= 7 concurrent writers per register.
+  for (const int writers : {7, 8, 9, 10}) {
+    const History good = many_writer_window(writers, 3, false);
+    StreamingChecker ok_checker = check_stream(good);
+    EXPECT_TRUE(ok_checker.ok()) << writers << " writers";
+    EXPECT_TRUE(ok_checker.error().empty());
+
+    const History bad = many_writer_window(writers, 3, true);
+    StreamingChecker bad_checker = check_stream(bad);
+    EXPECT_FALSE(bad_checker.ok()) << writers << " writers";
+    EXPECT_TRUE(bad_checker.error().empty());
+    // Rejection lands exactly at the unobtainable read's response: the
+    // last event of the stream (prefix-exactness at scale).
+    EXPECT_EQ(bad_checker.first_violation_event(),
+              static_cast<std::int64_t>(bad_checker.events_processed()) - 1);
   }
 }
 

@@ -90,6 +90,12 @@ using rlt::term::TermSweepOptions;
       "                      scenarios, A inclusive, B exclusive "
       "(default: 0:1)\n"
       "  --writes N          writes per writer role (default: 2)\n"
+      "  --online            replay every checkable history through the\n"
+      "                      streaming online checker and report any\n"
+      "                      batch/online verdict split as ERROR; when the\n"
+      "                      checkers agree the records are byte-identical\n"
+      "                      to an offline sweep (also valid with\n"
+      "                      --explore --objective violation)\n"
       "termination mode:\n"
       "  --term              run the termination lab instead\n"
       "  --families LIST     comma list of consensus,composed,coin,game\n"
@@ -493,6 +499,12 @@ int main(int argc, char** argv) {
       if (opts.writes_per_process < 1 || opts.writes_per_process > 99) {
         bad_value("--writes", args[i]);
       }
+    } else if (a == "--online") {
+      // Safety sweeps and violation hunts record histories the streaming
+      // checker can cross-check; --term and rounds objectives do not.
+      algo_flags_used.push_back(a);
+      opts.online = true;
+      eopts.online = true;
     } else if (a == "--threads") {
       // Upper bound keeps a typo from asking the OS for an absurd number
       // of threads.
