@@ -76,6 +76,7 @@ ProbeOutcome probe(const ExploreInstance& e, RecordingPolicy& policy) {
     s.writes_per_process = e.writes_per_process;
     s.max_actions = e.max_actions;
     s.abd_read_write_back = e.abd_read_write_back;
+    s.explore_faults = e.fault_menu;
     s.online_check = e.online;
     const sweep::ScenarioResult r = sweep::run_scenario_policy(s, policy);
     out.rank = r.verdict == sweep::Verdict::kViolation ? kRankViolation
@@ -197,6 +198,7 @@ std::string ExploreInstance::key() const {
   }
   os << "/b" << search_budget;
   if (!abd_read_write_back) os << "/nowb";
+  if (fault_menu) os << "/fmenu";
   os << "/seed" << seed;
   return os.str();
 }
@@ -345,6 +347,7 @@ std::vector<ExploreInstance> enumerate_explore_instances(
           e.shrink_budget = o.shrink_budget;
           e.abd_read_write_back =
               a == sweep::Algorithm::kAbd ? o.abd_read_write_back : true;
+          e.fault_menu = a == sweep::Algorithm::kAbd && o.fault_menu;
           e.online = o.online;
           out.push_back(e);
         }
@@ -463,6 +466,7 @@ ExploreSummary run_explore(const ExploreOptions& o,
           .u64("seed", e.seed)
           .u64("budget", static_cast<std::uint64_t>(e.search_budget))
           .boolean("write_back", e.abd_read_write_back)
+          .boolean("fault_menu", e.fault_menu)
           .u64("runs", r.runs)
           .u64("best_score", r.best_score)
           .str("found", r.error ? "error" : found)
@@ -621,6 +625,8 @@ std::optional<PersistedTrace> parse_explore_record(const std::string& line,
   e.seed = *seed;
   e.search_budget = static_cast<int>(*budget);
   e.abd_read_write_back = *write_back;
+  // Absent in pre-fault-fabric stores; those traces ran without the menu.
+  e.fault_menu = field_bool(line, "fault_menu").value_or(false);
   const std::optional<ScheduleTrace> decoded = decode_trace(*trace);
   if (!decoded) return fail("malformed trace field");
   out.trace = *decoded;

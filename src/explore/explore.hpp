@@ -67,13 +67,18 @@ struct ExploreInstance {
   /// Ablation knob (tests/CI): disables ABD's read write-back, planting
   /// genuine violations for the search to find.  Marked in key().
   bool abd_read_write_back = true;
+  /// kViolation + kAbd: the driver appends budgeted fault injections
+  /// (drop, duplicate, crash, recover) to the schedule menu, so the
+  /// search hunts worst-case fault schedules too (Scenario::
+  /// explore_faults).  Changes behaviour, so it is marked in key().
+  bool fault_menu = false;
   /// kViolation: streaming cross-check of every probed history (see
   /// Scenario::online_check).  Excluded from key() for the same
   /// byte-identical-on-agreement reason.
   bool online = false;
 
   /// Stable key, e.g. "explore/rounds/game/greedy/p4/r16/b32/seed0" or
-  /// "explore/viol/abd/hill/p5/w2/b128/nowb/seed0".
+  /// "explore/viol/abd/hill/p5/w2/b128/nowb/fmenu/seed0".
   [[nodiscard]] std::string key() const;
 };
 
@@ -133,6 +138,9 @@ struct ExploreOptions {
   std::vector<sweep::Algorithm> algorithms = {sweep::Algorithm::kAbd};
   int writes_per_process = 2;
   bool abd_read_write_back = true;
+  /// Offer fault injections on every kAbd instance's schedule menu
+  /// (--fault-menu; non-abd targets ignore it like the ablation knob).
+  bool fault_menu = false;
   /// Streaming cross-check on every kViolation probe (--online).
   bool online = false;
   /// Shared:

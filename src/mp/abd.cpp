@@ -1,5 +1,9 @@
 #include "mp/abd.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
 #include "util/assert.hpp"
 
 namespace rlt::mp {
@@ -21,6 +25,10 @@ class AbdRegister::Server final : public Node {
   Server(AbdRegister& owner, Value initial) : owner_(owner), value_(initial) {}
 
   void on_message(const Message& m) override {
+    // Seq-keyed dedup (fault-tolerant mode only): fabric duplicates
+    // carry the seq of their original and are consumed once;
+    // retransmissions carry fresh seqs and are answered again.
+    if (owner_.fault_tolerant_ && !seen_.insert(m.seq).second) return;
     switch (m.type) {
       case kMsgWrite: {
         const std::int64_t ts = m.payload[1];
@@ -46,11 +54,16 @@ class AbdRegister::Server final : public Node {
 
   void set_id(NodeId id) noexcept { id_ = id; }
 
+  /// Crash-recovery: the dedup cache is volatile and does not survive a
+  /// crash; (ts_, value_) model durable storage and are kept.
+  void reset_volatile() { seen_.clear(); }
+
  private:
   AbdRegister& owner_;
   NodeId id_ = -1;
   std::int64_t ts_ = 0;
   Value value_;
+  std::unordered_set<std::uint64_t> seen_;
 };
 
 AbdRegister::~AbdRegister() = default;
@@ -59,6 +72,7 @@ AbdRegister::AbdRegister(Network& net, int n, NodeId writer, Value initial,
                          bool read_write_back)
     : net_(net), n_(n), writer_(writer), read_write_back_(read_write_back) {
   RLT_CHECK_MSG(n >= 1, "need at least one server");
+  RLT_CHECK_MSG(n <= 64, "quorum bookkeeping uses 64-bit server masks");
   RLT_CHECK_MSG(writer >= 0 && writer < n, "writer must be one of the nodes");
   recorder_.set_initial(0, initial);
   for (int i = 0; i < n; ++i) {
@@ -79,8 +93,10 @@ int AbdRegister::begin_write(Value v) {
   op.kind = ClientOp::Kind::kWrite;
   op.home = writer_;
   op.hl = recorder_.begin_op(writer_, 0, history::OpKind::kWrite, v, tick());
-  ops_[token] = op;
   ++writer_ts_;
+  op.write_ts = writer_ts_;
+  op.write_value = v;
+  ops_[token] = op;
   net_.broadcast(writer_, kMsgWrite, {token, writer_ts_, v});
   return token;
 }
@@ -88,7 +104,7 @@ int AbdRegister::begin_write(Value v) {
 int AbdRegister::begin_read(NodeId reader) {
   RLT_CHECK(reader >= 0 && reader < n_);
   for (const auto& [t, op] : ops_) {
-    RLT_CHECK_MSG(op.completed || op.home != reader,
+    RLT_CHECK_MSG(op.completed || op.abandoned || op.home != reader,
                   "node " << reader << " already has an operation pending");
   }
   const int token = next_token_++;
@@ -107,12 +123,16 @@ void AbdRegister::on_server_message(NodeId at, const Message& m) {
   RLT_CHECK_MSG(it != ops_.end(), "response for unknown op token " << token);
   ClientOp& op = it->second;
   if (op.completed) return;  // stale ack/reply after quorum
+  if (op.abandoned) return;  // stale reply to an op killed by a crash
   RLT_CHECK_MSG(op.home == at, "response routed to the wrong node");
+  const std::uint64_t server_bit = 1ULL
+                                   << static_cast<std::uint64_t>(m.from);
 
   switch (op.kind) {
     case ClientOp::Kind::kWrite:
       RLT_CHECK(m.type == kMsgWriteAck);
-      if (++op.acks >= quorum()) {
+      op.heard |= server_bit;
+      if (heard_count(op) >= quorum()) {
         op.completed = true;
         write_pending_ = false;
         recorder_.end_op(op.hl, 0, tick());
@@ -124,7 +144,8 @@ void AbdRegister::on_server_message(NodeId at, const Message& m) {
         op.best_ts = m.payload[1];
         op.best_value = m.payload[2];
       }
-      if (++op.acks >= quorum()) {
+      op.heard |= server_bit;
+      if (heard_count(op) >= quorum()) {
         if (!read_write_back_) {
           // Ablation: return immediately after the query phase.  Fast,
           // but no longer linearizable across readers.
@@ -135,7 +156,8 @@ void AbdRegister::on_server_message(NodeId at, const Message& m) {
         }
         // Phase 2: write back the chosen pair before returning.
         op.kind = ClientOp::Kind::kReadWriteBack;
-        op.acks = 0;
+        op.heard = 0;
+        op.next_retry = 0;  // re-arm the retransmission timer afresh
         net_.broadcast(op.home, kMsgWrite, {token, op.best_ts, op.best_value});
       }
       break;
@@ -145,13 +167,96 @@ void AbdRegister::on_server_message(NodeId at, const Message& m) {
       // reached and the op moved to its write-back phase; ignore them.
       if (m.type == kMsgReadReply) return;
       RLT_CHECK(m.type == kMsgWriteAck);
-      if (++op.acks >= quorum()) {
+      op.heard |= server_bit;
+      if (heard_count(op) >= quorum()) {
         op.completed = true;
         op.result = op.best_value;
         recorder_.end_op(op.hl, op.result, tick());
       }
       break;
   }
+}
+
+int AbdRegister::heard_count(const ClientOp& op) const {
+  return std::popcount(op.heard);
+}
+
+void AbdRegister::enable_fault_tolerance(std::uint64_t seed,
+                                         std::uint64_t retry_base) {
+  RLT_CHECK(retry_base > 0);
+  fault_tolerant_ = true;
+  retry_base_ = retry_base;
+  retry_rng_ = util::Rng(seed);
+}
+
+bool AbdRegister::retransmit_eligible(const ClientOp& op) const {
+  return fault_tolerant_ && !op.completed && !op.abandoned &&
+         !net_.crashed(op.home) && net_.live_count() >= quorum();
+}
+
+void AbdRegister::rebroadcast_phase(int token, const ClientOp& op) {
+  switch (op.kind) {
+    case ClientOp::Kind::kWrite:
+      net_.broadcast(op.home, kMsgWrite, {token, op.write_ts, op.write_value});
+      break;
+    case ClientOp::Kind::kReadQuery:
+      net_.broadcast(op.home, kMsgRead, {token});
+      break;
+    case ClientOp::Kind::kReadWriteBack:
+      net_.broadcast(op.home, kMsgWrite, {token, op.best_ts, op.best_value});
+      break;
+  }
+}
+
+void AbdRegister::tick_retransmit(std::uint64_t now) {
+  if (!fault_tolerant_) return;
+  for (auto& [token, op] : ops_) {
+    if (!retransmit_eligible(op)) continue;
+    if (op.next_retry == 0) {
+      // Arm with a seeded jittered base interval; the jitter keeps
+      // concurrent ops from thundering in lockstep.
+      op.retry_interval = retry_base_ + retry_rng_.uniform(retry_base_);
+      op.next_retry = now + op.retry_interval;
+      continue;
+    }
+    if (now < op.next_retry) continue;
+    rebroadcast_phase(token, op);
+    ++retransmits_;
+    op.retry_interval = std::min<std::uint64_t>(op.retry_interval * 2,
+                                                std::uint64_t{1} << 16);
+    op.next_retry = now + op.retry_interval;
+  }
+}
+
+std::optional<std::uint64_t> AbdRegister::next_retransmit_due() const {
+  std::optional<std::uint64_t> due;
+  if (!fault_tolerant_) return due;
+  for (const auto& [token, op] : ops_) {
+    if (!retransmit_eligible(op) || op.next_retry == 0) continue;
+    if (!due || op.next_retry < *due) due = op.next_retry;
+  }
+  return due;
+}
+
+void AbdRegister::abandon_ops_on(NodeId node) {
+  for (auto& [token, op] : ops_) {
+    if (op.completed || op.abandoned || op.home != node) continue;
+    op.abandoned = true;
+    // The invocation stays pending in the recorded history — the
+    // checkers must treat the half-replicated op as possibly-effective.
+    if (op.kind == ClientOp::Kind::kWrite) write_pending_ = false;
+  }
+}
+
+int AbdRegister::abandoned_ops() const {
+  int count = 0;
+  for (const auto& [token, op] : ops_) count += op.abandoned ? 1 : 0;
+  return count;
+}
+
+void AbdRegister::on_recover(NodeId node) {
+  RLT_CHECK(node >= 0 && node < n_);
+  servers_[static_cast<std::size_t>(node)]->reset_volatile();
 }
 
 bool AbdRegister::done(int token) const {
@@ -182,6 +287,7 @@ bool AbdRegister::op_can_complete(int token) const {
   const auto it = ops_.find(token);
   RLT_CHECK(it != ops_.end());
   if (it->second.completed) return true;
+  if (it->second.abandoned) return false;
   return !net_.crashed(it->second.home) && net_.live_count() >= quorum();
 }
 

@@ -26,6 +26,7 @@
 
 #include "history/recorder.hpp"
 #include "mp/network.hpp"
+#include "util/rng.hpp"
 
 namespace rlt::mp {
 
@@ -49,6 +50,54 @@ class AbdRegister {
   AbdRegister(const AbdRegister&) = delete;
   AbdRegister& operator=(const AbdRegister&) = delete;
   ~AbdRegister();  // defined out of line: Server is incomplete here
+
+  /// Arms the fault-tolerance layer for unreliable networks: client ops
+  /// retransmit their current phase after a seeded timeout with jittered
+  /// exponential backoff (retransmissions carry FRESH seqs, so servers
+  /// answer them again), and servers dedup incoming messages by seq (so
+  /// fabric-duplicated copies — same seq — are consumed once).  Off by
+  /// default: the reliable-network message flow is byte-identical to the
+  /// classic algorithm.
+  void enable_fault_tolerance(std::uint64_t seed,
+                              std::uint64_t retry_base = 8);
+  [[nodiscard]] bool fault_tolerant() const noexcept {
+    return fault_tolerant_;
+  }
+
+  /// Drives the retransmission timers at driver-logical time `now`
+  /// (call once per driver iteration).  Ops whose timer expired
+  /// rebroadcast their current phase and back off; ops that can no
+  /// longer complete (abandoned, crashed home, no live quorum) never
+  /// retransmit — permanent majority loss quiesces into kBlocked
+  /// instead of spinning the budget into kError.
+  void tick_retransmit(std::uint64_t now);
+
+  /// Earliest armed retransmission deadline among ops still eligible to
+  /// complete; nullopt when no retransmission will ever fire.  Drivers
+  /// use this to fast-forward quiescent time instead of misclassifying
+  /// a lull as blocked.
+  [[nodiscard]] std::optional<std::uint64_t> next_retransmit_due() const;
+
+  /// Crash-recovery semantics: ops in flight at `node` when it crashed
+  /// are ABANDONED — their invocations stay pending in the history (the
+  /// checkers treat them as possibly-effective), they never complete,
+  /// never retransmit, and no longer block the node from starting fresh
+  /// ops after recovery.  An abandoned write releases the single-writer
+  /// slot (writer_ts_ is durable, so the next write's timestamp still
+  /// supersedes it).
+  void abandon_ops_on(NodeId node);
+  [[nodiscard]] int abandoned_ops() const;
+
+  /// Restores a recovered node's server: durable state (ts, value) is
+  /// kept — it survived the crash on stable storage — while volatile
+  /// state (the seq-dedup cache) is reset.  Call alongside
+  /// Network::recover.
+  void on_recover(NodeId node);
+
+  /// Total phase rebroadcasts performed by the retransmission layer.
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
 
   /// Starts a write (only the writer node; ABD is single-writer — calls
   /// while another write is pending are illegal and throw).
@@ -98,15 +147,29 @@ class AbdRegister {
     Kind kind = Kind::kWrite;
     NodeId home = -1;
     history::OpHandle hl;
-    int acks = 0;
+    // Servers heard from in the current phase, as a bitmask: duplicated
+    // or re-acked replies from the same server count once toward the
+    // quorum (n <= 64 enforced at construction).
+    std::uint64_t heard = 0;
     // Read state: best (ts, value) seen in the query phase.
     std::int64_t best_ts = -1;
     Value best_value = 0;
+    // Write state, kept so retransmissions can replay the phase.
+    std::int64_t write_ts = 0;
+    Value write_value = 0;
     bool completed = false;
+    bool abandoned = false;
     Value result = 0;
+    // Retransmission timer: 0 = not yet armed (armed at the next tick);
+    // interval doubles on every fire, resets on phase progress.
+    std::uint64_t next_retry = 0;
+    std::uint64_t retry_interval = 0;
   };
 
   void on_server_message(NodeId at, const Message& m);
+  void rebroadcast_phase(int token, const ClientOp& op);
+  [[nodiscard]] bool retransmit_eligible(const ClientOp& op) const;
+  [[nodiscard]] int heard_count(const ClientOp& op) const;
   history::Time tick() { return ++clock_; }
 
   Network& net_;
@@ -120,6 +183,10 @@ class AbdRegister {
   std::int64_t writer_ts_ = 0;
   bool write_pending_ = false;
   bool read_write_back_ = true;
+  bool fault_tolerant_ = false;
+  std::uint64_t retry_base_ = 8;
+  std::uint64_t retransmits_ = 0;
+  util::Rng retry_rng_{0};
 };
 
 }  // namespace rlt::mp

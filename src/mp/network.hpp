@@ -1,14 +1,20 @@
 // Simulated asynchronous message-passing substrate for the ABD register.
 //
-// Reliable but asynchronous: messages are never lost or corrupted, but
-// the delivery order is chosen by the driver (adversarially or at
-// random), and nodes may crash (a crashed node silently drops incoming
-// messages and sends nothing).  This is the standard model under which
-// ABD implements linearizable SWMR registers when fewer than half the
-// nodes crash [Attiya, Bar-Noy, Dolev 1995].
+// Asynchronous and — when a fault fabric is armed — unreliable: the
+// delivery order is chosen by the driver (adversarially or at random),
+// nodes may crash (a crashed node silently drops incoming messages and
+// sends nothing) and later recover, and the fabric can drop messages
+// (seeded per-message loss or a transient partition cut), duplicate
+// them, or land a crash *between* the sends of one broadcast so only a
+// prefix of replicas hears it.  With no fabric armed the network is the
+// classic reliable-but-asynchronous model under which ABD implements
+// linearizable SWMR registers when fewer than half the nodes crash
+// [Attiya, Bar-Noy, Dolev 1995]; every fault decision flows through a
+// seeded Rng, so runs stay byte-deterministic.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -35,13 +41,15 @@ class Node {
   virtual void on_message(const Message& m) = 0;
 };
 
-/// The network: in-flight message multiset plus crash faults.
+/// The network: in-flight message multiset plus the fault fabric
+/// (crashes, recovery, seeded loss/duplication, transient partitions).
 class Network {
  public:
   /// Registers a node; returns its id (dense, starting at 0).
   NodeId add_node(Node& node) {
     nodes_.push_back(&node);
     crashed_.push_back(false);
+    side_.push_back(0);
     return static_cast<NodeId>(nodes_.size()) - 1;
   }
 
@@ -49,10 +57,19 @@ class Network {
     return static_cast<int>(nodes_.size());
   }
 
-  /// Queues a message.  Sends from crashed nodes are dropped.
+  /// Queues a message.  Sends from crashed nodes are dropped.  Each call
+  /// is one send *attempt*: scheduled mid-broadcast crashes fire by
+  /// attempt number, BEFORE the attempt enqueues, so a crash scheduled
+  /// inside a broadcast lets exactly the earlier sends through.
   void send(NodeId from, NodeId to, std::int64_t type,
             std::vector<std::int64_t> payload) {
     RLT_CHECK(valid(from) && valid(to));
+    ++send_attempts_;
+    while (next_send_crash_ < send_crashes_.size() &&
+           send_crashes_[next_send_crash_].first <= send_attempts_) {
+      crash(send_crashes_[next_send_crash_].second);
+      ++next_send_crash_;
+    }
     if (crashed_[static_cast<std::size_t>(from)]) return;
     Message m;
     m.from = from;
@@ -81,20 +98,81 @@ class Network {
     return in_flight_;
   }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  /// Messages handed to a live, reachable receiver's on_message.
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return delivered_;
   }
+  /// Messages consumed without effect: crashed receiver, partition cut,
+  /// lossy coin, or an adversarial drop_at.
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return dropped_;
+  }
+  /// Extra copies enqueued by the duplication fabric or duplicate_at.
+  [[nodiscard]] std::uint64_t messages_duplicated() const noexcept {
+    return duplicated_;
+  }
+  /// Total envelopes consumed off the in-flight multiset (the driver's
+  /// step/budget currency; delivered + dropped).
+  [[nodiscard]] std::uint64_t messages_consumed() const noexcept {
+    return delivered_ + dropped_;
+  }
+
+  /// Arms seeded per-message unreliability: each would-be delivery is
+  /// dropped with probability drop_permille/1000, and each actual
+  /// delivery is duplicated (a copy re-enqueued with the SAME seq, so
+  /// receiver-side dedup can spot it) with dup_permille/1000.
+  void make_unreliable(std::uint32_t drop_permille,
+                       std::uint32_t dup_permille, std::uint64_t seed) {
+    RLT_CHECK(drop_permille < 1000 && dup_permille < 1000);
+    drop_permille_ = drop_permille;
+    dup_permille_ = dup_permille;
+    fabric_rng_ = util::Rng(seed);
+    unreliable_ = drop_permille > 0 || dup_permille > 0;
+  }
+
+  /// Cuts the network into two sides; cross-side messages are dropped
+  /// at delivery time for as long as the cut holds.  side[n] is 0 or 1.
+  void set_partition(const std::vector<std::uint8_t>& side) {
+    RLT_CHECK(side.size() == nodes_.size());
+    side_ = side;
+    partitioned_ = true;
+  }
+  void heal_partition() { partitioned_ = false; }
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
 
   /// Delivers the in-flight message at `index` (adversarial delivery).
-  /// Messages to crashed nodes are consumed without effect.
+  /// Messages to crashed or cut-off receivers, and messages claimed by
+  /// the lossy coin, are consumed as drops.
   void deliver_at(std::size_t index) {
-    RLT_CHECK(index < in_flight_.size());
-    const Message m = std::move(in_flight_[index]);
-    in_flight_.erase(in_flight_.begin() +
-                     static_cast<std::ptrdiff_t>(index));
+    const Message m = take_at(index);
+    if (crashed_[static_cast<std::size_t>(m.to)] || cut(m.from, m.to) ||
+        (unreliable_ && drop_permille_ > 0 &&
+         fabric_rng_.chance(drop_permille_, 1000))) {
+      ++dropped_;
+      return;
+    }
     ++delivered_;
-    if (crashed_[static_cast<std::size_t>(m.to)]) return;
+    if (unreliable_ && dup_permille_ > 0 &&
+        fabric_rng_.chance(dup_permille_, 1000)) {
+      ++duplicated_;
+      in_flight_.push_back(m);  // same seq: dedup-able by the receiver
+    }
     nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
+  }
+
+  /// Adversarially drops the in-flight message at `index` (explore-lab
+  /// fault menus pick the victim envelope).
+  void drop_at(std::size_t index) {
+    take_at(index);
+    ++dropped_;
+  }
+
+  /// Adversarially duplicates the in-flight message at `index`: a copy
+  /// with the SAME seq joins the multiset.
+  void duplicate_at(std::size_t index) {
+    RLT_CHECK(index < in_flight_.size());
+    ++duplicated_;
+    in_flight_.push_back(in_flight_[index]);
   }
 
   /// Delivers one uniformly random in-flight message; false if none.
@@ -104,11 +182,32 @@ class Network {
     return true;
   }
 
-  /// Crashes a node permanently.
+  /// Crashes a node (permanently, unless recover() is called).
   void crash(NodeId n) {
     RLT_CHECK(valid(n));
     crashed_[static_cast<std::size_t>(n)] = true;
   }
+
+  /// Schedules a crash to fire when the send-attempt counter reaches
+  /// `at_attempt` (1-based), i.e. immediately BEFORE that send enqueues
+  /// — this is how a crash lands mid-broadcast.  Call before the run
+  /// starts; attempts must be scheduled in nondecreasing order.
+  void schedule_crash_at_send(NodeId n, std::uint64_t at_attempt) {
+    RLT_CHECK(valid(n) && at_attempt > 0);
+    RLT_CHECK(send_crashes_.empty() ||
+              send_crashes_.back().first <= at_attempt);
+    send_crashes_.emplace_back(at_attempt, n);
+  }
+
+  /// Recovers a crashed node: it hears future deliveries and its sends
+  /// flow again.  Volatile protocol state is the node's business (see
+  /// AbdRegister::on_recover); the network only flips liveness.
+  void recover(NodeId n) {
+    RLT_CHECK(valid(n));
+    RLT_CHECK(crashed_[static_cast<std::size_t>(n)]);
+    crashed_[static_cast<std::size_t>(n)] = false;
+  }
+
   [[nodiscard]] bool crashed(NodeId n) const {
     RLT_CHECK(valid(n));
     return crashed_[static_cast<std::size_t>(n)];
@@ -129,11 +228,35 @@ class Network {
     return n >= 0 && n < node_count();
   }
 
+  [[nodiscard]] bool cut(NodeId from, NodeId to) const {
+    return partitioned_ && side_[static_cast<std::size_t>(from)] !=
+                               side_[static_cast<std::size_t>(to)];
+  }
+
+  Message take_at(std::size_t index) {
+    RLT_CHECK(index < in_flight_.size());
+    Message m = std::move(in_flight_[index]);
+    in_flight_.erase(in_flight_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+    return m;
+  }
+
   std::vector<Node*> nodes_;
   std::vector<bool> crashed_;
+  std::vector<std::uint8_t> side_;
   std::vector<Message> in_flight_;
+  std::vector<std::pair<std::uint64_t, NodeId>> send_crashes_;
+  std::size_t next_send_crash_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t send_attempts_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint32_t drop_permille_ = 0;
+  std::uint32_t dup_permille_ = 0;
+  bool unreliable_ = false;
+  bool partitioned_ = false;
+  util::Rng fabric_rng_{0};
 };
 
 }  // namespace rlt::mp

@@ -44,11 +44,26 @@ struct SplitMenu {
     std::int32_t to = -1;
     std::int64_t type = 0;
   };
+  /// A fault-injection choice (Scenario::explore_faults): the driver
+  /// appends these AFTER the deliveries, so policies that only reason
+  /// about the structural sections keep their historical indices.
+  /// Budgeted by the driver — drop/duplicate charges a per-run message
+  /// budget, crash keeps the victims to a strict minority, recover is
+  /// offered per crashed node — so the menu only ever lists admissible
+  /// injections.
+  struct Fault {
+    enum class Kind : std::uint8_t { kDrop, kDuplicate, kCrash, kRecover };
+    Kind kind = Kind::kDrop;
+    /// In-flight message index (kDrop/kDuplicate) or node id
+    /// (kCrash/kRecover).
+    std::int32_t arg = -1;
+  };
   std::vector<std::int32_t> start_nodes;
   std::vector<Delivery> deliveries;
+  std::vector<Fault> faults;
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return start_nodes.size() + deliveries.size();
+    return start_nodes.size() + deliveries.size() + faults.size();
   }
 };
 

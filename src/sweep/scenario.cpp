@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -245,33 +246,66 @@ struct PlannedCrash {
   mp::NodeId victim = -1;
 };
 
+/// The fault axis's seed derivation.  kMinorityCrash keeps its
+/// historical (scenario seed, fault seed) mix — pre-existing crash
+/// digests depend on it — while every newer kind folds in a kind salt
+/// so fault schedules never alias across kinds.
+std::uint64_t fault_mix(const Scenario& s) {
+  std::uint64_t mix = kFnvOffset;
+  fnv_mix_u64(mix, s.seed);
+  fnv_mix_u64(mix, s.faults.seed);
+  if (s.faults.active() && s.faults.kind != FaultKind::kMinorityCrash) {
+    fnv_mix_u64(mix, static_cast<std::uint64_t>(s.faults.kind));
+  }
+  return mix;
+}
+
+/// Horizon ≈ total ops × per-op delivery cost (reads cost up to 4n
+/// messages plus the start itself).  Crash times, cut/heal times and
+/// recovery delays are spread over it — some schedules hit
+/// mid-protocol, some only after everything finished (degenerating to
+/// a fault-free run).
+std::uint64_t abd_horizon(const Scenario& s) {
+  const std::uint64_t total_ops = static_cast<std::uint64_t>(
+      s.writes_per_process + 1 + 2 * (s.processes - 1));
+  return total_ops * (4 * static_cast<std::uint64_t>(s.processes) + 2) + 1;
+}
+
+/// Draws `count` distinct victims via a partial Fisher-Yates over the
+/// node ids (the fault planners' shared victim picker).
+std::vector<mp::NodeId> pick_victims(int processes, int count,
+                                     util::Rng& rng) {
+  std::vector<mp::NodeId> ids(static_cast<std::size_t>(processes));
+  for (int i = 0; i < processes; ++i) ids[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(i) +
+        static_cast<std::size_t>(rng.uniform(
+            static_cast<std::uint64_t>(processes - i)));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+  }
+  ids.resize(static_cast<std::size_t>(count));
+  return ids;
+}
+
 /// Expands a minority-crash FaultPlan into concrete (time, victim) pairs.  Crash count
 /// is a strict minority (1..⌊(n-1)/2⌋, so a write/read quorum of live
 /// servers always remains), victims are distinct, and times are spread
-/// over a horizon sized to the crash-free run length — some schedules
-/// crash mid-protocol, some only after everything finished (degenerating
-/// to a crash-free run).  Purely a function of (scenario, plan).
+/// over the horizon.  Purely a function of (scenario, plan).  The rng
+/// draw order (count, then per-victim swap + time) is digest material:
+/// pre-fault-fabric minority digests depend on it.
 std::vector<PlannedCrash> plan_crashes(const Scenario& s) {
   std::vector<PlannedCrash> out;
   if (s.faults.kind != FaultKind::kMinorityCrash) return out;
   const int max_crashes = (s.processes - 1) / 2;
   if (max_crashes == 0) return out;  // n <= 2: no strict minority to kill
-  std::uint64_t mix = kFnvOffset;
-  fnv_mix_u64(mix, s.seed);
-  fnv_mix_u64(mix, s.faults.seed);
-  util::Rng crash_rng(mix);
+  util::Rng crash_rng(fault_mix(s));
   const int count =
       1 + static_cast<int>(crash_rng.uniform(
               static_cast<std::uint64_t>(max_crashes)));
-  // Distinct victims via a partial Fisher-Yates over the node ids.
   std::vector<mp::NodeId> ids(static_cast<std::size_t>(s.processes));
   for (int i = 0; i < s.processes; ++i) ids[static_cast<std::size_t>(i)] = i;
-  // Horizon ≈ total ops × per-op delivery cost (reads cost up to 4n
-  // messages plus the start itself).
-  const std::uint64_t total_ops = static_cast<std::uint64_t>(
-      s.writes_per_process + 1 + 2 * (s.processes - 1));
-  const std::uint64_t horizon =
-      total_ops * (4 * static_cast<std::uint64_t>(s.processes) + 2) + 1;
+  const std::uint64_t horizon = abd_horizon(s);
   for (int i = 0; i < count; ++i) {
     const std::size_t j =
         static_cast<std::size_t>(i) +
@@ -291,17 +325,141 @@ std::vector<PlannedCrash> plan_crashes(const Scenario& s) {
   return out;
 }
 
+/// Per-message duplication rate for kDuplicate (fixed; the axis swept
+/// is the fault seed, not the rate).
+constexpr std::uint32_t kDupPermille = 250;
+
+/// What the unreliable-network kinds planned for one ABD run.  Send-
+/// attempt crash thresholds (kMajorityCrash / kCrashRecovery — the
+/// mid-broadcast crash mechanism) are scheduled directly on the
+/// Network; everything iteration-based lives here for the driver loop.
+struct AbdFaultFabric {
+  /// Arm AbdRegister::enable_fault_tolerance (retransmission + dedup).
+  bool fault_tolerant = false;
+  // kPartition: cut [cut_at, heal_at) over `side`.
+  bool has_partition = false;
+  std::uint64_t cut_at = 0;
+  std::uint64_t heal_at = 0;
+  std::vector<std::uint8_t> side;
+  // kCrashRecovery: per-node recovery delay (0 = not a victim); the
+  // recovery is scheduled `delay` iterations after the driver OBSERVES
+  // the crash (send-attempt thresholds fire between loop tops).
+  std::vector<std::uint64_t> recover_delay;
+};
+
+/// Plans the unreliable-network fault kinds: arms the Network fabric
+/// (loss/duplication coins, send-attempt crash thresholds) and returns
+/// the iteration-based remainder.  A pure function of (scenario, plan);
+/// kNone/kMinorityCrash/kStall leave the network untouched.
+AbdFaultFabric plan_fabric(const Scenario& s, mp::Network& net) {
+  AbdFaultFabric f;
+  const int n = s.processes;
+  util::Rng rng(fault_mix(s));
+  switch (s.faults.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kMinorityCrash:
+    case FaultKind::kStall:
+      break;
+    case FaultKind::kLossy:
+      net.make_unreliable(s.faults.param, 0, rng.next_u64());
+      f.fault_tolerant = true;
+      break;
+    case FaultKind::kDuplicate:
+      net.make_unreliable(0, kDupPermille, rng.next_u64());
+      f.fault_tolerant = true;
+      break;
+    case FaultKind::kPartition: {
+      if (n < 2) break;  // one node cannot be cut from itself
+      const std::uint64_t horizon = abd_horizon(s);
+      f.has_partition = true;
+      f.cut_at = rng.uniform(horizon);
+      f.heal_at = f.cut_at + 1 + rng.uniform(horizon);
+      f.side.assign(static_cast<std::size_t>(n), 0);
+      const int minority =
+          1 + static_cast<int>(rng.uniform(
+                  static_cast<std::uint64_t>(n - 1)));
+      for (const mp::NodeId v : pick_victims(n, minority, rng)) {
+        f.side[static_cast<std::size_t>(v)] = 1;
+      }
+      f.fault_tolerant = true;
+      break;
+    }
+    case FaultKind::kMajorityCrash: {
+      // Between a quorum and all n nodes die, each at a send-attempt
+      // threshold in [1, n+1] — within or right after the run's first
+      // broadcast, so no op can assemble a quorum of replies first and
+      // blocking is certain.  Thresholds inside a broadcast land the
+      // crash between its sends.
+      const int q = n / 2 + 1;
+      const int count =
+          q + static_cast<int>(rng.uniform(
+                  static_cast<std::uint64_t>(n - q + 1)));
+      const std::vector<mp::NodeId> victims = pick_victims(n, count, rng);
+      std::vector<PlannedCrash> at_send;
+      for (const mp::NodeId v : victims) {
+        PlannedCrash c;
+        c.at = 1 + rng.uniform(static_cast<std::uint64_t>(n) + 1);
+        c.victim = v;
+        at_send.push_back(c);
+      }
+      std::sort(at_send.begin(), at_send.end(),
+                [](const PlannedCrash& a, const PlannedCrash& b) {
+                  return a.at != b.at ? a.at < b.at : a.victim < b.victim;
+                });
+      for (const PlannedCrash& c : at_send) {
+        net.schedule_crash_at_send(c.victim, c.at);
+      }
+      break;
+    }
+    case FaultKind::kCrashRecovery: {
+      const int max_crashes = (n - 1) / 2;
+      if (max_crashes == 0) break;
+      const int count =
+          1 + static_cast<int>(rng.uniform(
+                  static_cast<std::uint64_t>(max_crashes)));
+      const std::uint64_t horizon = abd_horizon(s);
+      const std::vector<mp::NodeId> victims = pick_victims(n, count, rng);
+      f.recover_delay.assign(static_cast<std::size_t>(n), 0);
+      std::vector<PlannedCrash> at_send;
+      for (const mp::NodeId v : victims) {
+        PlannedCrash c;
+        c.at = 1 + rng.uniform(horizon);
+        c.victim = v;
+        at_send.push_back(c);
+        f.recover_delay[static_cast<std::size_t>(v)] =
+            1 + rng.uniform(horizon / 2 + 1);
+      }
+      std::sort(at_send.begin(), at_send.end(),
+                [](const PlannedCrash& a, const PlannedCrash& b) {
+                  return a.at != b.at ? a.at < b.at : a.victim < b.victim;
+                });
+      for (const PlannedCrash& c : at_send) {
+        net.schedule_crash_at_send(c.victim, c.at);
+      }
+      f.fault_tolerant = true;
+      break;
+    }
+  }
+  return f;
+}
+
 void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
              ScenarioResult& out) {
   // Node 0 is the (single) writer; every node finishes with reads.  The
   // per-node programs are fixed; the adversary controls when operations
-  // start and in which order messages are delivered, and the crash plan
-  // may kill a minority of nodes at seeded moments.
+  // start and in which order messages are delivered, and the fault plan
+  // may kill nodes at seeded moments, drop/duplicate messages, cut the
+  // network in two, or crash-and-recover nodes mid-protocol.
   mp::Network net;
   mp::AbdRegister reg(net, s.processes, /*writer=*/0, /*initial=*/0,
                       s.abd_read_write_back);
   util::Rng rng(s.seed * kFnvPrime + 2);
   const std::vector<PlannedCrash> crashes = plan_crashes(s);
+  const AbdFaultFabric fab = plan_fabric(s, net);
+  const bool menu_faults = s.explore_faults && policy != nullptr;
+  if (fab.fault_tolerant || menu_faults) {
+    reg.enable_fault_tolerance(fault_mix(s) * kFnvPrime + 3);
+  }
 
   struct Program {
     std::deque<Value> writes;  ///< Remaining writes (writer node only).
@@ -335,9 +493,40 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   int rr_next = 0;
   std::uint64_t iterations = 0;
   std::size_t next_crash = 0;
+  // Crash-recovery bookkeeping: send-attempt crashes fire between loop
+  // tops, so the driver observes them here, abandons the victim's
+  // in-flight op and schedules the recovery.
+  const bool observe_crashes = !fab.recover_delay.empty() || menu_faults;
+  std::vector<bool> crash_observed(static_cast<std::size_t>(s.processes),
+                                   false);
+  std::vector<std::uint64_t> recover_at(
+      static_cast<std::size_t>(s.processes), 0);
+  bool cut_active = false;
+  bool cut_applied = false;
+  // Explore fault-menu budgets: drops/duplicates charge per-run message
+  // budgets; crashes stay a strict minority for the whole run (so a
+  // live quorum — and therefore retransmission eligibility — always
+  // survives and the adversary cannot trivially block the run).
+  std::uint64_t menu_drops =
+      menu_faults ? 2 * static_cast<std::uint64_t>(s.processes) : 0;
+  std::uint64_t menu_dups =
+      menu_faults ? static_cast<std::uint64_t>(s.processes) : 0;
+  int menu_crashes_left = menu_faults ? (s.processes - 1) / 2 : 0;
   RunEnd end = RunEnd::kCompleted;
   std::string end_detail;
   for (;;) {
+    // Partition cut/heal due at this moment.
+    if (fab.has_partition) {
+      if (!cut_applied && iterations >= fab.cut_at) {
+        net.set_partition(fab.side);
+        cut_applied = true;
+        cut_active = true;
+      }
+      if (cut_active && iterations >= fab.heal_at) {
+        net.heal_partition();
+        cut_active = false;
+      }
+    }
     // Fire crashes due at this moment.  A crashed node abandons the rest
     // of its program: it starts nothing, and its in-flight operation (if
     // any) is stranded — quorum replies can never reach it.
@@ -346,6 +535,41 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
       net.crash(crashes[next_crash].victim);
       ++next_crash;
     }
+    // Crash-recovery semantics: observe new crashes (abandon the
+    // victim's op, schedule the recovery) and fire recoveries that are
+    // due (durable server state survives, volatile state resets).  A
+    // victim caught with an op in flight retires its remaining client
+    // program for good: the abandoned op stays pending in its history
+    // forever, so a later op by the same process would make the history
+    // malformed (per-process ops must be sequential) — the recovered
+    // node rejoins as a server participant only.  A victim that was
+    // idle between ops resumes its program after recovery.
+    if (observe_crashes) {
+      for (int n = 0; n < s.processes; ++n) {
+        const auto ni = static_cast<std::size_t>(n);
+        if (net.crashed(n) && !crash_observed[ni]) {
+          crash_observed[ni] = true;
+          reg.abandon_ops_on(n);
+          const int tok = prog[ni].token;
+          if (tok >= 0 && !reg.done(tok)) {
+            prog[ni].writes.clear();
+            prog[ni].reads = 0;
+          }
+          prog[ni].token = -1;
+          if (!fab.recover_delay.empty() && fab.recover_delay[ni] > 0) {
+            recover_at[ni] = iterations + fab.recover_delay[ni];
+          }
+        }
+        if (recover_at[ni] > 0 && iterations >= recover_at[ni]) {
+          net.recover(n);
+          reg.on_recover(n);
+          recover_at[ni] = 0;
+          crash_observed[ni] = false;
+        }
+      }
+    }
+    // Retransmission timers (no-op unless fault tolerance is armed).
+    reg.tick_retransmit(iterations);
     // Retire finished operations.
     for (Program& pr : prog) {
       if (pr.token >= 0 && reg.done(pr.token)) pr.token = -1;
@@ -356,13 +580,35 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
     }
     const bool flying = net.in_flight() > 0;
     if (startable.empty() && !flying) {
-      // Quiescent: nothing can start and nothing can be delivered.  With
-      // pending ops this is a genuine block — every pending op either
-      // lives on a crashed node or (were crashes ever to exceed a
-      // minority) cannot assemble a live quorum; either way no future
-      // delivery exists that completes it.
+      // Quiescent — but a future fabric event (the partition heal, a
+      // scheduled recovery, a retransmission timer) may still unblock
+      // the run: fast-forward the driver clock to the earliest one
+      // instead of misclassifying the lull as a block.
+      std::optional<std::uint64_t> next_event;
+      auto consider = [&next_event](std::uint64_t t) {
+        if (!next_event || t < *next_event) next_event = t;
+      };
+      if (cut_active) consider(fab.heal_at);
+      for (const std::uint64_t at : recover_at) {
+        if (at > 0) consider(at);
+      }
+      if (const auto due = reg.next_retransmit_due()) consider(*due);
+      if (next_event) {
+        if (*next_event > s.max_actions) {
+          end = RunEnd::kBudget;
+          end_detail = "ABD driver exhausted its action budget";
+          break;
+        }
+        iterations = std::max(iterations + 1, *next_event);
+        continue;
+      }
+      // Genuine block: no delivery, start, or fabric event can ever
+      // complete the pending work — every pending op was abandoned by a
+      // crash, lives on a crashed node, or cannot assemble a live
+      // quorum.
       if (reg.pending_ops() > 0) {
         end = RunEnd::kBlocked;
+        const int abandoned = reg.abandoned_ops();
         int on_crashed = 0;
         int no_quorum = 0;
         for (int n = 0; n < s.processes; ++n) {
@@ -375,10 +621,19 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
           }
         }
         std::ostringstream os;
-        os << "blocked: quiescent with " << reg.pending_ops()
-           << " pending op(s) (" << on_crashed << " on crashed nodes, "
-           << no_quorum << " without a live quorum); " << net.live_count()
-           << "/" << s.processes << " nodes live";
+        if (abandoned > 0) {
+          os << "blocked: quiescent with " << reg.pending_ops()
+             << " pending op(s) (" << abandoned
+             << " abandoned by crash-recovery, " << on_crashed
+             << " on crashed nodes, " << no_quorum
+             << " without a live quorum); " << net.live_count() << "/"
+             << s.processes << " nodes live";
+        } else {
+          os << "blocked: quiescent with " << reg.pending_ops()
+             << " pending op(s) (" << on_crashed << " on crashed nodes, "
+             << no_quorum << " without a live quorum); " << net.live_count()
+             << "/" << s.processes << " nodes live";
+        }
         end_detail = os.str();
       }
       break;
@@ -390,7 +645,8 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
     }
     if (policy != nullptr) {
       // Exploration: the policy picks from the full structural menu —
-      // every startable operation, then every in-flight message — which
+      // every startable operation, then every in-flight message (then,
+      // with explore_faults, the admissible fault injections) — which
       // is strictly more adversarial than either seeded schedule below.
       sim::SplitMenu menu;
       menu.start_nodes.reserve(startable.size());
@@ -402,13 +658,66 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
         menu.deliveries.push_back({static_cast<std::int32_t>(m.from),
                                    static_cast<std::int32_t>(m.to), m.type});
       }
+      if (menu_faults) {
+        using Fault = sim::SplitMenu::Fault;
+        const std::size_t fly = net.in_flight();
+        if (menu_drops > 0) {
+          for (std::size_t j = 0; j < fly; ++j) {
+            menu.faults.push_back(
+                {Fault::Kind::kDrop, static_cast<std::int32_t>(j)});
+          }
+        }
+        if (menu_dups > 0) {
+          for (std::size_t j = 0; j < fly; ++j) {
+            menu.faults.push_back(
+                {Fault::Kind::kDuplicate, static_cast<std::int32_t>(j)});
+          }
+        }
+        for (int n = 0; n < s.processes; ++n) {
+          if (menu_crashes_left > 0 && !net.crashed(n)) {
+            menu.faults.push_back(
+                {Fault::Kind::kCrash, static_cast<std::int32_t>(n)});
+          }
+          if (net.crashed(n)) {
+            menu.faults.push_back(
+                {Fault::Kind::kRecover, static_cast<std::int32_t>(n)});
+          }
+        }
+      }
       const std::size_t idx = policy->pick_split(menu);
       RLT_CHECK_MSG(idx < menu.size(),
                     "schedule policy picked outside the ABD menu");
-      if (idx < menu.start_nodes.size()) {
+      const std::size_t nstarts = menu.start_nodes.size();
+      const std::size_t ndeliveries = menu.deliveries.size();
+      if (idx < nstarts) {
         start_op(startable[idx]);
+      } else if (idx < nstarts + ndeliveries) {
+        net.deliver_at(idx - nstarts);
       } else {
-        net.deliver_at(idx - menu.start_nodes.size());
+        const sim::SplitMenu::Fault fc =
+            menu.faults[idx - nstarts - ndeliveries];
+        const auto arg = static_cast<std::size_t>(fc.arg);
+        switch (fc.kind) {
+          case sim::SplitMenu::Fault::Kind::kDrop:
+            net.drop_at(arg);
+            --menu_drops;
+            break;
+          case sim::SplitMenu::Fault::Kind::kDuplicate:
+            net.duplicate_at(arg);
+            --menu_dups;
+            break;
+          case sim::SplitMenu::Fault::Kind::kCrash:
+            // Abandonment/recovery bookkeeping happens at the next loop
+            // top, exactly like a planned send-attempt crash.
+            net.crash(fc.arg);
+            --menu_crashes_left;
+            break;
+          case sim::SplitMenu::Fault::Kind::kRecover:
+            net.recover(fc.arg);
+            reg.on_recover(fc.arg);
+            crash_observed[arg] = false;
+            break;
+        }
       }
     } else if (s.adversary == AdversaryKind::kRoundRobin) {
       // Conservative schedule: drain the network oldest-first; start
@@ -435,7 +744,13 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   }
 
   const History& h = reg.hl_history();
-  out.steps = net.messages_delivered();
+  // steps = envelopes consumed off the wire: the historical "delivered"
+  // count before the fabric split honest delivery from drops, so
+  // fault-free and minority-crash digests are unchanged.
+  out.steps = net.messages_consumed();
+  out.net_delivered = net.messages_delivered();
+  out.net_dropped = net.messages_dropped();
+  out.net_duplicated = net.messages_duplicated();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
   // Theorem 14: linearizable SWMR implementations (ABD included) are
@@ -470,8 +785,30 @@ const char* to_string(FaultKind f) noexcept {
     case FaultKind::kNone: return "none";
     case FaultKind::kMinorityCrash: return "minority";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kLossy: return "lossy";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kMajorityCrash: return "majority";
+    case FaultKind::kCrashRecovery: return "recovery";
   }
   return "?";
+}
+
+bool fault_applies(FaultKind f, Algorithm a) noexcept {
+  switch (f) {
+    case FaultKind::kNone:
+      return true;
+    case FaultKind::kStall:
+      return a != Algorithm::kAbd;
+    case FaultKind::kMinorityCrash:
+    case FaultKind::kLossy:
+    case FaultKind::kDuplicate:
+    case FaultKind::kPartition:
+    case FaultKind::kMajorityCrash:
+    case FaultKind::kCrashRecovery:
+      return a == Algorithm::kAbd;
+  }
+  return false;
 }
 
 const char* to_string(Verdict v) noexcept {
@@ -499,8 +836,11 @@ std::string Scenario::key() const {
   // their pre-fault-axis spelling (pinned digests depend on this).
   if (!abd_read_write_back) os << "/nowb";
   if (faults.active()) {
-    os << "/f" << to_string(faults.kind) << "-c" << faults.seed;
+    os << "/f" << to_string(faults.kind);
+    if (faults.param != 0) os << "-d" << faults.param;
+    os << "-c" << faults.seed;
   }
+  if (explore_faults) os << "/fmenu";
   os << "/seed" << seed;
   return os.str();
 }
@@ -587,15 +927,20 @@ ScenarioResult run_scenario_impl(const Scenario& s,
     RLT_CHECK_MSG(s.processes >= 1 && s.processes <= 64,
                   "scenario processes out of range");
     RLT_CHECK_MSG(s.writes_per_process >= 0, "negative writes_per_process");
-    RLT_CHECK_MSG(s.faults.kind != FaultKind::kMinorityCrash ||
-                      s.algorithm == Algorithm::kAbd,
-                  "crash faults are only implemented for the ABD family");
-    RLT_CHECK_MSG(s.faults.kind != FaultKind::kStall ||
-                      s.algorithm != Algorithm::kAbd,
-                  "stall faults apply to the simulator families only");
+    RLT_CHECK_MSG(fault_applies(s.faults.kind, s.algorithm),
+                  "fault kind '" << to_string(s.faults.kind)
+                                 << "' does not apply to the '"
+                                 << to_string(s.algorithm) << "' family");
+    RLT_CHECK_MSG(s.faults.kind != FaultKind::kLossy ||
+                      (s.faults.param >= 1 && s.faults.param <= 999),
+                  "lossy fault plans need a drop rate in 1..999 permille");
     RLT_CHECK_MSG(policy == nullptr || !s.faults.active(),
                   "fault plans do not combine with an external schedule "
                   "policy");
+    RLT_CHECK_MSG(!s.explore_faults ||
+                      (policy != nullptr && s.algorithm == Algorithm::kAbd),
+                  "explore fault menus need an external schedule policy "
+                  "driving the ABD family");
     switch (s.algorithm) {
       case Algorithm::kModeled:
         run_modeled(s, policy, out);

@@ -28,18 +28,42 @@
 //    Theorem 14, and we check that too: single-writer runs keep the tree
 //    search tiny).
 //
-// The fault axis (`FaultPlan`) comes in two flavours.  kMinorityCrash
-// applies to kAbd: the paper's termination results live in the regime
-// where a minority of nodes may crash, so the sweep can seed
-// minority-crash schedules and classify runs that can no longer finish
-// as Verdict::kBlocked — distinct from both kViolation (a checker
-// rejected the history) and kError (the run machinery itself failed).
-// kStall applies to the simulator families (kModeled/kAlg2/kAlg4): a
-// seeded strict minority of processes takes one step and is then never
-// scheduled again — the wait-freedom probe promoted from the ablation
-// tests.  Live processes must still finish (the registers are
-// wait-free); the run then classifies kBlocked with the history —
-// stranded pending ops included — checked clean.
+// The fault axis (`FaultPlan`).  kMinorityCrash applies to kAbd: the
+// paper's termination results live in the regime where a minority of
+// nodes may crash, so the sweep can seed minority-crash schedules and
+// classify runs that can no longer finish as Verdict::kBlocked —
+// distinct from both kViolation (a checker rejected the history) and
+// kError (the run machinery itself failed).  kStall applies to the
+// simulator families (kModeled/kAlg2/kAlg4): a seeded strict minority
+// of processes takes one step and is then never scheduled again — the
+// wait-freedom probe promoted from the ablation tests.  Live processes
+// must still finish (the registers are wait-free); the run then
+// classifies kBlocked with the history — stranded pending ops included
+// — checked clean.
+//
+// The unreliable-network kinds (all ABD-only) arm the Network fault
+// fabric and ABD's retransmission/dedup layer (mp/abd.hpp):
+//
+//  * kLossy — each would-be delivery is dropped with probability
+//    `param`/1000 (seeded).  Retransmission with jittered exponential
+//    backoff recovers every loss while a live quorum exists, so these
+//    sweeps classify 100% kOk.
+//  * kDuplicate — deliveries are duplicated (same seq); server-side
+//    seq dedup and per-server quorum masks neutralize the copies: kOk.
+//  * kPartition — a seeded two-sided cut drops cross-side traffic from
+//    a seeded cut time until a seeded heal time; retransmission
+//    completes every op after the heal: kOk.
+//  * kMajorityCrash — between a majority and all nodes crash at seeded
+//    send-attempt thresholds (a threshold can land inside one
+//    broadcast, so only a prefix of replicas hears it).  No live quorum
+//    remains, so blocking is certain: every run classifies kBlocked,
+//    never kError.
+//  * kCrashRecovery — a seeded strict minority crashes at send-attempt
+//    thresholds and recovers after seeded delays: durable server state
+//    (ts, value) survives, volatile state resets, and the ops in
+//    flight on a crashed node are abandoned (pending forever in the
+//    history — honest kBlocked when they are the only work left; runs
+//    whose crashes miss every op classify kOk).
 #pragma once
 
 #include <cstdint>
@@ -73,20 +97,36 @@ enum class FaultKind : std::uint8_t {
   kMinorityCrash,  ///< A seeded strict minority of nodes crashes (ABD).
   kStall,          ///< A seeded strict minority of processes stalls
                    ///< forever after one step (simulator families).
+  kLossy,          ///< Seeded per-message loss, param/1000 drop rate (ABD).
+  kDuplicate,      ///< Seeded per-message duplication (ABD).
+  kPartition,      ///< Seeded transient two-sided cut that heals (ABD).
+  kMajorityCrash,  ///< A seeded majority-or-more crashes mid-broadcast;
+                   ///< blocking is certain (ABD).
+  kCrashRecovery,  ///< A seeded strict minority crashes mid-broadcast
+                   ///< and recovers; in-flight ops are abandoned (ABD).
 };
 
 [[nodiscard]] const char* to_string(FaultKind f) noexcept;
 
+/// True iff fault kind `f` is implemented for algorithm family `a`
+/// (kMinorityCrash and the unreliable-network kinds pair with kAbd,
+/// kStall with the simulator families).  run_scenario reports kError on
+/// any other pairing; the CLI rejects it up front.
+[[nodiscard]] bool fault_applies(FaultKind f, Algorithm a) noexcept;
+
 /// A seeded fault schedule.  `seed` is an independent axis from the
 /// scenario seed: the same schedule can be swept under many fault
-/// timings.  Victims, victim count (1..⌊(n-1)/2⌋, always leaving a live
-/// majority), and — for crashes — crash times are all deterministic
-/// functions of (scenario seed, fault seed).  kMinorityCrash applies to
-/// Algorithm::kAbd, kStall to the simulator families; run_scenario
-/// reports kError on any other pairing.
+/// timings.  Victims, victim count (1..⌊(n-1)/2⌋ for the
+/// minority-leaving kinds, quorum..n for kMajorityCrash), crash/cut/
+/// heal times and loss coins are all deterministic functions of
+/// (scenario seed, fault seed).  See fault_applies for the kind×family
+/// pairing rules.
 struct FaultPlan {
   FaultKind kind = FaultKind::kNone;
   std::uint64_t seed = 0;  ///< Fault-schedule seed; unused for kNone.
+  /// Kind-specific intensity: drop probability in permille for kLossy
+  /// (1..999); unused otherwise.  Part of the scenario key.
+  std::uint32_t param = 0;
 
   [[nodiscard]] bool active() const noexcept {
     return kind != FaultKind::kNone;
@@ -122,6 +162,14 @@ struct Scenario {
   /// byte-identical to a plain run, so an --online sweep diffs clean
   /// against a blessed store produced without it.
   bool online_check = false;
+  /// Exploration knob (ABD + run_scenario_policy only): extends the
+  /// policy's schedule menu with fault-injection choices — drop or
+  /// duplicate a chosen in-flight message, crash a node (strict
+  /// minority budget, ops abandoned, crash-recovery semantics), recover
+  /// a crashed node — so the explore lab can hunt worst-case fault
+  /// schedules.  Arms ABD's retransmission layer so adversarial drops
+  /// cannot trivially block the run.  key() marks it ("/fmenu").
+  bool explore_faults = false;
 
   /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42",
   /// "abd/rand/p5/w2/fminority-c7/seed42", or
@@ -166,6 +214,12 @@ struct ScenarioResult {
   std::uint64_t ops = 0;          ///< Completed high-level operations.
   std::uint64_t history_hash = 0; ///< FNV-1a over the recorded history.
   std::uint64_t wall_ns = 0;      ///< Measured; NOT part of any digest.
+  // Message accounting (ABD family; zero for the simulator families).
+  // Deterministic, recorded in stores, but NOT digest material — the
+  // digest predates the split counters.
+  std::uint64_t net_delivered = 0;   ///< Handed to a live receiver.
+  std::uint64_t net_dropped = 0;     ///< Crashed/cut/lossy consumes.
+  std::uint64_t net_duplicated = 0;  ///< Fabric-duplicated copies.
   std::string detail;             ///< Failure explanation (empty if kOk).
 };
 
@@ -181,7 +235,9 @@ struct ScenarioResult {
 /// adversary axis.  The scenario's own seed still feeds the scheduler's
 /// coin stream, so a run is a pure function of (scenario, policy
 /// decisions): record the decisions and the run replays byte-identically.
-/// Fault plans do not combine with external schedules (kError).
+/// Fault plans do not combine with external schedules (kError); to give
+/// the policy fault power instead, set Scenario::explore_faults, which
+/// appends fault-injection choices to the menu.
 [[nodiscard]] ScenarioResult run_scenario_policy(const Scenario& s,
                                                  sim::SchedulePolicy& schedule);
 

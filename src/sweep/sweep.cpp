@@ -24,20 +24,10 @@ constexpr std::uint64_t kMaxScenarios = 10'000'000;
 
 namespace {
 
-/// Whether a faulty kind applies to a scenario family: minority crashes
-/// are an ABD (message-passing) concept, stalls a simulator-family one.
-bool fault_applies(FaultKind f, Algorithm alg) {
-  switch (f) {
-    case FaultKind::kNone: return true;
-    case FaultKind::kMinorityCrash: return alg == Algorithm::kAbd;
-    case FaultKind::kStall: return alg != Algorithm::kAbd;
-  }
-  return false;
-}
-
 /// Expands the fault axis for one family: kNone contributes one
 /// fault-free plan, each applicable faulty kind one plan per fault seed,
-/// inapplicable kinds nothing.  A family with no applicable plan at all
+/// inapplicable kinds nothing (fault_applies in scenario.hpp is the
+/// single pairing authority).  A family with no applicable plan at all
 /// (the list named only faults of other families) still runs once,
 /// fault-free — a fault sweep never silently drops a family.
 std::vector<FaultPlan> plans_for(const SweepOptions& o, Algorithm alg) {
@@ -48,7 +38,9 @@ std::vector<FaultPlan> plans_for(const SweepOptions& o, Algorithm alg) {
       plans.push_back(FaultPlan{});
     } else {
       for (const std::uint64_t cs : o.crash_seeds) {
-        plans.push_back(FaultPlan{f, cs});
+        FaultPlan plan{f, cs};
+        if (f == FaultKind::kLossy) plan.param = o.drop_permille;
+        plans.push_back(plan);
       }
     }
   }
@@ -195,6 +187,9 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
           .u64("steps", r.steps)
           .u64("ops", r.ops)
           .hex("history_hash", r.history_hash)
+          .u64("delivered", r.net_delivered)
+          .u64("dropped", r.net_dropped)
+          .u64("duplicated", r.net_duplicated)
           .str("detail", r.detail);
       sink->append(rec);
     }

@@ -38,13 +38,16 @@ struct SweepOptions {
   std::vector<AdversaryKind> adversaries = {AdversaryKind::kRandom,
                                             AdversaryKind::kRoundRobin};
   /// Fault axis.  Each kind multiplies only the families it applies to
-  /// (kMinorityCrash: ABD; kStall: the simulator families); a family
-  /// with no applicable faulty kind in this list is emitted once,
-  /// fault-free, whatever the list says.
+  /// (kStall: the simulator families; every other faulty kind: ABD —
+  /// see fault_applies); a family with no applicable faulty kind in
+  /// this list is emitted once, fault-free, whatever the list says.
   std::vector<FaultKind> faults = {FaultKind::kNone};
   /// Fault-schedule seeds swept per faulty scenario (ignored for kNone,
   /// which needs no schedule).
   std::vector<std::uint64_t> crash_seeds = {0};
+  /// Per-message drop probability for kLossy plans, in permille
+  /// (1..999; part of every lossy scenario key).  CLI: --drop-prob.
+  std::uint32_t drop_permille = 100;
   std::vector<int> process_counts = {3};
   std::uint64_t seed_begin = 0;  ///< Inclusive.
   std::uint64_t seed_end = 10;   ///< Exclusive.

@@ -225,6 +225,71 @@ TEST(Explore, CorrectAlgorithmsSurviveTheSearch) {
   }
 }
 
+// ---------- fault-schedule menus ----------
+
+TEST(Explore, FaultMenuStillFindsThePlantedAblation) {
+  // With drop/dup/crash/recover injections on the schedule menu, greedy
+  // must still steer to the nowb linearizability violation — the fault
+  // choices widen the menu but never hide the planted bug.
+  ExploreInstance e = ablation_instance(0);
+  e.fault_menu = true;
+  EXPECT_EQ(e.key(), "explore/viol/abd/greedy/p5/w2/b32/nowb/fmenu/seed0");
+  const ExploreOutcome out = run_explore_instance(e);
+  ASSERT_FALSE(out.error) << out.detail;
+  EXPECT_EQ(out.found_rank, 3) << out.detail;
+  EXPECT_TRUE(out.shrunk);
+  const ReplayReport rep = replay_trace(e, out.best_trace, out.fallback_seed);
+  EXPECT_EQ(rep.rank, 3);
+  EXPECT_EQ(rep.verdict, "VIOLATION");
+  EXPECT_EQ(rep.fingerprint, out.fingerprint);
+}
+
+TEST(Explore, FaultMenuNeverFakesAViolationOnCorrectAbd) {
+  // Honest degraded-mode verdicts: crashing nodes mid-run may strand ops
+  // (rank 2, blocked) but must never manufacture a linearizability
+  // violation against the correct write-back ABD.
+  ExploreInstance e = ablation_instance(0);
+  e.abd_read_write_back = true;
+  e.fault_menu = true;
+  const ExploreOutcome out = run_explore_instance(e);
+  EXPECT_FALSE(out.error) << out.detail;
+  EXPECT_LT(out.found_rank, 3) << out.detail;
+}
+
+TEST(Explore, FaultMenuRecordsRoundTripAndOldLinesDefaultOff) {
+  ExploreOptions o;
+  o.objective = Objective::kViolation;
+  o.algorithms = {sweep::Algorithm::kAbd};
+  o.abd_read_write_back = false;
+  o.fault_menu = true;
+  o.process_counts = {5};
+  o.seed_begin = 0;
+  o.seed_end = 1;
+  o.search_budget = 8;
+  o.shrink_budget = 512;
+  sweep::StringSink sink;
+  (void)run_explore(o, 0, &sink);
+  const std::string line = sink.text().substr(0, sink.text().find('\n'));
+  EXPECT_NE(line.find("\"fault_menu\":true"), std::string::npos) << line;
+  std::string error;
+  const auto persisted = parse_explore_record(line, &error);
+  ASSERT_TRUE(persisted.has_value()) << error << "\n" << line;
+  EXPECT_TRUE(persisted->instance.fault_menu);
+  EXPECT_EQ(persisted->instance.key(),
+            "explore/viol/abd/greedy/p5/w2/b8/nowb/fmenu/seed0");
+  const ReplayReport rep = replay_trace(
+      persisted->instance, persisted->trace, persisted->fallback_seed);
+  EXPECT_EQ(rep.fingerprint, persisted->fingerprint);
+  // Pre-fault-fabric store lines carry no fault_menu field: parse as off.
+  std::string legacy = line;
+  const std::size_t at = legacy.find(",\"fault_menu\":true");
+  ASSERT_NE(at, std::string::npos);
+  legacy.erase(at, std::string(",\"fault_menu\":true").size());
+  const auto old = parse_explore_record(legacy, &error);
+  ASSERT_TRUE(old.has_value()) << error << "\n" << legacy;
+  EXPECT_FALSE(old->instance.fault_menu);
+}
+
 // ---------- determinism + persistence ----------
 
 TEST(Explore, SummaryAndStoreAreByteStableAcrossThreadsAndBatch) {

@@ -270,6 +270,292 @@ TEST(FStar, RejectsConcurrentWriters) {
   EXPECT_THROW((void)check_swmr_write_strong(h), util::InvariantViolation);
 }
 
+TEST(Network, AccountingSplitsDropsFromDeliveries) {
+  // A consumed envelope is either delivered or dropped, never both;
+  // messages_consumed() (the drivers' step currency) counts both.
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  net.send(ia, ib, 1, {});
+  net.send(ib, ia, 2, {});
+  net.deliver_at(0);  // live receiver: delivered
+  net.crash(ia);
+  net.deliver_at(0);  // crashed receiver: consumed as a drop
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_duplicated(), 0u);
+  EXPECT_EQ(net.messages_consumed(), 2u);
+}
+
+TEST(Network, LossyFabricIsSeededAndDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    Network net;
+    EchoNode a;
+    EchoNode b;
+    const NodeId ia = net.add_node(a);
+    const NodeId ib = net.add_node(b);
+    net.make_unreliable(/*drop_permille=*/400, /*dup_permille=*/0, seed);
+    for (int i = 0; i < 200; ++i) net.send(ia, ib, i, {});
+    while (net.in_flight() > 0) net.deliver_at(0);
+    return std::make_pair(net.messages_delivered(), net.messages_dropped());
+  };
+  const auto [d1, l1] = run(7);
+  const auto [d2, l2] = run(7);
+  EXPECT_EQ(d1, d2);  // same seed, same coin flips
+  EXPECT_EQ(l1, l2);
+  EXPECT_EQ(d1 + l1, 200u);
+  EXPECT_GT(l1, 0u);   // 400‰ over 200 sends loses something...
+  EXPECT_GT(d1, 0u);   // ...but not everything
+  const auto [d3, l3] = run(8);
+  EXPECT_TRUE(d3 != d1 || l3 != l1);  // different seed, different fabric
+}
+
+TEST(Network, DuplicatedCopiesKeepTheSameSeq) {
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  // dup_permille 999: the single delivery re-enqueues a copy (the copy
+  // itself may duplicate again, so drain and count).
+  net.make_unreliable(0, 999, /*seed=*/3);
+  net.send(ia, ib, 1, {5});
+  while (net.in_flight() > 0) net.deliver_at(0);
+  ASSERT_GE(b.received.size(), 2u);
+  EXPECT_EQ(net.messages_duplicated(), b.received.size() - 1);
+  for (const Message& m : b.received) {
+    EXPECT_EQ(m.seq, b.received[0].seq);  // dedup-able by the receiver
+    EXPECT_EQ(m.payload, (std::vector<std::int64_t>{5}));
+  }
+}
+
+TEST(Network, PartitionCutsCrossSideTrafficUntilHealed) {
+  Network net;
+  EchoNode nodes[3];
+  for (EchoNode& n : nodes) net.add_node(n);
+  net.set_partition({0, 0, 1});  // node 2 alone on side 1
+  net.send(0, 1, 1, {});         // same side: flows
+  net.send(0, 2, 2, {});         // cross side: dropped at delivery
+  net.deliver_at(0);
+  net.deliver_at(0);
+  EXPECT_EQ(nodes[1].received.size(), 1u);
+  EXPECT_TRUE(nodes[2].received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_TRUE(net.partitioned());
+  net.heal_partition();
+  net.send(0, 2, 3, {});
+  net.deliver_at(0);
+  ASSERT_EQ(nodes[2].received.size(), 1u);  // healed: flows again
+  EXPECT_EQ(nodes[2].received[0].type, 3);
+}
+
+TEST(Network, MidBroadcastCrashLetsOnlyThePrefixThrough) {
+  Network net;
+  EchoNode nodes[4];
+  for (EchoNode& n : nodes) net.add_node(n);
+  // The crash fires when the attempt counter reaches 3 — before the
+  // broadcast's third send enqueues — so exactly sends 1 and 2 get out.
+  net.schedule_crash_at_send(0, 3);
+  net.broadcast(0, 7, {});
+  EXPECT_TRUE(net.crashed(0));
+  EXPECT_EQ(net.in_flight(), 2u);
+}
+
+TEST(Network, RecoverRestoresLivenessAndRejectsLiveNodes) {
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  EXPECT_THROW(net.recover(ib), util::InvariantViolation);  // not crashed
+  net.crash(ib);
+  net.send(ia, ib, 1, {});
+  net.deliver_at(0);  // dropped: receiver down
+  net.recover(ib);
+  EXPECT_EQ(net.live_count(), 2);
+  net.send(ia, ib, 2, {});
+  net.deliver_at(0);
+  ASSERT_EQ(b.received.size(), 1u);  // recovered: hears traffic again
+  EXPECT_EQ(b.received[0].type, 2);
+}
+
+TEST(Network, AdversarialDropAndDuplicateTargetChosenEnvelopes) {
+  Network net;
+  EchoNode a;
+  EchoNode b;
+  const NodeId ia = net.add_node(a);
+  const NodeId ib = net.add_node(b);
+  net.send(ia, ib, 1, {});
+  net.send(ia, ib, 2, {});
+  net.drop_at(0);  // kill the first envelope specifically
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  ASSERT_EQ(net.in_flight(), 1u);
+  net.duplicate_at(0);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  ASSERT_EQ(net.in_flight(), 2u);
+  EXPECT_EQ(net.in_flight_messages()[0].seq, net.in_flight_messages()[1].seq);
+  net.deliver_at(0);
+  net.deliver_at(0);
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].type, 2);
+  EXPECT_EQ(b.received[1].type, 2);
+}
+
+/// Drives a fault-tolerant register until the op completes, advancing a
+/// logical clock so retransmission timers fire; mirrors the sweep
+/// driver's loop (deliver when possible, otherwise fast-forward to the
+/// next retransmission deadline).
+void drive_fault_tolerant(Network& net, AbdRegister& reg, int token,
+                          util::Rng& rng, int max_steps = 200000) {
+  std::uint64_t now = 0;
+  for (int i = 0; i < max_steps && !reg.done(token); ++i) {
+    reg.tick_retransmit(now);
+    if (!net.deliver_random(rng)) {
+      const auto due = reg.next_retransmit_due();
+      if (!due) break;                    // nothing will ever fire again
+      now = std::max(now + 1, *due);
+      continue;
+    }
+    ++now;
+  }
+}
+
+TEST(Abd, RetransmissionCompletesOpsOnALossyNetwork) {
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  net.make_unreliable(/*drop_permille=*/400, 0, /*seed=*/11);
+  reg.enable_fault_tolerance(/*seed=*/12, /*retry_base=*/4);
+  util::Rng rng(13);
+  const int w = reg.begin_write(42);
+  drive_fault_tolerant(net, reg, w, rng);
+  ASSERT_TRUE(reg.done(w));
+  const int r = reg.begin_read(1);
+  drive_fault_tolerant(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  EXPECT_EQ(reg.result(r), 42);
+  // 40% loss with quorum 2-of-3 virtually guarantees a lost ack forced
+  // at least one rebroadcast; if not, the fabric seed is miscalibrated.
+  EXPECT_GT(reg.retransmits(), 0u);
+  const auto lin = checker::check_linearizable(reg.hl_history());
+  EXPECT_TRUE(lin.ok) << lin.error;
+}
+
+TEST(Abd, ServerDedupConsumesFabricDuplicatesOnce) {
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  net.make_unreliable(0, /*dup_permille=*/500, /*seed=*/21);
+  reg.enable_fault_tolerance(/*seed=*/22);
+  util::Rng rng(23);
+  const int w = reg.begin_write(5);
+  drive_fault_tolerant(net, reg, w, rng);
+  ASSERT_TRUE(reg.done(w));
+  const int r = reg.begin_read(2);
+  drive_fault_tolerant(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  EXPECT_EQ(reg.result(r), 5);
+  EXPECT_GT(net.messages_duplicated(), 0u);
+  const auto lin = checker::check_linearizable(reg.hl_history());
+  EXPECT_TRUE(lin.ok) << lin.error << '\n' << reg.hl_history().to_string();
+}
+
+TEST(Abd, AbandonedOpsNeverCompleteOrRetransmit) {
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  reg.enable_fault_tolerance(/*seed=*/31);
+  const int w = reg.begin_write(9);
+  net.crash(0);
+  reg.abandon_ops_on(0);
+  EXPECT_EQ(reg.abandoned_ops(), 1);
+  EXPECT_FALSE(reg.op_can_complete(w));
+  EXPECT_EQ(reg.next_retransmit_due(), std::nullopt);
+  reg.tick_retransmit(1000);  // would arm/fire a live op's timer
+  EXPECT_EQ(reg.retransmits(), 0u);
+  util::Rng rng(32);
+  while (net.deliver_random(rng)) {
+  }
+  EXPECT_FALSE(reg.done(w));      // pending forever
+  EXPECT_EQ(reg.pending_ops(), 1);
+  // The abandoned write released the single-writer slot: after recovery
+  // the writer may start a fresh write (its durable timestamp counter
+  // supersedes the abandoned one).
+  net.recover(0);
+  reg.on_recover(0);
+  const int w2 = reg.begin_write(10);
+  drive_fault_tolerant(net, reg, w2, rng);
+  EXPECT_TRUE(reg.done(w2));
+}
+
+TEST(Abd, RecoveryRestoresDurableServerState) {
+  // Complete a write whose value only servers 1 and 2 saw, crash-recover
+  // node 2, then force a read quorum through it: the read returns the
+  // written value only because (ts, value) survived on stable storage.
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  reg.enable_fault_tolerance(/*seed=*/41);
+  const int w = reg.begin_write(42);
+  // in_flight: write requests to servers 0, 1, 2.
+  net.deliver_at(1);  // server 1 stores (1, 42), acks
+  net.deliver_at(1);  // server 2 stores (1, 42), acks
+  net.deliver_at(1);  // ack from 1
+  net.deliver_at(1);  // ack from 2: quorum, write done
+  ASSERT_TRUE(reg.done(w));
+  net.drop_at(0);  // server 0 NEVER hears this write
+  ASSERT_EQ(net.in_flight(), 0u);
+  net.crash(2);
+  reg.abandon_ops_on(2);  // no-op (no op in flight there)
+  net.recover(2);
+  reg.on_recover(2);      // volatile dedup cache reset, (ts, value) kept
+  net.crash(1);           // permanently: quorum must now include node 2
+  const int r = reg.begin_read(0);
+  util::Rng rng(42);
+  drive_fault_tolerant(net, reg, r, rng);
+  ASSERT_TRUE(reg.done(r));
+  // Server 0 replies (0, initial); server 2 must reply (1, 42) from its
+  // durable state or the read would linearize to the stale initial 0.
+  EXPECT_EQ(reg.result(r), 42);
+}
+
+TEST(Abd, RetransmissionBacksOffWhileNoQuorumIsLive) {
+  Network net;
+  AbdRegister reg(net, 3, 0, 0);
+  reg.enable_fault_tolerance(/*seed=*/51);
+  const int w = reg.begin_write(1);
+  net.crash(1);
+  net.crash(2);  // live count 1 < quorum 2: permanent majority loss
+  util::Rng rng(52);
+  while (net.deliver_random(rng)) {
+  }
+  EXPECT_FALSE(reg.done(w));
+  // Ineligible ops never arm a timer: the driver sees no future event
+  // and classifies the quiescent run as blocked instead of spinning.
+  EXPECT_EQ(reg.next_retransmit_due(), std::nullopt);
+  reg.tick_retransmit(10'000);
+  EXPECT_EQ(reg.retransmits(), 0u);
+  EXPECT_FALSE(reg.op_can_complete(w));
+}
+
+TEST(Abd, FaultToleranceIsInertOnAReliableNetwork) {
+  // With no ticks and no fabric, the armed layer must not change the
+  // message flow: same sends, same history as the classic algorithm.
+  const auto run = [](bool armed) {
+    Network net;
+    AbdRegister reg(net, 3, 0, 0);
+    if (armed) reg.enable_fault_tolerance(/*seed=*/61);
+    util::Rng rng(62);
+    const int w = reg.begin_write(7);
+    drive_until_done(net, reg, w, rng);
+    const int r = reg.begin_read(1);
+    drive_until_done(net, reg, r, rng);
+    return std::make_pair(net.messages_sent(), reg.hl_history().to_string());
+  };
+  const auto [sent_plain, hist_plain] = run(false);
+  const auto [sent_armed, hist_armed] = run(true);
+  EXPECT_EQ(sent_plain, sent_armed);
+  EXPECT_EQ(hist_plain, hist_armed);
+}
+
 TEST(Abd, MessageComplexityPerOperation) {
   // Writes cost 2n messages (n requests + n acks); reads cost 4n
   // (query round trip + write-back round trip).

@@ -423,6 +423,43 @@ TEST(StreamChecker, OnlineExploreFindsTheSamePlantedViolation) {
   EXPECT_EQ(on.errors, 0u);
 }
 
+TEST(StreamChecker, OnlineSweepAgreesOnDegradedFaultFabricHistories) {
+  // The unreliable-network fabric (PR 7): histories recorded under
+  // message loss, duplication, healed partitions, majority loss, and
+  // crash-recovery — including abandoned ops pending forever — must
+  // stream to the same verdict as the batch checker, byte-identically.
+  // Duplicated deliveries never reach the history (receiver-side dedup),
+  // but retransmission reshapes op windows, and blocked runs hand the
+  // checkers truncated, pending-heavy shapes.
+  sweep::SweepOptions o;
+  o.algorithms = {sweep::Algorithm::kAbd};
+  o.faults = {sweep::FaultKind::kLossy, sweep::FaultKind::kDuplicate,
+              sweep::FaultKind::kPartition, sweep::FaultKind::kMajorityCrash,
+              sweep::FaultKind::kCrashRecovery};
+  o.drop_permille = 300;
+  o.crash_seeds = {0, 1};
+  o.seed_begin = 0;
+  o.seed_end = 4;
+  int blocked = 0;
+  for (sweep::Scenario s : sweep::enumerate_scenarios(o)) {
+    const sweep::ScenarioResult off = sweep::run_scenario(s);
+    s.online_check = true;
+    const sweep::ScenarioResult on = sweep::run_scenario(s);
+    ASSERT_EQ(off.verdict, on.verdict)
+        << s.key() << ": offline [" << to_string(off.verdict) << "] "
+        << off.detail << " vs online [" << to_string(on.verdict) << "] "
+        << on.detail;
+    EXPECT_EQ(off.detail, on.detail) << s.key();
+    EXPECT_EQ(off.history_hash, on.history_hash) << s.key();
+    EXPECT_EQ(off.steps, on.steps) << s.key();
+    ASSERT_NE(off.verdict, sweep::Verdict::kError) << s.key() << off.detail;
+    if (off.verdict == sweep::Verdict::kBlocked) ++blocked;
+  }
+  // The majority-loss slice alone guarantees degraded histories flowed
+  // through both checkers.
+  EXPECT_GT(blocked, 0);
+}
+
 // ---------- check_stream on hand-built blocked histories ----------
 
 TEST(StreamChecker, BlockedCrashHistoriesStreamClean) {

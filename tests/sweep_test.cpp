@@ -597,6 +597,239 @@ TEST(Sweep, FailureListTruncationIsNeverSilent) {
   EXPECT_NE(s.stable_text().find("more non-ok"), std::string::npos);
 }
 
+// ---------- unreliable-network fault fabric ----------
+
+TEST(Scenario, UnreliableFaultKeysSpellTheirAxes) {
+  Scenario s = abd_scenario(0);
+  s.faults = FaultPlan{FaultKind::kLossy, 2};
+  s.faults.param = 300;
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/flossy-d300-c2/seed0");
+  s.faults = FaultPlan{FaultKind::kDuplicate, 1};
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/fdup-c1/seed0");
+  s.faults = FaultPlan{FaultKind::kPartition, 0};
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/fpartition-c0/seed0");
+  s.faults = FaultPlan{FaultKind::kMajorityCrash, 3};
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/fmajority-c3/seed0");
+  s.faults = FaultPlan{FaultKind::kCrashRecovery, 4};
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/frecovery-c4/seed0");
+  s.explore_faults = true;
+  EXPECT_EQ(s.key(), "abd/rand/p3/w2/frecovery-c4/fmenu/seed0");
+}
+
+TEST(Scenario, LossyDupAndHealedPartitionRunsAllCheckOk) {
+  // These regimes only delay — loss and healed cuts are repaired by
+  // retransmission, duplicates by receiver-side dedup — so every run
+  // must complete every op and check clean.  kBlocked here would mean
+  // the retransmission layer gave up; kError that it spun the budget.
+  for (const FaultKind kind :
+       {FaultKind::kLossy, FaultKind::kDuplicate, FaultKind::kPartition}) {
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      for (std::uint64_t fault_seed = 0; fault_seed < 2; ++fault_seed) {
+        for (const AdversaryKind adv :
+             {AdversaryKind::kRandom, AdversaryKind::kRoundRobin}) {
+          Scenario s = abd_scenario(seed);
+          s.adversary = adv;
+          s.faults = FaultPlan{kind, fault_seed};
+          // The acceptance envelope's worst drop rate (p = 0.3).
+          if (kind == FaultKind::kLossy) s.faults.param = 300;
+          const ScenarioResult r = run_scenario(s);
+          ASSERT_EQ(r.verdict, Verdict::kOk)
+              << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
+          EXPECT_EQ(r.ops, 7u) << s.key();  // 2 writes + 5 reads, all done
+        }
+      }
+    }
+  }
+}
+
+TEST(Scenario, LossyRunsActuallyDropAndRetransmit) {
+  // The lossy axis must not silently degenerate to a reliable run: the
+  // recorded network counters prove messages were really lost (and the
+  // run completed anyway).
+  std::uint64_t dropped = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Scenario s = abd_scenario(seed);
+    s.faults = FaultPlan{FaultKind::kLossy, 0};
+    s.faults.param = 300;
+    const ScenarioResult r = run_scenario(s);
+    dropped += r.net_dropped;
+    EXPECT_EQ(r.steps, r.net_delivered + r.net_dropped) << s.key();
+  }
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(Scenario, DuplicateRunsActuallyDuplicate) {
+  std::uint64_t duplicated = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Scenario s = abd_scenario(seed);
+    s.faults = FaultPlan{FaultKind::kDuplicate, 0};
+    const ScenarioResult r = run_scenario(s);
+    duplicated += r.net_duplicated;
+  }
+  EXPECT_GT(duplicated, 0u);
+}
+
+TEST(Scenario, MajorityCrashAlwaysBlocksAndChecksClean) {
+  // A quorum dies mid-broadcast before any op can complete (the earliest
+  // scheduled crash attempt is at most n+1, and no reply can be sent
+  // before attempt n+1): every run must be kBlocked — never kError, and
+  // never kOk — with its truncated history checked clean.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (std::uint64_t fault_seed = 0; fault_seed < 3; ++fault_seed) {
+      Scenario s = abd_scenario(seed);
+      s.faults = FaultPlan{FaultKind::kMajorityCrash, fault_seed};
+      const ScenarioResult r = run_scenario(s);
+      ASSERT_EQ(r.verdict, Verdict::kBlocked)
+          << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
+      EXPECT_NE(r.detail.find("checked clean"), std::string::npos) << s.key();
+    }
+  }
+}
+
+TEST(Scenario, CrashRecoveryRunsNeverErrorOrViolate) {
+  // Crash-recovery runs split between kOk (the victim was idle when it
+  // died and resumed its program after recovery) and kBlocked (an op in
+  // flight at crash time is abandoned — pending in the history forever,
+  // reported honestly).  Both verdicts check the history clean; kError
+  // (e.g. a recovered node overlapping its own abandoned op) and
+  // kViolation (durable state lost on recovery) are register/driver bugs.
+  int ok = 0;
+  int blocked = 0;
+  int abandoned_details = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    for (std::uint64_t fault_seed = 0; fault_seed < 3; ++fault_seed) {
+      Scenario s = abd_scenario(seed);
+      s.faults = FaultPlan{FaultKind::kCrashRecovery, fault_seed};
+      const ScenarioResult r = run_scenario(s);
+      ASSERT_TRUE(r.verdict == Verdict::kOk || r.verdict == Verdict::kBlocked)
+          << s.key() << ": [" << to_string(r.verdict) << "] " << r.detail;
+      if (r.verdict == Verdict::kOk) ++ok;
+      if (r.verdict == Verdict::kBlocked) {
+        ++blocked;
+        EXPECT_NE(r.detail.find("checked clean"), std::string::npos);
+        if (r.detail.find("abandoned by crash-recovery") !=
+            std::string::npos) {
+          ++abandoned_details;
+        }
+      }
+    }
+  }
+  // The axis must exercise both outcomes, and blocked runs must say WHY.
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(blocked, 0);
+  EXPECT_GT(abandoned_details, 0);
+}
+
+TEST(Scenario, UnreliableRunsAreDeterministic) {
+  for (const FaultKind kind :
+       {FaultKind::kLossy, FaultKind::kDuplicate, FaultKind::kPartition,
+        FaultKind::kMajorityCrash, FaultKind::kCrashRecovery}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      Scenario s = abd_scenario(seed);
+      s.faults = FaultPlan{kind, seed + 1};
+      if (kind == FaultKind::kLossy) s.faults.param = 250;
+      const ScenarioResult a = run_scenario(s);
+      const ScenarioResult b = run_scenario(s);
+      EXPECT_EQ(a.verdict, b.verdict) << s.key();
+      EXPECT_EQ(a.steps, b.steps) << s.key();
+      EXPECT_EQ(a.history_hash, b.history_hash) << s.key();
+      EXPECT_EQ(a.net_delivered, b.net_delivered) << s.key();
+      EXPECT_EQ(a.net_dropped, b.net_dropped) << s.key();
+      EXPECT_EQ(a.net_duplicated, b.net_duplicated) << s.key();
+      EXPECT_EQ(a.detail, b.detail) << s.key();
+    }
+  }
+}
+
+TEST(Scenario, UnreliableFaultsOnNonAbdConfigsAreErrors) {
+  for (const FaultKind kind :
+       {FaultKind::kLossy, FaultKind::kDuplicate, FaultKind::kPartition,
+        FaultKind::kMajorityCrash, FaultKind::kCrashRecovery}) {
+    for (const Algorithm alg :
+         {Algorithm::kModeled, Algorithm::kAlg2, Algorithm::kAlg4}) {
+      Scenario s;
+      s.algorithm = alg;
+      s.faults = FaultPlan{kind, 0};
+      if (kind == FaultKind::kLossy) s.faults.param = 100;
+      const ScenarioResult r = run_scenario(s);
+      EXPECT_EQ(r.verdict, Verdict::kError)
+          << to_string(alg) << " × " << to_string(kind);
+    }
+  }
+}
+
+TEST(Scenario, LossyParamOutOfRangeIsAnErrorNotACrash) {
+  Scenario s = abd_scenario(0);
+  s.faults = FaultPlan{FaultKind::kLossy, 0};
+  s.faults.param = 0;  // certain-loss/no-loss params are config bugs
+  EXPECT_EQ(run_scenario(s).verdict, Verdict::kError);
+  s.faults.param = 1000;
+  EXPECT_EQ(run_scenario(s).verdict, Verdict::kError);
+}
+
+TEST(Enumerate, UnreliableKindsMultiplyAbdOnlyAndCarryTheDropParam) {
+  SweepOptions o;
+  o.seed_begin = 0;
+  o.seed_end = 2;
+  o.faults = {FaultKind::kNone, FaultKind::kLossy, FaultKind::kPartition,
+              FaultKind::kMajorityCrash};
+  o.crash_seeds = {0, 1};
+  o.drop_permille = 300;
+  const std::vector<Scenario> all = enumerate_scenarios(o);
+  // modeled: 3 semantics; alg2/alg4: 1 each (kNone only — the unreliable
+  // kinds don't apply); abd: 1 fault-free + 3 kinds × 2 fault seeds.
+  EXPECT_EQ(all.size(), (3u + 1u + 1u + 7u) * 2u * 1u * 2u);
+  bool saw_param = false;
+  for (const Scenario& s : all) {
+    if (s.algorithm != Algorithm::kAbd) {
+      EXPECT_EQ(s.faults.kind, FaultKind::kNone) << s.key();
+    }
+    if (s.faults.kind == FaultKind::kLossy) {
+      EXPECT_EQ(s.faults.param, 300u) << s.key();
+      EXPECT_NE(s.key().find("flossy-d300-c"), std::string::npos);
+      saw_param = true;
+    }
+  }
+  EXPECT_TRUE(saw_param);
+}
+
+TEST(Sweep, UnreliableSweepDigestIsIndependentOfThreadsAndBatch) {
+  SweepOptions o;
+  o.algorithms = {Algorithm::kAbd};
+  o.faults = {FaultKind::kLossy, FaultKind::kDuplicate, FaultKind::kPartition,
+              FaultKind::kMajorityCrash, FaultKind::kCrashRecovery};
+  o.crash_seeds = {0, 1};
+  o.seed_begin = 0;
+  o.seed_end = 15;
+  o.threads = 1;
+  const SweepSummary seq = run_sweep(o);
+  o.threads = 4;
+  o.batch_size = 3;
+  const SweepSummary par = run_sweep(o);
+  EXPECT_EQ(seq.stable_text(), par.stable_text());
+  EXPECT_EQ(seq.violations, 0u);
+  EXPECT_EQ(seq.errors, 0u);
+  EXPECT_GT(seq.ok, 0u);       // the repairable kinds all pass
+  EXPECT_GT(seq.blocked, 0u);  // majority loss all blocks
+}
+
+TEST(Sweep, DropProbIsItsOwnDigestAxis) {
+  SweepOptions o;
+  o.algorithms = {Algorithm::kAbd};
+  o.faults = {FaultKind::kLossy};
+  o.seed_begin = 0;
+  o.seed_end = 10;
+  o.drop_permille = 100;
+  const SweepSummary light = run_sweep(o);
+  o.drop_permille = 300;
+  const SweepSummary heavy = run_sweep(o);
+  // Different loss rates are different scenarios (keyed), and both
+  // complete everything.
+  EXPECT_NE(light.digest, heavy.digest);
+  EXPECT_EQ(light.ok, light.scenarios);
+  EXPECT_EQ(heavy.ok, heavy.scenarios);
+}
+
 TEST(Sweep, DigestMatchesThePr1Baseline) {
   // Pinned regression digest, recorded from the PR 1 checker/engine on
   // this exact configuration (sweep_main --processes 3 --seeds 0:50

@@ -6,7 +6,9 @@
 # byte-identical across machines, thread counts, and batch sizes:
 #
 #   1. safety   — the default cross-product with every fault axis on
-#                 (none, minority crashes, stalls) over seeds 0:10;
+#                 (none, minority crashes, stalls, plus the unreliable-
+#                 network fabric: lossy, dup, healing partition, majority
+#                 crash, crash-recovery) over seeds 0:10;
 #   2. term     — the termination lab's default cross-product over seeds
 #                 0:10, per-family decision-round histograms included;
 #   3. explore/rounds — the greedy adaptive adversary vs the Theorem 6
@@ -39,8 +41,10 @@ fi
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
-"${BIN}" --seeds 0:10 --faults none,minority,stall --crash-seeds 0:2 \
-         --threads 4 --out "${tmpdir}/safety.jsonl" > /dev/null
+"${BIN}" --seeds 0:10 \
+         --faults none,minority,stall,lossy,dup,partition,majority,recovery \
+         --crash-seeds 0:2 --threads 4 \
+         --out "${tmpdir}/safety.jsonl" > /dev/null
 "${BIN}" --term --seeds 0:10 --threads 4 \
          --out "${tmpdir}/term.jsonl" > /dev/null
 "${BIN}" --explore --objective rounds --families game --strategy greedy \

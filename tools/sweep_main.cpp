@@ -45,6 +45,7 @@
 // exploration: no instance errored — FINDING a violation is the
 // objective, not a failure; replay: every persisted trace reproduced);
 // 1 on failures; 2 on bad usage.
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -79,16 +80,29 @@ using rlt::term::TermSweepOptions;
       "                      models swept for 'modeled' scenarios "
       "(default: all)\n"
       "  --adversaries LIST  comma list of rand,rr (default: both)\n"
-      "  --faults LIST       comma list of none,minority,stall "
-      "(default: none).\n"
+      "  --faults LIST       comma list of none,minority,stall,lossy,dup,\n"
+      "                      partition,majority,recovery (default: none).\n"
       "                      'minority' seeds strict-minority crash\n"
       "                      schedules into abd scenarios; 'stall' freezes\n"
       "                      a seeded strict minority of simulator-family\n"
-      "                      processes after one step.  Runs stranded by\n"
-      "                      either report the 'blocked' verdict\n"
+      "                      processes after one step; 'lossy' drops each\n"
+      "                      abd message with --drop-prob, 'dup' redelivers\n"
+      "                      a seeded fraction, 'partition' cuts a seeded\n"
+      "                      minority off and heals the cut (all three ride\n"
+      "                      on abd retransmission and must end ok);\n"
+      "                      'majority' crashes a quorum mid-broadcast\n"
+      "                      (every run blocks), 'recovery' crashes a\n"
+      "                      minority and restarts them from durable state.\n"
+      "                      Runs stranded by a fault report the 'blocked'\n"
+      "                      verdict\n"
       "  --crash-seeds A:B   fault-schedule seed range for faulty\n"
       "                      scenarios, A inclusive, B exclusive "
       "(default: 0:1)\n"
+      "  --fault-seeds A:B   alias of --crash-seeds (the range seeds every\n"
+      "                      fault kind's schedule, not just crashes)\n"
+      "  --drop-prob P       per-message drop probability for 'lossy',\n"
+      "                      0 < P <= 0.95 (default: 0.1); requires lossy\n"
+      "                      in --faults\n"
       "  --writes N          writes per writer role (default: 2)\n"
       "  --online            replay every checkable history through the\n"
       "                      streaming online checker and report any\n"
@@ -118,6 +132,10 @@ using rlt::term::TermSweepOptions;
       "                      (default: 4096)\n"
       "  --ablate KIND       plant a known bug for the search to find:\n"
       "                      'nowb' disables ABD's read write-back\n"
+      "  --fault-menu        offer fault injections (drop, duplicate,\n"
+      "                      crash, recover) as schedule-menu choices so\n"
+      "                      the search hunts worst-case fault schedules\n"
+      "                      (abd targets of --objective violation only)\n"
       "  --replay PATH       replay every explore record in a JSONL store\n"
       "                      and verify each reproduces byte-identically\n"
       "                      (standalone mode; exit 0 iff all match)\n"
@@ -222,11 +240,47 @@ void parse_faults(const std::string& v, SweepOptions& o) {
       o.faults.push_back(rlt::sweep::FaultKind::kMinorityCrash);
     } else if (name == "stall") {
       o.faults.push_back(rlt::sweep::FaultKind::kStall);
+    } else if (name == "lossy") {
+      o.faults.push_back(rlt::sweep::FaultKind::kLossy);
+    } else if (name == "dup" || name == "duplicate") {
+      o.faults.push_back(rlt::sweep::FaultKind::kDuplicate);
+    } else if (name == "partition") {
+      o.faults.push_back(rlt::sweep::FaultKind::kPartition);
+    } else if (name == "majority") {
+      o.faults.push_back(rlt::sweep::FaultKind::kMajorityCrash);
+    } else if (name == "recovery") {
+      o.faults.push_back(rlt::sweep::FaultKind::kCrashRecovery);
     } else {
       bad_value("--faults", name);
     }
   }
   if (o.faults.empty()) bad_value("--faults", v);
+}
+
+void parse_drop_prob(const std::string& v, SweepOptions& o) {
+  // A probability, not a permille: "0.1", not "100".  std::stod accepts
+  // hex floats, inf, and trailing junk; reject anything but plain
+  // digits-and-one-dot before converting.
+  if (v.empty() ||
+      v.find_first_not_of("0123456789.") != std::string::npos ||
+      std::count(v.begin(), v.end(), '.') > 1) {
+    bad_value("--drop-prob", v);
+  }
+  double p = 0.0;
+  try {
+    std::size_t pos = 0;
+    p = std::stod(v, &pos);
+    if (pos != v.size()) bad_value("--drop-prob", v);
+  } catch (...) {
+    bad_value("--drop-prob", v);
+  }
+  // > 0.95 would strand even retransmission-heavy runs in the action
+  // budget more often than it tests anything; cap it like the tests do.
+  const auto permille = static_cast<std::uint32_t>(p * 1000.0 + 0.5);
+  if (p <= 0.0 || p > 0.95 || permille < 1 || permille > 950) {
+    bad_value("--drop-prob", v);
+  }
+  o.drop_permille = permille;
 }
 
 void parse_families(const std::string& v, TermSweepOptions& o) {
@@ -273,24 +327,27 @@ void parse_rounds(const std::string& v, TermSweepOptions& o) {
   if (o.round_budgets.empty()) bad_value("--rounds", v);
 }
 
-void parse_crash_seeds(const std::string& v, SweepOptions& o) {
+// `flag` is "--crash-seeds" or its alias "--fault-seeds"; errors name
+// whichever spelling the caller actually typed.
+void parse_crash_seeds(const std::string& flag, const std::string& v,
+                       SweepOptions& o) {
   const std::size_t colon = v.find(':');
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   if (colon == std::string::npos) {
-    begin = parse_u64("--crash-seeds", v);
+    begin = parse_u64(flag, v);
     if (begin == std::numeric_limits<std::uint64_t>::max()) {
-      bad_value("--crash-seeds", v);
+      bad_value(flag, v);
     }
     end = begin + 1;
   } else {
-    begin = parse_u64("--crash-seeds", v.substr(0, colon));
-    end = parse_u64("--crash-seeds", v.substr(colon + 1));
+    begin = parse_u64(flag, v.substr(0, colon));
+    end = parse_u64(flag, v.substr(colon + 1));
     // Like --seeds: an empty or reversed range silently sweeps nothing
     // faulty; reject it as bad usage.
-    if (end <= begin) bad_value("--crash-seeds", v);
+    if (end <= begin) bad_value(flag, v);
   }
-  if (end - begin > 1'000'000) bad_value("--crash-seeds", v);
+  if (end - begin > 1'000'000) bad_value(flag, v);
   o.crash_seeds.clear();
   for (std::uint64_t cs = begin; cs < end; ++cs) o.crash_seeds.push_back(cs);
 }
@@ -419,6 +476,8 @@ int main(int argc, char** argv) {
   bool rounds_set = false;
   bool algorithms_set = false;
   bool ablate_set = false;
+  bool drop_prob_set = false;
+  bool fault_menu_set = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -449,9 +508,13 @@ int main(int argc, char** argv) {
     } else if (a == "--faults") {
       safety_flags_used.push_back(a);
       parse_faults(next(), opts);
-    } else if (a == "--crash-seeds") {
+    } else if (a == "--crash-seeds" || a == "--fault-seeds") {
       safety_flags_used.push_back(a);
-      parse_crash_seeds(next(), opts);
+      parse_crash_seeds(a, next(), opts);
+    } else if (a == "--drop-prob") {
+      safety_flags_used.push_back(a);
+      drop_prob_set = true;
+      parse_drop_prob(next(), opts);
     } else if (a == "--families") {
       family_flags_used.push_back(a);
       families_set = true;
@@ -485,6 +548,10 @@ int main(int argc, char** argv) {
       explore_flags_used.push_back(a);
       ablate_set = true;
       parse_ablate(next(), eopts);
+    } else if (a == "--fault-menu") {
+      explore_flags_used.push_back(a);
+      fault_menu_set = true;
+      eopts.fault_menu = true;
     } else if (a == "--processes") {
       processes_set = true;
       parse_processes(next(), opts);
@@ -580,6 +647,39 @@ int main(int argc, char** argv) {
       eopts.objective != rlt::explore::Objective::kViolation) {
     std::cerr << "sweep_main: --ablate needs --objective violation\n";
     usage(2);
+  }
+  if (fault_menu_set &&
+      eopts.objective != rlt::explore::Objective::kViolation) {
+    std::cerr << "sweep_main: --fault-menu needs --objective violation\n";
+    usage(2);
+  }
+  if (!term_mode && !explore_mode) {
+    // Pairing validation: a fault kind that applies to none of the swept
+    // algorithms would be dropped silently by enumeration (plans_for);
+    // the caller asked for a fault axis that cannot run, so reject it.
+    for (const rlt::sweep::FaultKind f : opts.faults) {
+      if (f == rlt::sweep::FaultKind::kNone) continue;
+      const bool applies = std::any_of(
+          opts.algorithms.begin(), opts.algorithms.end(),
+          [f](Algorithm alg) { return rlt::sweep::fault_applies(f, alg); });
+      if (!applies) {
+        std::cerr << "sweep_main: --faults " << rlt::sweep::to_string(f)
+                  << " applies to "
+                  << (f == rlt::sweep::FaultKind::kStall
+                          ? "none of the requested algorithms (stall needs "
+                            "a simulator family: modeled, alg2, or alg4)"
+                          : "abd only, which --algorithms excludes")
+                  << "\n";
+        usage(2);
+      }
+    }
+    const bool lossy_swept =
+        std::find(opts.faults.begin(), opts.faults.end(),
+                  rlt::sweep::FaultKind::kLossy) != opts.faults.end();
+    if (drop_prob_set && !lossy_swept) {
+      std::cerr << "sweep_main: --drop-prob needs lossy in --faults\n";
+      usage(2);
+    }
   }
   // Shared flags land in `opts`; mirror them into the mode options.
   if (term_mode) {
