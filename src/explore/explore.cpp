@@ -22,11 +22,11 @@ using sweep::fnv_mix_str;
 using sweep::fnv_mix_u64;
 using sweep::kFnvOffset;
 
-constexpr std::size_t kMaxReportedFailures = 16;
+/// Per shard — sharding raises the searchable ceiling N-fold.
 constexpr std::uint64_t kMaxInstances = 1'000'000;
-/// Violation ranks (kViolation outranks kBlocked outranks everything).
-constexpr int kRankViolation = 3;
-constexpr int kRankBlocked = 2;
+/// Short local spellings of the public rank constants (explore.hpp).
+constexpr int kRankViolation = kFoundRankViolation;
+constexpr int kRankBlocked = kFoundRankBlocked;
 
 /// Independent derived seed streams (domain-separated FNV mixes).
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
@@ -293,11 +293,44 @@ ExploreOutcome run_explore_instance(const ExploreInstance& e) {
   return out;
 }
 
-std::vector<ExploreInstance> enumerate_explore_instances(
-    const ExploreOptions& o) {
+std::string config_key(const ExploreOptions& o) {
+  std::ostringstream os;
+  os << "objective=" << to_string(o.objective)
+     << " strategy=" << to_string(o.strategy);
+  if (o.objective == Objective::kRounds) {
+    os << " families=";
+    for (std::size_t i = 0; i < o.families.size(); ++i) {
+      os << (i ? "," : "") << term::to_string(o.families[i]);
+    }
+    os << " rounds=";
+    for (std::size_t i = 0; i < o.round_budgets.size(); ++i) {
+      os << (i ? "," : "") << o.round_budgets[i];
+    }
+  } else {
+    os << " algs=";
+    for (std::size_t i = 0; i < o.algorithms.size(); ++i) {
+      os << (i ? "," : "") << sweep::to_string(o.algorithms[i]);
+    }
+    os << " writes=" << o.writes_per_process
+       << " wb=" << (o.abd_read_write_back ? 1 : 0)
+       << " fmenu=" << (o.fault_menu ? 1 : 0);
+  }
+  os << " procs=";
+  for (std::size_t i = 0; i < o.process_counts.size(); ++i) {
+    os << (i ? "," : "") << o.process_counts[i];
+  }
+  os << " seeds=" << o.seed_begin << ':' << o.seed_end
+     << " budget=" << o.search_budget << " shrink=" << o.shrink_budget
+     << " max-actions=" << o.max_actions_per_run;
+  return os.str();
+}
+
+ExploreEnumeration enumerate_explore_shard(const ExploreOptions& o) {
   RLT_CHECK_MSG(o.seed_begin < o.seed_end, "instance-seed range is empty");
   RLT_CHECK_MSG(o.search_budget >= 1, "search budget must be positive");
   RLT_CHECK_MSG(!o.process_counts.empty(), "process-count list is empty");
+  RLT_CHECK_MSG(o.shard.count > 0 && o.shard.index < o.shard.count,
+                "shard index/count out of range");
   if (o.objective == Objective::kRounds) {
     RLT_CHECK_MSG(!o.families.empty(), "family list is empty");
     RLT_CHECK_MSG(!o.round_budgets.empty(), "round-budget list is empty");
@@ -310,10 +343,23 @@ std::vector<ExploreInstance> enumerate_explore_instances(
            ? o.families.size() * o.round_budgets.size()
            : o.algorithms.size()) *
       o.process_counts.size();
-  RLT_CHECK_MSG(configs <= kMaxInstances / seeds,
-                "exploration cross-product exceeds the instance limit");
-  std::vector<ExploreInstance> out;
-  out.reserve(configs * seeds);
+  RLT_CHECK_MSG(configs == 0 || seeds <= UINT64_MAX / configs,
+                "exploration cross-product overflows");
+  ExploreEnumeration en;
+  en.total = configs * seeds;
+  RLT_CHECK_MSG(o.shard.share(en.total) <= kMaxInstances,
+                "exploration cross-product exceeds the per-shard instance "
+                "limit; narrow the seed range or axes, or use more shards");
+  en.global_indices.reserve(o.shard.share(en.total));
+  en.instances.reserve(o.shard.share(en.total));
+  std::uint64_t gi = 0;
+  const auto emit = [&](const ExploreInstance& e) {
+    if (o.shard.owns(gi)) {
+      en.global_indices.push_back(gi);
+      en.instances.push_back(e);
+    }
+    ++gi;
+  };
   for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
     for (const int procs : o.process_counts) {
       if (o.objective == Objective::kRounds) {
@@ -329,7 +375,7 @@ std::vector<ExploreInstance> enumerate_explore_instances(
             e.seed = seed;
             e.search_budget = o.search_budget;
             e.shrink_budget = o.shrink_budget;
-            out.push_back(e);
+            emit(e);
           }
         }
       } else {
@@ -349,12 +395,19 @@ std::vector<ExploreInstance> enumerate_explore_instances(
               a == sweep::Algorithm::kAbd ? o.abd_read_write_back : true;
           e.fault_menu = a == sweep::Algorithm::kAbd && o.fault_menu;
           e.online = o.online;
-          out.push_back(e);
+          emit(e);
         }
       }
     }
   }
-  return out;
+  RLT_CHECK_MSG(gi == en.total, "enumeration count disagrees with the "
+                                "computed cross-product size");
+  return en;
+}
+
+std::vector<ExploreInstance> enumerate_explore_instances(
+    const ExploreOptions& o) {
+  return enumerate_explore_shard(o).instances;
 }
 
 std::string ExploreSummary::stable_text() const {
@@ -377,12 +430,52 @@ std::string ExploreSummary::stable_text() const {
   return os.str();
 }
 
+ExploreFold::ExploreFold() { sum_.digest = kFnvOffset; }
+
+void ExploreFold::add(const std::string& key, const Item& it) {
+  ++sum_.instances;
+  sum_.search_runs += it.runs;
+  if (it.found_rank >= kRankViolation) ++sum_.violations_found;
+  if (it.found_rank == kRankBlocked) ++sum_.blocked_found;
+  if (it.shrunk) ++sum_.shrunk_traces;
+  if (it.error) ++sum_.errors;
+  sum_.total_steps += it.total_steps;
+  if (!it.error && it.best_score > sum_.best_score) {
+    sum_.best_score = it.best_score;
+    sum_.best_key = key;
+  }
+  // First-instance tie-break: an all-zero exploration still names the
+  // first non-error instance, so best_key is never "n/a" spuriously.
+  if (sum_.best_key.empty() && !it.error && index_ == 0) sum_.best_key = key;
+  fnv_mix_str(sum_.digest, key);
+  fnv_mix_u64(sum_.digest, it.best_score);
+  fnv_mix_u64(sum_.digest, static_cast<std::uint64_t>(it.found_rank));
+  fnv_mix_u64(sum_.digest, it.fingerprint);
+  fnv_mix_u64(sum_.digest, it.trace_fnv);
+  fnv_mix_u64(sum_.digest, it.runs);
+  fnv_mix_u64(sum_.digest, it.total_steps);
+  fnv_mix_u64(sum_.digest, it.shrunk ? 1 : 0);
+  fnv_mix_u64(sum_.digest, it.locally_minimal ? 1 : 0);
+  fnv_mix_u64(sum_.digest, it.shrink_probes);
+  fnv_mix_u64(sum_.digest, it.error ? 1 : 0);
+  if (it.error) {
+    if (sum_.failures.size() < kMaxReportedFailures) {
+      sum_.failures.push_back(key + ": " + it.detail);
+    } else {
+      ++sum_.failures_truncated;
+    }
+  }
+  ++index_;
+}
+
+ExploreSummary ExploreFold::finish() { return std::move(sum_); }
+
 ExploreSummary run_explore(const ExploreOptions& o,
                            std::uint64_t progress_every,
                            sweep::RecordSink* sink) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<ExploreInstance> instances =
-      enumerate_explore_instances(o);
+  const ExploreEnumeration en = enumerate_explore_shard(o);
+  const std::vector<ExploreInstance>& instances = en.instances;
   std::vector<ExploreOutcome> outcomes(instances.size());
 
   std::uint64_t steal_count = 0;
@@ -409,37 +502,33 @@ ExploreSummary run_explore(const ExploreOptions& o,
     steal_count = pool.steals();
   }
 
-  // Deterministic fold: enumeration order, no wall-clock fields.
-  ExploreSummary sum;
-  sum.digest = kFnvOffset;
+  // Deterministic fold: enumeration order, no wall-clock fields.  The
+  // fold inputs are exactly the persisted record fields, so a merge that
+  // re-folds shard-store records reproduces this summary bit for bit.
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(sweep::shard_header_record("explore", o.shard, config_key(o),
+                                            en.total, instances.size()));
+  }
+  ExploreFold fold;
+  std::uint64_t wall_ns_total = 0;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const ExploreInstance& e = instances[i];
     const ExploreOutcome& r = outcomes[i];
     const std::string key = e.key();
-    ++sum.instances;
-    sum.search_runs += r.runs;
-    if (r.found_rank >= kRankViolation) ++sum.violations_found;
-    if (r.found_rank == kRankBlocked) ++sum.blocked_found;
-    if (r.shrunk) ++sum.shrunk_traces;
-    if (r.error) ++sum.errors;
-    sum.total_steps += r.total_steps;
-    sum.wall_ns_total += r.wall_ns;
-    if (!r.error && r.best_score > sum.best_score) {
-      sum.best_score = r.best_score;
-      sum.best_key = key;
-    }
-    if (sum.best_key.empty() && !r.error && i == 0) sum.best_key = key;
-    fnv_mix_str(sum.digest, key);
-    fnv_mix_u64(sum.digest, r.best_score);
-    fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.found_rank));
-    fnv_mix_u64(sum.digest, r.fingerprint);
-    fnv_mix_u64(sum.digest, r.trace_fnv);
-    fnv_mix_u64(sum.digest, r.runs);
-    fnv_mix_u64(sum.digest, r.total_steps);
-    fnv_mix_u64(sum.digest, r.shrunk ? 1 : 0);
-    fnv_mix_u64(sum.digest, r.locally_minimal ? 1 : 0);
-    fnv_mix_u64(sum.digest, r.shrink_probes);
-    fnv_mix_u64(sum.digest, r.error ? 1 : 0);
+    wall_ns_total += r.wall_ns;
+    ExploreFold::Item item;
+    item.best_score = r.best_score;
+    item.found_rank = r.found_rank;
+    item.fingerprint = r.fingerprint;
+    item.trace_fnv = r.trace_fnv;
+    item.runs = r.runs;
+    item.total_steps = r.total_steps;
+    item.shrunk = r.shrunk;
+    item.locally_minimal = r.locally_minimal;
+    item.shrink_probes = r.shrink_probes;
+    item.error = r.error;
+    item.detail = r.detail;
+    fold.add(key, item);
     if (sink != nullptr) {
       const char* found = "none";
       if (e.objective == Objective::kViolation) {
@@ -452,7 +541,8 @@ ExploreSummary run_explore(const ExploreOptions& o,
         found = r.detail.c_str();
       }
       sweep::Record rec;
-      rec.str("key", key)
+      rec.u64("gi", en.global_indices[i])
+          .str("key", key)
           .str("mode", "explore")
           .str("objective", to_string(e.objective))
           .str("strategy", to_string(e.strategy))
@@ -468,6 +558,7 @@ ExploreSummary run_explore(const ExploreOptions& o,
           .boolean("write_back", e.abd_read_write_back)
           .boolean("fault_menu", e.fault_menu)
           .u64("runs", r.runs)
+          .u64("steps", r.total_steps)
           .u64("best_score", r.best_score)
           .str("found", r.error ? "error" : found)
           .hex("fingerprint", r.fingerprint)
@@ -482,15 +573,13 @@ ExploreSummary run_explore(const ExploreOptions& o,
           .str("detail", r.detail);
       sink->append(rec);
     }
-    if (r.error) {
-      if (sum.failures.size() < kMaxReportedFailures) {
-        sum.failures.push_back(key + ": " + r.detail);
-      } else {
-        ++sum.failures_truncated;
-      }
-    }
   }
-
+  ExploreSummary sum = fold.finish();
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(
+        sweep::shard_trailer_record(o.shard, instances.size(), sum.digest));
+  }
+  sum.wall_ns_total = wall_ns_total;
   sum.steals = steal_count;
   sum.elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -36,6 +36,7 @@
 
 #include "explore/trace.hpp"
 #include "sweep/scenario.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/store.hpp"
 #include "term/term_scenario.hpp"
 
@@ -46,6 +47,12 @@ enum class Strategy : std::uint8_t { kGreedy, kHillClimb, kRandom };
 
 [[nodiscard]] const char* to_string(Objective o) noexcept;
 [[nodiscard]] const char* to_string(Strategy s) noexcept;
+
+/// Violation ranks (kViolation outranks kBlocked outranks everything).
+/// Public because store records persist the rank as a "found" string and
+/// the shard merge maps it back.
+inline constexpr int kFoundRankViolation = 3;
+inline constexpr int kFoundRankBlocked = 2;
 
 /// One fully determined search instance.
 struct ExploreInstance {
@@ -153,9 +160,31 @@ struct ExploreOptions {
   int threads = 1;
   /// Instances per pool task (instances are heavy; default 1).
   int batch_size = 1;
+  /// Which slice of the instance list this process runs (see
+  /// sweep/shard.hpp); an execution knob, not config.
+  sweep::ShardSpec shard;
 };
 
-/// Materializes the instance list (seeds outermost, like the sweeps).
+/// The canonical config identity of an exploration (axes only, no
+/// execution knobs) — pinned in shard-store headers and checked by the
+/// merge.
+[[nodiscard]] std::string config_key(const ExploreOptions& o);
+
+/// This shard's slice plus the bookkeeping the store and merge need
+/// (see sweep::Enumeration for the contract).
+struct ExploreEnumeration {
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> global_indices;
+  std::vector<ExploreInstance> instances;
+};
+
+/// Materializes this shard's slice of the instance list (seeds
+/// outermost, like the sweeps; round robin spreads every config across
+/// shards).
+[[nodiscard]] ExploreEnumeration enumerate_explore_shard(
+    const ExploreOptions& o);
+
+/// The owned instances alone; the full list under the default shard.
 [[nodiscard]] std::vector<ExploreInstance> enumerate_explore_instances(
     const ExploreOptions& o);
 
@@ -181,6 +210,44 @@ struct ExploreSummary {
 
   /// Deterministic section, byte-identical across runs/threads/batches.
   [[nodiscard]] std::string stable_text() const;
+};
+
+/// The deterministic half of the exploration aggregate as a composable
+/// fold (the sweep::SweepFold counterpart): feed it, in global
+/// enumeration order, exactly the per-instance fields the store
+/// persists, and it reproduces the unsharded summary — including the
+/// first-instance best_key tie-break — whether the outcomes came from
+/// the pool or from N merged shard stores.
+class ExploreFold {
+ public:
+  static constexpr std::size_t kMaxReportedFailures = 16;
+
+  /// The persisted per-instance fields the fold consumes (the
+  /// digest material plus the failure detail).
+  struct Item {
+    std::uint64_t best_score = 0;
+    int found_rank = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t trace_fnv = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t total_steps = 0;
+    bool shrunk = false;
+    bool locally_minimal = false;
+    std::uint64_t shrink_probes = 0;
+    bool error = false;
+    std::string detail;
+  };
+
+  ExploreFold();
+
+  void add(const std::string& key, const Item& it);
+
+  /// The folded summary (timing fields zero).
+  [[nodiscard]] ExploreSummary finish();
+
+ private:
+  ExploreSummary sum_;
+  std::uint64_t index_ = 0;  ///< Global enumeration index of the next add.
 };
 
 /// Runs the search on `o.threads` pool workers.  When `sink` is

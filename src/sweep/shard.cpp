@@ -1,0 +1,522 @@
+#include "sweep/shard.hpp"
+
+#include <stdexcept>
+
+#include "explore/explore.hpp"
+#include "sweep/fnv.hpp"
+#include "sweep/scenario.hpp"
+#include "sweep/sweep.hpp"
+#include "term/term_scenario.hpp"
+#include "term/term_sweep.hpp"
+
+namespace rlt::sweep {
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::optional<ShardSpec> parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto parse_u32 = [](const std::string& s) -> std::optional<std::uint32_t> {
+    if (s.empty() || s.size() > 9) return std::nullopt;
+    std::uint32_t v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    return v;
+  };
+  const auto index = parse_u32(text.substr(0, slash));
+  const auto count = parse_u32(text.substr(slash + 1));
+  if (!index || !count) return std::nullopt;
+  if (*count == 0 || *index >= *count) return std::nullopt;
+  return ShardSpec{*index, *count};
+}
+
+Record shard_header_record(const std::string& kind, const ShardSpec& shard,
+                           const std::string& config, std::uint64_t total,
+                           std::uint64_t records) {
+  Record rec;
+  rec.str("key", "shard/" + shard.to_string())
+      .str("mode", "shard")
+      .str("kind", kind)
+      .str("config", config)
+      .u64("index", shard.index)
+      .u64("count", shard.count)
+      .u64("total", total)
+      .u64("records", records);
+  return rec;
+}
+
+Record shard_trailer_record(const ShardSpec& shard, std::uint64_t records,
+                            std::uint64_t partial_digest) {
+  Record rec;
+  rec.str("key", "shard-end/" + shard.to_string())
+      .str("mode", "shard-end")
+      .u64("index", shard.index)
+      .u64("count", shard.count)
+      .u64("records", records)
+      .hex("digest", partial_digest);
+  return rec;
+}
+
+// ---- merge: parse shard stores, re-fold in global order -----------------
+//
+// The parsers below read back the canonical JSONL this repo's Record
+// class writes: fields in insertion order, strings escaped per RFC 8259.
+// They search by `"name":` needle — safe because every quote inside a
+// value is escaped (`\"`), so a needle can never match inside a value —
+// and fully unescape string fields, because the fold must see exactly
+// the strings the original fold saw.
+
+namespace {
+
+[[nodiscard]] std::optional<std::string> field_str(const std::string& line,
+                                                   const std::string& name) {
+  const std::string needle = "\"" + name + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  std::size_t i = at + needle.size();
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= line.size()) return std::nullopt;
+    const char e = line[i + 1];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 5 >= line.size()) return std::nullopt;
+        unsigned v = 0;
+        for (std::size_t k = i + 2; k < i + 6; ++k) {
+          const char h = line[k];
+          v <<= 4;
+          if (h >= '0' && h <= '9') {
+            v |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            v |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            v |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return std::nullopt;
+          }
+        }
+        // The writer only \u-escapes control characters; anything wider
+        // is not a record this repo produced.
+        if (v > 0xFF) return std::nullopt;
+        out += static_cast<char>(v);
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+    i += 2;
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::uint64_t> field_u64(const std::string& line,
+                                                     const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return v;
+}
+
+[[nodiscard]] std::optional<bool> field_bool(const std::string& line,
+                                             const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t i = at + needle.size();
+  if (line.compare(i, 4, "true") == 0) return true;
+  if (line.compare(i, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::uint64_t> field_hex(const std::string& line,
+                                                     const std::string& name) {
+  const auto s = field_str(line, name);
+  if (!s || s->size() < 3 || s->compare(0, 2, "0x") != 0) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < s->size(); ++i) {
+    const char h = (*s)[i];
+    v <<= 4;
+    if (h >= '0' && h <= '9') {
+      v |= static_cast<std::uint64_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      v |= static_cast<std::uint64_t>(h - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+/// "term/<family>/…" → the Family enumerator.
+[[nodiscard]] std::optional<term::Family> family_from_key(
+    const std::string& key) {
+  const std::size_t a = key.find('/');
+  if (a == std::string::npos) return std::nullopt;
+  const std::size_t b = key.find('/', a + 1);
+  if (b == std::string::npos) return std::nullopt;
+  const std::string fam = key.substr(a + 1, b - a - 1);
+  for (const term::Family f :
+       {term::Family::kConsensus, term::Family::kComposed,
+        term::Family::kSharedCoin, term::Family::kGame}) {
+    if (fam == term::to_string(f)) return f;
+  }
+  return std::nullopt;
+}
+
+/// The three sweep folds behind one kind switch, so the per-shard digest
+/// check and the global merge share one record-to-fold path.
+class KindFold {
+ public:
+  explicit KindFold(const std::string& kind) : kind_(kind) {}
+
+  void add(const std::string& name, const std::string& line) {
+    const auto fail = [&](const std::string& what) {
+      return std::runtime_error(name + ": malformed " + kind_ + " record (" +
+                                what + "): " + line.substr(0, 96));
+    };
+    const auto key = field_str(line, "key");
+    if (!key) throw fail("no key");
+    if (kind_ == "safety") {
+      const auto verdict_s = field_str(line, "verdict");
+      const std::optional<Verdict> verdict =
+          verdict_s ? verdict_from_string(*verdict_s)
+                    : std::optional<Verdict>();
+      const auto steps = field_u64(line, "steps");
+      const auto ops = field_u64(line, "ops");
+      const auto hash = field_hex(line, "history_hash");
+      const auto detail = field_str(line, "detail");
+      if (!verdict || !steps || !ops || !hash || !detail) {
+        throw fail("missing field");
+      }
+      safety_.add(*key, *verdict, *steps, *ops, *hash, *detail);
+    } else if (kind_ == "term") {
+      const auto family = family_from_key(*key);
+      const auto terminated = field_bool(line, "terminated");
+      const auto capped = field_bool(line, "capped");
+      const auto safety_ok = field_bool(line, "safety_ok");
+      const auto error = field_bool(line, "error");
+      const auto rounds = field_u64(line, "rounds");
+      const auto stalled = field_u64(line, "stalled");
+      const auto coin_flips = field_u64(line, "coin_flips");
+      const auto steps = field_u64(line, "steps");
+      const auto hash = field_hex(line, "outcome_hash");
+      const auto detail = field_str(line, "detail");
+      if (!family || !terminated || !capped || !safety_ok || !error ||
+          !rounds || !stalled || !coin_flips || !steps || !hash || !detail) {
+        throw fail("missing field");
+      }
+      term::TermRecord r;
+      r.terminated = *terminated;
+      r.capped = *capped;
+      r.safety_ok = *safety_ok;
+      r.error = *error;
+      r.rounds = static_cast<int>(*rounds);
+      r.stalled = static_cast<int>(*stalled);
+      r.coin_flips = *coin_flips;
+      r.steps = *steps;
+      r.outcome_hash = *hash;
+      r.detail = *detail;
+      term_.add(*key, *family, r);
+    } else {
+      const auto found = field_str(line, "found");
+      const auto runs = field_u64(line, "runs");
+      const auto steps = field_u64(line, "steps");
+      const auto best_score = field_u64(line, "best_score");
+      const auto fingerprint = field_hex(line, "fingerprint");
+      const auto trace_fnv = field_hex(line, "trace_fnv");
+      const auto shrunk = field_bool(line, "shrunk");
+      const auto locally_minimal = field_bool(line, "locally_minimal");
+      const auto shrink_probes = field_u64(line, "shrink_probes");
+      const auto detail = field_str(line, "detail");
+      if (!found || !runs || !steps || !best_score || !fingerprint ||
+          !trace_fnv || !shrunk || !locally_minimal || !shrink_probes ||
+          !detail) {
+        throw fail("missing field");
+      }
+      explore::ExploreFold::Item it;
+      it.best_score = *best_score;
+      it.found_rank = *found == "violation" ? explore::kFoundRankViolation
+                      : *found == "blocked" ? explore::kFoundRankBlocked
+                                            : 0;
+      it.fingerprint = *fingerprint;
+      it.trace_fnv = *trace_fnv;
+      it.runs = *runs;
+      it.total_steps = *steps;
+      it.shrunk = *shrunk;
+      it.locally_minimal = *locally_minimal;
+      it.shrink_probes = *shrink_probes;
+      it.error = *found == "error";
+      it.detail = *detail;
+      explore_.add(*key, it);
+    }
+  }
+
+  /// Finishes the fold and lands the result in `out` (kind-specific
+  /// summary → shared MergeResult fields).  `hist_sink` receives the
+  /// term histograms; pass null for the per-shard digest check.
+  void finish_into(MergeResult* out, RecordSink* hist_sink) {
+    if (kind_ == "safety") {
+      const SweepSummary sum = safety_.finish();
+      out->stable_text = sum.stable_text();
+      out->digest = sum.digest;
+      out->failed = sum.violations > 0 || sum.errors > 0;
+    } else if (kind_ == "term") {
+      const term::TermSummary sum = term_.finish(hist_sink);
+      out->stable_text = sum.stable_text();
+      out->digest = sum.digest;
+      out->failed = sum.safety_violations > 0 || sum.errors > 0;
+    } else {
+      const explore::ExploreSummary sum = explore_.finish();
+      out->stable_text = sum.stable_text();
+      out->digest = sum.digest;
+      out->failed = sum.errors > 0;
+    }
+  }
+
+ private:
+  std::string kind_;
+  SweepFold safety_;
+  term::TermFold term_;
+  explore::ExploreFold explore_;
+};
+
+/// One shard store, parsed and validated in isolation.
+struct ParsedShard {
+  std::string name;
+  ShardSpec spec;
+  std::string kind;
+  std::string config;
+  std::uint64_t total = 0;
+  std::uint64_t trailer_digest = 0;
+  std::vector<std::string> lines;  ///< Scenario records, verbatim.
+  std::vector<std::uint64_t> gis;
+};
+
+ParsedShard parse_store(const ShardStore& in) {
+  ParsedShard p;
+  p.name = in.name;
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < in.content.size()) {
+    std::size_t end = in.content.find('\n', begin);
+    if (end == std::string::npos) end = in.content.size();
+    if (end > begin) lines.push_back(in.content.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (lines.size() < 2) {
+    throw std::runtime_error(p.name + ": not a shard store (expected a "
+                                      "shard header and trailer line)");
+  }
+  const std::string& header = lines.front();
+  if (field_str(header, "mode") != std::optional<std::string>("shard")) {
+    throw std::runtime_error(p.name + ": not a shard store (first line is "
+                                      "not a shard header; was the sweep "
+                                      "run with --shard?)");
+  }
+  const auto kind = field_str(header, "kind");
+  const auto config = field_str(header, "config");
+  const auto index = field_u64(header, "index");
+  const auto count = field_u64(header, "count");
+  const auto total = field_u64(header, "total");
+  const auto records = field_u64(header, "records");
+  if (!kind || !config || !index || !count || !total || !records) {
+    throw std::runtime_error(p.name + ": malformed shard header");
+  }
+  if (*kind != "safety" && *kind != "term" && *kind != "explore") {
+    throw std::runtime_error(p.name + ": unknown sweep kind \"" + *kind +
+                             "\"");
+  }
+  if (*count < 2 || *count > 0xffffffffu || *index >= *count) {
+    throw std::runtime_error(p.name + ": shard header index/count out of "
+                                      "range");
+  }
+  p.spec.index = static_cast<std::uint32_t>(*index);
+  p.spec.count = static_cast<std::uint32_t>(*count);
+  p.kind = *kind;
+  p.config = *config;
+  p.total = *total;
+  const std::string& trailer = lines.back();
+  if (field_str(trailer, "mode") != std::optional<std::string>("shard-end")) {
+    throw std::runtime_error(p.name + ": shard trailer missing (truncated "
+                                      "store?)");
+  }
+  const auto t_index = field_u64(trailer, "index");
+  const auto t_count = field_u64(trailer, "count");
+  const auto t_records = field_u64(trailer, "records");
+  const auto t_digest = field_hex(trailer, "digest");
+  if (!t_index || !t_count || !t_records || !t_digest) {
+    throw std::runtime_error(p.name + ": malformed shard trailer");
+  }
+  if (*t_index != *index || *t_count != *count) {
+    throw std::runtime_error(p.name + ": shard trailer identity disagrees "
+                                      "with the header");
+  }
+  p.trailer_digest = *t_digest;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    const auto mode = field_str(lines[i], "mode");
+    if (!mode) {
+      throw std::runtime_error(p.name + ": record without a mode field: " +
+                               lines[i].substr(0, 96));
+    }
+    // Per-shard term-hist partials are a convenience for eyeballing one
+    // slice; the merge recomputes the global ones from scenario records.
+    if (*mode == "term-hist") continue;
+    if (*mode == "shard" || *mode == "shard-end") {
+      throw std::runtime_error(p.name + ": unexpected nested shard "
+                                        "header/trailer");
+    }
+    const auto gi = field_u64(lines[i], "gi");
+    if (!gi) {
+      throw std::runtime_error(p.name + ": record without a global index: " +
+                               lines[i].substr(0, 96));
+    }
+    p.lines.push_back(lines[i]);
+    p.gis.push_back(*gi);
+  }
+  if (p.lines.size() != *records || *t_records != *records) {
+    throw std::runtime_error(
+        p.name + ": record count disagrees with header/trailer (store "
+                 "truncated or concatenated?)");
+  }
+  // Complete per-shard coverage: record j must sit at global index
+  // index + j·count — anything else is a gap, overlap, or reordering.
+  for (std::size_t j = 0; j < p.gis.size(); ++j) {
+    const std::uint64_t expect =
+        p.spec.index + static_cast<std::uint64_t>(j) * p.spec.count;
+    if (p.gis[j] != expect) {
+      throw std::runtime_error(
+          p.name + ": global-index coverage broken at record " +
+          std::to_string(j) + " (expected gi " + std::to_string(expect) +
+          ", found " + std::to_string(p.gis[j]) + ")");
+    }
+  }
+  if (p.lines.size() != p.spec.share(p.total)) {
+    throw std::runtime_error(
+        p.name + ": record count " + std::to_string(p.lines.size()) +
+        " is not shard " + p.spec.to_string() + "'s share of " +
+        std::to_string(p.total) + " scenarios");
+  }
+  return p;
+}
+
+}  // namespace
+
+MergeResult merge_shard_stores(const std::vector<ShardStore>& stores) {
+  if (stores.empty()) {
+    throw std::runtime_error("merge: no shard stores given");
+  }
+  std::vector<ParsedShard> shards;
+  shards.reserve(stores.size());
+  for (const ShardStore& s : stores) shards.push_back(parse_store(s));
+
+  const ParsedShard& ref = shards.front();
+  for (const ParsedShard& s : shards) {
+    if (s.kind != ref.kind) {
+      throw std::runtime_error(s.name + ": sweep kind \"" + s.kind +
+                               "\" does not match " + ref.name + " (\"" +
+                               ref.kind + "\")");
+    }
+    if (s.spec.count != ref.spec.count) {
+      throw std::runtime_error(s.name + ": shard count " +
+                               std::to_string(s.spec.count) +
+                               " does not match " + ref.name + " (" +
+                               std::to_string(ref.spec.count) + ")");
+    }
+    if (s.config != ref.config) {
+      throw std::runtime_error(s.name + ": sweep config\n  " + s.config +
+                               "\ndoes not match " + ref.name + "\n  " +
+                               ref.config);
+    }
+    if (s.total != ref.total) {
+      throw std::runtime_error(s.name + ": cross-product size " +
+                               std::to_string(s.total) +
+                               " does not match " + ref.name + " (" +
+                               std::to_string(ref.total) + ")");
+    }
+  }
+  const std::uint32_t count = ref.spec.count;
+  std::vector<const ParsedShard*> by_index(count, nullptr);
+  for (const ParsedShard& s : shards) {
+    const ParsedShard*& slot = by_index[s.spec.index];
+    if (slot != nullptr) {
+      throw std::runtime_error("duplicate shard " + s.spec.to_string() +
+                               ": " + slot->name + " and " + s.name);
+    }
+    slot = &s;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (by_index[i] == nullptr) {
+      throw std::runtime_error(
+          "missing shard " + std::to_string(i) + "/" +
+          std::to_string(count) + ": no store covers global indices " +
+          std::to_string(i) + ", " + std::to_string(i + count) + ", " +
+          std::to_string(i + 2ull * count) + ", …");
+    }
+  }
+
+  // Every shard's records must reproduce its own trailer digest — a
+  // tampered or bit-rotted store fails here, before it can poison the
+  // merged aggregate.
+  for (const ParsedShard& s : shards) {
+    KindFold partial(ref.kind);
+    for (const std::string& line : s.lines) partial.add(s.name, line);
+    MergeResult check;
+    partial.finish_into(&check, nullptr);
+    if (check.digest != s.trailer_digest) {
+      throw std::runtime_error(s.name + ": trailer digest mismatch (the "
+                                        "records do not reproduce the "
+                                        "digest the shard recorded)");
+    }
+  }
+
+  // Reconstitute global enumeration order — gi g lives in shard g mod N
+  // — re-folding as we go.  The result is the store and summary the
+  // unsharded run writes, byte for byte.
+  MergeResult out;
+  out.kind = ref.kind;
+  out.shards = count;
+  out.records = ref.total;
+  KindFold global(ref.kind);
+  std::vector<std::size_t> cursor(count, 0);
+  for (std::uint64_t gi = 0; gi < ref.total; ++gi) {
+    const ParsedShard& s = *by_index[gi % count];
+    const std::string& line = s.lines[cursor[gi % count]++];
+    global.add(s.name, line);
+    out.store += line;
+    out.store += '\n';
+  }
+  StringSink hist_sink;
+  global.finish_into(&out, &hist_sink);
+  out.store += hist_sink.text();
+  return out;
+}
+
+}  // namespace rlt::sweep

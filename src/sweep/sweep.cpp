@@ -13,11 +13,10 @@
 namespace rlt::sweep {
 namespace {
 
-constexpr std::size_t kMaxReportedFailures = 16;
-
-/// Enumeration materializes the full cross-product; refuse sizes that
-/// would exhaust memory before a single scenario runs.  (Streaming
-/// enumeration is the ROADMAP answer for sweeps beyond this.)
+/// Enumeration materializes this shard's share of the cross-product;
+/// refuse shares that would exhaust memory before a single scenario
+/// runs.  The cap is per shard — sharding raises the sweepable ceiling
+/// N-fold, which is the point of the fabric.
 constexpr std::uint64_t kMaxScenarios = 10'000'000;
 
 }  // namespace
@@ -50,10 +49,44 @@ std::vector<FaultPlan> plans_for(const SweepOptions& o, Algorithm alg) {
 
 }  // namespace
 
-std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
+std::string config_key(const SweepOptions& o) {
+  std::ostringstream os;
+  os << "algs=";
+  for (std::size_t i = 0; i < o.algorithms.size(); ++i) {
+    os << (i ? "," : "") << to_string(o.algorithms[i]);
+  }
+  os << " sems=";
+  for (std::size_t i = 0; i < o.semantics.size(); ++i) {
+    os << (i ? "," : "") << sim::to_string(o.semantics[i]);
+  }
+  os << " advs=";
+  for (std::size_t i = 0; i < o.adversaries.size(); ++i) {
+    os << (i ? "," : "") << to_string(o.adversaries[i]);
+  }
+  os << " faults=";
+  for (std::size_t i = 0; i < o.faults.size(); ++i) {
+    os << (i ? "," : "") << to_string(o.faults[i]);
+  }
+  os << " fseeds=";
+  for (std::size_t i = 0; i < o.crash_seeds.size(); ++i) {
+    os << (i ? "," : "") << o.crash_seeds[i];
+  }
+  os << " drop=" << o.drop_permille << " procs=";
+  for (std::size_t i = 0; i < o.process_counts.size(); ++i) {
+    os << (i ? "," : "") << o.process_counts[i];
+  }
+  os << " seeds=" << o.seed_begin << ':' << o.seed_end
+     << " writes=" << o.writes_per_process
+     << " max-actions=" << o.max_actions_per_scenario;
+  return os.str();
+}
+
+Enumeration enumerate_shard(const SweepOptions& o) {
   RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
   RLT_CHECK_MSG(!o.faults.empty(), "fault-kind list is empty");
   RLT_CHECK_MSG(!o.crash_seeds.empty(), "crash-seed list is empty");
+  RLT_CHECK_MSG(o.shard.count > 0 && o.shard.index < o.shard.count,
+                "shard index/count out of range");
   // Per-algorithm plan lists, built once (seeds are the outer loop).
   std::vector<std::vector<FaultPlan>> plans_by_alg;
   plans_by_alg.reserve(o.algorithms.size());
@@ -66,11 +99,16 @@ std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
   }
   configs *= o.adversaries.size() * o.process_counts.size();
   const std::uint64_t seeds = o.seed_end - o.seed_begin;
-  RLT_CHECK_MSG(seeds == 0 || configs <= kMaxScenarios / seeds,
-                "sweep cross-product exceeds the scenario limit; narrow "
-                "the seed range or axes");
-  std::vector<Scenario> out;
-  out.reserve(configs * seeds);
+  RLT_CHECK_MSG(configs == 0 || seeds <= UINT64_MAX / configs,
+                "sweep cross-product overflows");
+  Enumeration en;
+  en.total = configs * seeds;
+  RLT_CHECK_MSG(o.shard.share(en.total) <= kMaxScenarios,
+                "sweep cross-product exceeds the per-shard scenario limit; "
+                "narrow the seed range or axes, or use more shards");
+  en.global_indices.reserve(o.shard.share(en.total));
+  en.scenarios.reserve(o.shard.share(en.total));
+  std::uint64_t gi = 0;
   for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
     for (std::size_t ai = 0; ai < o.algorithms.size(); ++ai) {
       const Algorithm alg = o.algorithms[ai];
@@ -82,26 +120,36 @@ std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
         for (const AdversaryKind adv : o.adversaries) {
           for (const int procs : o.process_counts) {
             for (const FaultPlan& plan : plans) {
-              Scenario s;
-              s.algorithm = alg;
-              s.semantics = alg == Algorithm::kModeled
-                                ? o.semantics[si]
-                                : sim::Semantics::kAtomic;
-              s.adversary = adv;
-              s.processes = procs;
-              s.seed = seed;
-              s.writes_per_process = o.writes_per_process;
-              s.max_actions = o.max_actions_per_scenario;
-              s.faults = plan;
-              s.online_check = o.online;
-              out.push_back(s);
+              if (o.shard.owns(gi)) {
+                Scenario s;
+                s.algorithm = alg;
+                s.semantics = alg == Algorithm::kModeled
+                                  ? o.semantics[si]
+                                  : sim::Semantics::kAtomic;
+                s.adversary = adv;
+                s.processes = procs;
+                s.seed = seed;
+                s.writes_per_process = o.writes_per_process;
+                s.max_actions = o.max_actions_per_scenario;
+                s.faults = plan;
+                s.online_check = o.online;
+                en.global_indices.push_back(gi);
+                en.scenarios.push_back(s);
+              }
+              ++gi;
             }
           }
         }
       }
     }
   }
-  return out;
+  RLT_CHECK_MSG(gi == en.total, "enumeration count disagrees with the "
+                                "computed cross-product size");
+  return en;
+}
+
+std::vector<Scenario> enumerate_scenarios(const SweepOptions& o) {
+  return enumerate_shard(o).scenarios;
 }
 
 std::string SweepSummary::stable_text() const {
@@ -124,10 +172,42 @@ std::string SweepSummary::stable_text() const {
   return os.str();
 }
 
+SweepFold::SweepFold() { sum_.digest = kFnvOffset; }
+
+void SweepFold::add(const std::string& key, Verdict verdict,
+                    std::uint64_t steps, std::uint64_t ops,
+                    std::uint64_t history_hash, const std::string& detail) {
+  ++sum_.scenarios;
+  switch (verdict) {
+    case Verdict::kOk: ++sum_.ok; break;
+    case Verdict::kViolation: ++sum_.violations; break;
+    case Verdict::kBlocked: ++sum_.blocked; break;
+    case Verdict::kError: ++sum_.errors; break;
+  }
+  sum_.total_steps += steps;
+  sum_.total_ops += ops;
+  fnv_mix_str(sum_.digest, key);
+  fnv_mix_u64(sum_.digest, static_cast<std::uint64_t>(verdict));
+  fnv_mix_u64(sum_.digest, steps);
+  fnv_mix_u64(sum_.digest, ops);
+  fnv_mix_u64(sum_.digest, history_hash);
+  if (verdict != Verdict::kOk) {
+    if (sum_.failures.size() < kMaxReportedFailures) {
+      sum_.failures.push_back(key + ": [" + to_string(verdict) + "] " +
+                              detail);
+    } else {
+      ++sum_.failures_truncated;
+    }
+  }
+}
+
+SweepSummary SweepFold::finish() { return std::move(sum_); }
+
 SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
                        RecordSink* sink) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<Scenario> scenarios = enumerate_scenarios(o);
+  const Enumeration en = enumerate_shard(o);
+  const std::vector<Scenario>& scenarios = en.scenarios;
   std::vector<ScenarioResult> results(scenarios.size());
 
   std::uint64_t steal_count = 0;
@@ -154,34 +234,30 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
     steal_count = pool.steals();
   }
 
-  // Deterministic fold: enumeration order, no wall-clock fields.
-  SweepSummary sum;
-  sum.digest = kFnvOffset;
+  // Deterministic fold: enumeration order, no wall-clock fields.  The
+  // fold inputs are exactly the persisted record fields, so a merge that
+  // re-folds shard-store records reproduces this summary bit for bit.
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(shard_header_record("safety", o.shard, config_key(o),
+                                     en.total, scenarios.size()));
+  }
+  SweepFold fold;
+  std::uint64_t wall_ns_total = 0;
+  std::uint64_t wall_ns_max = 0;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioResult& r = results[i];
-    ++sum.scenarios;
-    switch (r.verdict) {
-      case Verdict::kOk: ++sum.ok; break;
-      case Verdict::kViolation: ++sum.violations; break;
-      case Verdict::kBlocked: ++sum.blocked; break;
-      case Verdict::kError: ++sum.errors; break;
-    }
-    sum.total_steps += r.steps;
-    sum.total_ops += r.ops;
-    sum.wall_ns_total += r.wall_ns;
-    if (r.wall_ns > sum.wall_ns_max) sum.wall_ns_max = r.wall_ns;
+    wall_ns_total += r.wall_ns;
+    if (r.wall_ns > wall_ns_max) wall_ns_max = r.wall_ns;
     const std::string key = scenarios[i].key();
-    fnv_mix_str(sum.digest, key);
-    fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.verdict));
-    fnv_mix_u64(sum.digest, r.steps);
-    fnv_mix_u64(sum.digest, r.ops);
-    fnv_mix_u64(sum.digest, r.history_hash);
+    fold.add(key, r.verdict, r.steps, r.ops, r.history_hash, r.detail);
     if (sink != nullptr) {
-      // Canonical per-scenario record: exactly the digest material (plus
-      // the failure detail), in a fixed field order, so the store is
-      // byte-identical whenever the digest is.
+      // Canonical per-scenario record: the global enumeration index,
+      // then exactly the digest material (plus the failure detail), in a
+      // fixed field order, so the store is byte-identical whenever the
+      // digest is — and mergeable whatever the shard count was.
       Record rec;
-      rec.str("key", key)
+      rec.u64("gi", en.global_indices[i])
+          .str("key", key)
           .str("mode", "safety")
           .str("verdict", to_string(r.verdict))
           .u64("steps", r.steps)
@@ -193,15 +269,13 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
           .str("detail", r.detail);
       sink->append(rec);
     }
-    if (r.verdict != Verdict::kOk) {
-      if (sum.failures.size() < kMaxReportedFailures) {
-        sum.failures.push_back(key + ": [" + to_string(r.verdict) + "] " +
-                               r.detail);
-      } else {
-        ++sum.failures_truncated;
-      }
-    }
   }
+  SweepSummary sum = fold.finish();
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(shard_trailer_record(o.shard, scenarios.size(), sum.digest));
+  }
+  sum.wall_ns_total = wall_ns_total;
+  sum.wall_ns_max = wall_ns_max;
   sum.steals = steal_count;
   sum.elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

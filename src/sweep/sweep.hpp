@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sweep/scenario.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/store.hpp"
 
 namespace rlt::sweep {
@@ -65,11 +66,41 @@ struct SweepOptions {
   /// an ERROR.  Excluded from scenario keys — an agreeing --online sweep
   /// produces records byte-identical to an offline one.
   bool online = false;
+  /// Which slice of the cross-product this process runs (see shard.hpp).
+  /// The default (1/1) is the classic unsharded sweep.  An execution
+  /// knob, not config: every shard of one logical sweep shares the same
+  /// config_key, and `shards + merge ≡ unsharded` byte-for-byte.
+  ShardSpec shard;
 };
 
-/// Materializes the cross-product, seeds outermost so that consecutive
-/// task ids cover different configs (better tail behaviour under
-/// stealing).  Order is deterministic; the digest folds in this order.
+/// The canonical config identity of a sweep: every axis that determines
+/// what the sweep computes (algorithms, semantics, adversaries, faults,
+/// seeds, workload shape), NONE of the knobs that only determine how it
+/// executes (threads, batch, shard, online).  Every shard-store header
+/// pins it, and the merge refuses shards whose configs differ.
+[[nodiscard]] std::string config_key(const SweepOptions& o);
+
+/// What enumeration yields under a shard: the owned scenarios plus the
+/// bookkeeping the store and the merge need.  `global_indices[i]` is the
+/// position scenarios[i] holds in the FULL cross-product — a pure
+/// function of the options, independent of shard count, which is what
+/// lets the merge reconstitute enumeration order mechanically.
+struct Enumeration {
+  std::uint64_t total = 0;  ///< Full cross-product size (all shards).
+  std::vector<std::uint64_t> global_indices;
+  std::vector<Scenario> scenarios;
+};
+
+/// Materializes this shard's slice of the cross-product, seeds outermost
+/// so that consecutive task ids cover different configs (better tail
+/// behaviour under stealing) and round-robin sharding spreads every
+/// config across all shards.  Order is deterministic; the digest folds
+/// in this order.  Memory scales with the owned share, so the scenario
+/// cap is per shard: sharding raises the sweepable ceiling N-fold.
+[[nodiscard]] Enumeration enumerate_shard(const SweepOptions& o);
+
+/// The owned scenarios alone (enumerate_shard without the bookkeeping);
+/// the full cross-product under the default shard.
 [[nodiscard]] std::vector<Scenario> enumerate_scenarios(const SweepOptions& o);
 
 /// Aggregated outcome of a sweep.
@@ -102,6 +133,34 @@ struct SweepSummary {
   /// The deterministic part, one line per field, byte-identical across
   /// runs with equal options.  (Timing fields are deliberately absent.)
   [[nodiscard]] std::string stable_text() const;
+};
+
+/// The deterministic half of the sweep aggregate as a composable fold:
+/// feed it exactly the per-scenario fields the store persists, in global
+/// enumeration order, and it produces the same counters, digest, failure
+/// list, and truncation marker whether the scenarios came from one
+/// process or were re-read from N merged shard stores.  run_sweep and
+/// merge_shard_stores share this object, which is what makes
+/// `shards + merge ≡ unsharded` an identity instead of a convention.
+class SweepFold {
+ public:
+  /// Failure lines kept verbatim; the rest fold into failures_truncated.
+  /// The cap applies to the GLOBAL fold — each shard reports its own
+  /// partial list, and the merge re-truncates in global order.
+  static constexpr std::size_t kMaxReportedFailures = 16;
+
+  SweepFold();
+
+  void add(const std::string& key, Verdict verdict, std::uint64_t steps,
+           std::uint64_t ops, std::uint64_t history_hash,
+           const std::string& detail);
+
+  /// The folded summary; wall-clock fields are zero (callers that
+  /// measured time fill them in afterwards).
+  [[nodiscard]] SweepSummary finish();
+
+ private:
+  SweepSummary sum_;
 };
 
 /// Runs the sweep on `o.threads` pool workers.  `progress_every` > 0

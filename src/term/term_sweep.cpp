@@ -14,7 +14,7 @@
 namespace rlt::term {
 namespace {
 
-constexpr std::size_t kMaxReportedFailures = 16;
+/// Per shard — sharding raises the sweepable ceiling N-fold.
 constexpr std::uint64_t kMaxScenarios = 10'000'000;
 
 /// Renders `num/den` as a fixed-point decimal with `digits` fractional
@@ -33,12 +33,37 @@ std::string fixed_ratio(std::uint64_t num, std::uint64_t den, int digits) {
 
 }  // namespace
 
-std::vector<TermScenario> enumerate_term_scenarios(const TermSweepOptions& o) {
+std::string config_key(const TermSweepOptions& o) {
+  std::ostringstream os;
+  os << "families=";
+  for (std::size_t i = 0; i < o.families.size(); ++i) {
+    os << (i ? "," : "") << to_string(o.families[i]);
+  }
+  os << " advs=";
+  for (std::size_t i = 0; i < o.adversaries.size(); ++i) {
+    os << (i ? "," : "") << to_string(o.adversaries[i]);
+  }
+  os << " procs=";
+  for (std::size_t i = 0; i < o.process_counts.size(); ++i) {
+    os << (i ? "," : "") << o.process_counts[i];
+  }
+  os << " rounds=";
+  for (std::size_t i = 0; i < o.round_budgets.size(); ++i) {
+    os << (i ? "," : "") << o.round_budgets[i];
+  }
+  os << " seeds=" << o.seed_begin << ':' << o.seed_end
+     << " max-actions=" << o.max_actions_per_scenario;
+  return os.str();
+}
+
+TermEnumeration enumerate_term_shard(const TermSweepOptions& o) {
   RLT_CHECK_MSG(o.seed_begin <= o.seed_end, "seed range is reversed");
   RLT_CHECK_MSG(!o.families.empty(), "family list is empty");
   RLT_CHECK_MSG(!o.adversaries.empty(), "adversary list is empty");
   RLT_CHECK_MSG(!o.process_counts.empty(), "process-count list is empty");
   RLT_CHECK_MSG(!o.round_budgets.empty(), "round-budget list is empty");
+  RLT_CHECK_MSG(o.shard.count > 0 && o.shard.index < o.shard.count,
+                "shard index/count out of range");
   std::uint64_t pairs = 0;
   for (const Family f : o.families) {
     for (const TermAdversary a : o.adversaries) {
@@ -48,31 +73,47 @@ std::vector<TermScenario> enumerate_term_scenarios(const TermSweepOptions& o) {
   const std::uint64_t configs =
       pairs * o.process_counts.size() * o.round_budgets.size();
   const std::uint64_t seeds = o.seed_end - o.seed_begin;
-  RLT_CHECK_MSG(seeds == 0 || configs <= kMaxScenarios / seeds,
-                "termination sweep cross-product exceeds the scenario "
-                "limit; narrow the seed range or axes");
-  std::vector<TermScenario> out;
-  out.reserve(configs * seeds);
+  RLT_CHECK_MSG(configs == 0 || seeds <= UINT64_MAX / configs,
+                "termination sweep cross-product overflows");
+  TermEnumeration en;
+  en.total = configs * seeds;
+  RLT_CHECK_MSG(o.shard.share(en.total) <= kMaxScenarios,
+                "termination sweep cross-product exceeds the per-shard "
+                "scenario limit; narrow the seed range or axes, or use "
+                "more shards");
+  en.global_indices.reserve(o.shard.share(en.total));
+  en.scenarios.reserve(o.shard.share(en.total));
+  std::uint64_t gi = 0;
   for (std::uint64_t seed = o.seed_begin; seed < o.seed_end; ++seed) {
     for (const Family f : o.families) {
       for (const TermAdversary a : o.adversaries) {
         if (!combination_valid(f, a)) continue;
         for (const int procs : o.process_counts) {
           for (const int rounds : o.round_budgets) {
-            TermScenario s;
-            s.family = f;
-            s.adversary = a;
-            s.processes = procs;
-            s.seed = seed;
-            s.max_rounds = rounds;
-            s.max_actions = o.max_actions_per_scenario;
-            out.push_back(s);
+            if (o.shard.owns(gi)) {
+              TermScenario s;
+              s.family = f;
+              s.adversary = a;
+              s.processes = procs;
+              s.seed = seed;
+              s.max_rounds = rounds;
+              s.max_actions = o.max_actions_per_scenario;
+              en.global_indices.push_back(gi);
+              en.scenarios.push_back(s);
+            }
+            ++gi;
           }
         }
       }
     }
   }
-  return out;
+  RLT_CHECK_MSG(gi == en.total, "enumeration count disagrees with the "
+                                "computed cross-product size");
+  return en;
+}
+
+std::vector<TermScenario> enumerate_term_scenarios(const TermSweepOptions& o) {
+  return enumerate_term_shard(o).scenarios;
 }
 
 std::string TermSummary::stable_text() const {
@@ -110,11 +151,116 @@ std::string TermSummary::stable_text() const {
   return os.str();
 }
 
+// Per-family histograms are keyed by the Family enum value (fixed small
+// range) and materialized into sum.hists in enum order at finish().
+namespace {
+constexpr std::size_t kFamilies = 4;
+static_assert(static_cast<std::size_t>(Family::kGame) == kFamilies - 1,
+              "a Family enumerator was added: grow the histogram fold");
+}  // namespace
+
+TermFold::TermFold()
+    : hist_by_family_(kFamilies), family_present_(kFamilies, false) {
+  sum_.digest = sweep::kFnvOffset;
+}
+
+void TermFold::add(const std::string& key, Family family,
+                   const TermRecord& r) {
+  const std::size_t fam = static_cast<std::size_t>(family);
+  FamilyRoundHist& hist = hist_by_family_[fam];
+  family_present_[fam] = true;
+  ++sum_.scenarios;
+  if (r.terminated) {
+    ++sum_.terminated;
+    sum_.rounds_sum += static_cast<std::uint64_t>(r.rounds);
+    sum_.round_max = std::max(sum_.round_max, r.rounds);
+    const std::size_t bucket = static_cast<std::size_t>(r.rounds);
+    if (hist.buckets.size() <= bucket) hist.buckets.resize(bucket + 1, 0);
+    ++hist.buckets[bucket];
+    ++hist.terminated;
+  } else if (r.capped) {
+    ++never_terminated_;
+    ++hist.capped;
+  }
+  if (r.capped) ++sum_.capped;
+  if (!r.safety_ok) ++sum_.safety_violations;
+  if (r.error) ++sum_.errors;
+  sum_.total_steps += r.steps;
+  sum_.total_coin_flips += r.coin_flips;
+  sweep::fnv_mix_str(sum_.digest, key);
+  sweep::fnv_mix_u64(sum_.digest, r.terminated ? 1 : 0);
+  sweep::fnv_mix_u64(sum_.digest, r.capped ? 1 : 0);
+  sweep::fnv_mix_u64(sum_.digest, r.safety_ok ? 1 : 0);
+  sweep::fnv_mix_u64(sum_.digest, r.error ? 1 : 0);
+  sweep::fnv_mix_u64(sum_.digest, static_cast<std::uint64_t>(r.rounds));
+  sweep::fnv_mix_u64(sum_.digest, static_cast<std::uint64_t>(r.stalled));
+  sweep::fnv_mix_u64(sum_.digest, r.coin_flips);
+  sweep::fnv_mix_u64(sum_.digest, r.steps);
+  sweep::fnv_mix_u64(sum_.digest, r.outcome_hash);
+  if (r.error || !r.safety_ok) {
+    if (sum_.failures.size() < kMaxReportedFailures) {
+      sum_.failures.push_back(key + ": " + r.detail);
+    } else {
+      ++sum_.failures_truncated;
+    }
+  }
+}
+
+TermSummary TermFold::finish(sweep::RecordSink* sink) {
+  // Materialize the per-family histograms in Family enum order and, when
+  // persisting, append one canonical record per family after the
+  // scenario records (same enumeration-order stability contract).
+  for (std::size_t fam = 0; fam < kFamilies; ++fam) {
+    if (!family_present_[fam]) continue;
+    FamilyRoundHist hist = std::move(hist_by_family_[fam]);
+    hist.family = static_cast<Family>(fam);
+    if (sink != nullptr) {
+      std::ostringstream buckets;
+      bool first = true;
+      for (std::size_t r = 0; r < hist.buckets.size(); ++r) {
+        if (hist.buckets[r] == 0) continue;
+        if (!first) buckets << ' ';
+        buckets << 'r' << r << ':' << hist.buckets[r];
+        first = false;
+      }
+      sweep::Record rec;
+      rec.str("key", std::string("term-hist/") + to_string(hist.family))
+          .str("mode", "term-hist")
+          .u64("terminated", hist.terminated)
+          .u64("capped", hist.capped)
+          .str("buckets", buckets.str());
+      sink->append(rec);
+    }
+    sum_.hists.push_back(std::move(hist));
+  }
+
+  // Survival tail at powers of two, computed from the histograms (they
+  // are a lossless summary of the decision rounds): runs that never
+  // terminated but hit a budget outlast every k (the Theorem 6
+  // signature); terminated runs outlast k while rounds > k.
+  if (sum_.terminated > 0 || never_terminated_ > 0) {
+    for (int k = 1; k <= std::max(sum_.round_max, 1); k *= 2) {
+      TailPoint t;
+      t.k = k;
+      t.over = never_terminated_;
+      for (const FamilyRoundHist& h : sum_.hists) {
+        for (std::size_t r = static_cast<std::size_t>(k) + 1;
+             r < h.buckets.size(); ++r) {
+          t.over += h.buckets[r];
+        }
+      }
+      sum_.tail.push_back(t);
+    }
+  }
+  return std::move(sum_);
+}
+
 TermSummary run_term_sweep(const TermSweepOptions& o,
                            std::uint64_t progress_every,
                            sweep::RecordSink* sink) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<TermScenario> scenarios = enumerate_term_scenarios(o);
+  const TermEnumeration en = enumerate_term_shard(o);
+  const std::vector<TermScenario>& scenarios = en.scenarios;
   std::vector<TermRecord> records(scenarios.size());
 
   std::uint64_t steal_count = 0;
@@ -141,58 +287,26 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
     steal_count = pool.steals();
   }
 
-  // Deterministic fold: enumeration order, no wall-clock fields.
-  TermSummary sum;
-  sum.digest = sweep::kFnvOffset;
-  std::vector<int> terminated_rounds;  ///< For the survival tail.
-  std::uint64_t never_terminated = 0;  ///< Capped-without-terminating.
-  // Per-family decision-round histograms, keyed by the Family enum value
-  // (fixed small range), materialized into sum.hists after the fold.
-  constexpr std::size_t kFamilies = 4;
-  static_assert(static_cast<std::size_t>(Family::kGame) == kFamilies - 1,
-                "a Family enumerator was added: grow the histogram fold");
-  std::vector<FamilyRoundHist> hist_by_family(kFamilies);
-  std::vector<bool> family_present(kFamilies, false);
+  // Deterministic fold: enumeration order, no wall-clock fields.  The
+  // fold inputs are exactly the persisted record fields, so a merge that
+  // re-folds shard-store records reproduces this summary bit for bit.
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(sweep::shard_header_record("term", o.shard, config_key(o),
+                                            en.total, scenarios.size()));
+  }
+  TermFold fold;
+  std::uint64_t wall_ns_total = 0;
+  std::uint64_t wall_ns_max = 0;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const TermRecord& r = records[i];
-    const std::size_t fam = static_cast<std::size_t>(scenarios[i].family);
-    FamilyRoundHist& hist = hist_by_family[fam];
-    family_present[fam] = true;
-    ++sum.scenarios;
-    if (r.terminated) {
-      ++sum.terminated;
-      sum.rounds_sum += static_cast<std::uint64_t>(r.rounds);
-      sum.round_max = std::max(sum.round_max, r.rounds);
-      terminated_rounds.push_back(r.rounds);
-      const std::size_t bucket = static_cast<std::size_t>(r.rounds);
-      if (hist.buckets.size() <= bucket) hist.buckets.resize(bucket + 1, 0);
-      ++hist.buckets[bucket];
-      ++hist.terminated;
-    } else if (r.capped) {
-      ++never_terminated;
-      ++hist.capped;
-    }
-    if (r.capped) ++sum.capped;
-    if (!r.safety_ok) ++sum.safety_violations;
-    if (r.error) ++sum.errors;
-    sum.total_steps += r.steps;
-    sum.total_coin_flips += r.coin_flips;
-    sum.wall_ns_total += r.wall_ns;
-    if (r.wall_ns > sum.wall_ns_max) sum.wall_ns_max = r.wall_ns;
+    wall_ns_total += r.wall_ns;
+    if (r.wall_ns > wall_ns_max) wall_ns_max = r.wall_ns;
     const std::string key = scenarios[i].key();
-    sweep::fnv_mix_str(sum.digest, key);
-    sweep::fnv_mix_u64(sum.digest, r.terminated ? 1 : 0);
-    sweep::fnv_mix_u64(sum.digest, r.capped ? 1 : 0);
-    sweep::fnv_mix_u64(sum.digest, r.safety_ok ? 1 : 0);
-    sweep::fnv_mix_u64(sum.digest, r.error ? 1 : 0);
-    sweep::fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.rounds));
-    sweep::fnv_mix_u64(sum.digest, static_cast<std::uint64_t>(r.stalled));
-    sweep::fnv_mix_u64(sum.digest, r.coin_flips);
-    sweep::fnv_mix_u64(sum.digest, r.steps);
-    sweep::fnv_mix_u64(sum.digest, r.outcome_hash);
+    fold.add(key, scenarios[i].family, r);
     if (sink != nullptr) {
       sweep::Record rec;
-      rec.str("key", key)
+      rec.u64("gi", en.global_indices[i])
+          .str("key", key)
           .str("mode", "term")
           .boolean("terminated", r.terminated)
           .boolean("capped", r.capped)
@@ -206,59 +320,17 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
           .str("detail", r.detail);
       sink->append(rec);
     }
-    if (r.error || !r.safety_ok) {
-      if (sum.failures.size() < kMaxReportedFailures) {
-        sum.failures.push_back(key + ": " + r.detail);
-      } else {
-        ++sum.failures_truncated;
-      }
-    }
   }
-
-  // Materialize the per-family histograms in Family enum order and, when
-  // persisting, append one canonical record per family after the
-  // scenario records (same enumeration-order stability contract).
-  for (std::size_t fam = 0; fam < kFamilies; ++fam) {
-    if (!family_present[fam]) continue;
-    FamilyRoundHist hist = std::move(hist_by_family[fam]);
-    hist.family = static_cast<Family>(fam);
-    if (sink != nullptr) {
-      std::ostringstream buckets;
-      bool first = true;
-      for (std::size_t r = 0; r < hist.buckets.size(); ++r) {
-        if (hist.buckets[r] == 0) continue;
-        if (!first) buckets << ' ';
-        buckets << 'r' << r << ':' << hist.buckets[r];
-        first = false;
-      }
-      sweep::Record rec;
-      rec.str("key", std::string("term-hist/") + to_string(hist.family))
-          .str("mode", "term-hist")
-          .u64("terminated", hist.terminated)
-          .u64("capped", hist.capped)
-          .str("buckets", buckets.str());
-      sink->append(rec);
-    }
-    sum.hists.push_back(std::move(hist));
+  // In a sharded store the per-family histogram records are this shard's
+  // PARTIALS (useful for eyeballing a slice; the merge recomputes the
+  // global ones from the scenario records and drops these).
+  TermSummary sum = fold.finish(sink);
+  if (sink != nullptr && o.shard.active()) {
+    sink->append(
+        sweep::shard_trailer_record(o.shard, scenarios.size(), sum.digest));
   }
-
-  // Survival tail at powers of two, from the plain round list collected
-  // above (not the records — no point dragging their strings through
-  // cache again): runs that never terminated but hit a budget outlast
-  // every k (the Theorem 6 signature); terminated runs outlast k while
-  // rounds > k.
-  if (!terminated_rounds.empty() || never_terminated > 0) {
-    for (int k = 1; k <= std::max(sum.round_max, 1); k *= 2) {
-      TailPoint t;
-      t.k = k;
-      t.over = never_terminated;
-      for (const int rounds : terminated_rounds) {
-        if (rounds > k) ++t.over;
-      }
-      sum.tail.push_back(t);
-    }
-  }
-
+  sum.wall_ns_total = wall_ns_total;
+  sum.wall_ns_max = wall_ns_max;
   sum.steals = steal_count;
   sum.elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/shard.hpp"
 #include "sweep/store.hpp"
 #include "term/term_scenario.hpp"
 
@@ -38,11 +39,32 @@ struct TermSweepOptions {
   int threads = 1;
   /// Scenarios per pool task (digest-independent; see SweepOptions).
   int batch_size = 16;
+  /// Which slice of the cross-product this process runs (see
+  /// sweep/shard.hpp); an execution knob, not config.
+  sweep::ShardSpec shard;
 };
 
-/// Materializes the cross-product, seeds outermost (consecutive task ids
-/// cover different configs).  Deterministic order; the digest and the
+/// The canonical config identity of a termination sweep (axes only, no
+/// execution knobs) — pinned in shard-store headers and checked by the
+/// merge.
+[[nodiscard]] std::string config_key(const TermSweepOptions& o);
+
+/// This shard's slice plus the bookkeeping the store and merge need
+/// (see sweep::Enumeration for the contract).
+struct TermEnumeration {
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> global_indices;
+  std::vector<TermScenario> scenarios;
+};
+
+/// Materializes this shard's slice of the cross-product, seeds outermost
+/// (consecutive task ids cover different configs; round robin spreads
+/// every config across shards).  Deterministic order; the digest and the
 /// result store fold in this order.
+[[nodiscard]] TermEnumeration enumerate_term_shard(const TermSweepOptions& o);
+
+/// The owned scenarios alone; the full cross-product under the default
+/// shard.
 [[nodiscard]] std::vector<TermScenario> enumerate_term_scenarios(
     const TermSweepOptions& o);
 
@@ -102,6 +124,34 @@ struct TermSummary {
   /// rendered with integer arithmetic so the bytes never depend on
   /// floating-point formatting.
   [[nodiscard]] std::string stable_text() const;
+};
+
+/// The deterministic half of the termination aggregate as a composable
+/// fold (the sweep::SweepFold counterpart): feed it, in global
+/// enumeration order, exactly the per-scenario fields the store
+/// persists, and it reproduces the counters, histograms, survival tail,
+/// digest, and truncation marker of an unsharded run — whether the
+/// records came from the pool or were re-read from N merged shard
+/// stores.  Wall-clock fields on the incoming TermRecord are ignored.
+class TermFold {
+ public:
+  static constexpr std::size_t kMaxReportedFailures = 16;
+
+  TermFold();
+
+  void add(const std::string& key, Family family, const TermRecord& r);
+
+  /// The folded summary (timing fields zero).  Materializes the
+  /// per-family histograms in Family enum order and computes the
+  /// survival tail from them; when `sink` is non-null, also appends one
+  /// canonical "term-hist/<family>" record per family present.
+  [[nodiscard]] TermSummary finish(sweep::RecordSink* sink);
+
+ private:
+  TermSummary sum_;
+  std::uint64_t never_terminated_ = 0;  ///< Capped-without-terminating.
+  std::vector<FamilyRoundHist> hist_by_family_;
+  std::vector<bool> family_present_;
 };
 
 /// Runs the sweep on `o.threads` pool workers.  `progress_every` > 0

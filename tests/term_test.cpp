@@ -278,8 +278,9 @@ TEST(TermStore, RecordsAreCanonicalJsonInEnumerationOrder) {
   std::size_t hists = 0;
   while (std::getline(is, line)) {
     if (i < scenarios.size()) {
-      const std::string prefix =
-          "{\"key\":\"" + scenarios[i].key() + "\",\"mode\":\"term\",";
+      const std::string prefix = "{\"gi\":" + std::to_string(i) +
+                                 ",\"key\":\"" + scenarios[i].key() +
+                                 "\",\"mode\":\"term\",";
       EXPECT_EQ(line.compare(0, prefix.size(), prefix), 0)
           << "line " << i << ": " << line;
     } else {

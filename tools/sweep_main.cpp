@@ -153,8 +153,26 @@ using rlt::term::TermSweepOptions;
       "  --out PATH          write one canonical JSONL record per scenario\n"
       "                      (byte-identical across --threads; diff stores\n"
       "                      with tools/sweep_diff.py)\n"
+      "  --shard I/N         run only shard I of N (0 <= I < N): the slice\n"
+      "                      of the cross-product whose global enumeration\n"
+      "                      index is congruent to I mod N.  Valid in every\n"
+      "                      sweep mode; --out stores gain a shard header/\n"
+      "                      trailer and per-record global indices, and\n"
+      "                      running all N shards + --merge reproduces the\n"
+      "                      unsharded store and digest byte-for-byte\n"
+      "                      (tools/sweep_shard.py runs the whole fabric as\n"
+      "                      one command)\n"
       "  --progress N        progress line every N scenarios (default: off)\n"
       "  --list              print the scenario keys and exit\n"
+      "merge mode:\n"
+      "  --merge FILE...     validate and merge the named shard stores\n"
+      "                      (written with --shard ... --out) back into the\n"
+      "                      exact store + summary of the unsharded run.\n"
+      "                      Standalone: only --out (the merged store path)\n"
+      "                      may accompany it.  Exits 2 on a missing,\n"
+      "                      duplicated, or inconsistent shard, naming the\n"
+      "                      offender; otherwise exits like the equivalent\n"
+      "                      sweep\n"
       "  --help              this text\n";
   std::exit(code);
 }
@@ -459,9 +477,11 @@ int main(int argc, char** argv) {
   bool term_mode = false;
   bool explore_mode = false;
   bool list_only = false;
+  bool merge_mode = false;
   std::uint64_t progress_every = 0;
   std::string out_path;
   std::string replay_path;
+  std::vector<std::string> merge_files;
   // Mode-specific flags are rejected in the other modes; collect what
   // was used, by category, so the check is order-independent.
   std::vector<std::string> safety_flags_used;   ///< safety mode only
@@ -478,6 +498,9 @@ int main(int argc, char** argv) {
   bool ablate_set = false;
   bool drop_prob_set = false;
   bool fault_menu_set = false;
+  bool threads_set = false;
+  bool seeds_set = false;
+  bool shard_set = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -493,8 +516,16 @@ int main(int argc, char** argv) {
     else if (a == "--list") list_only = true;
     else if (a == "--term") term_mode = true;
     else if (a == "--explore") explore_mode = true;
+    else if (a == "--merge") merge_mode = true;
     else if (a == "--replay") replay_path = next();
     else if (a == "--out") out_path = next();
+    else if (a == "--shard") {
+      shard_set = true;
+      const std::string v = next();
+      const auto spec = rlt::sweep::parse_shard(v);
+      if (!spec) bad_value("--shard", v);
+      opts.shard = *spec;
+    }
     else if (a == "--algorithms") {
       algo_flags_used.push_back(a);
       algorithms_set = true;
@@ -556,6 +587,7 @@ int main(int argc, char** argv) {
       processes_set = true;
       parse_processes(next(), opts);
     } else if (a == "--seeds") {
+      seeds_set = true;
       parse_seeds(next(), opts);
     } else if (a == "--writes") {
       // <= 99 keeps written_value()'s per-(role, index) encoding free of
@@ -575,6 +607,7 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       // Upper bound keeps a typo from asking the OS for an absurd number
       // of threads.
+      threads_set = true;
       opts.threads = static_cast<int>(parse_u64("--threads", next()));
       if (opts.threads < 1 || opts.threads > 1024) {
         bad_value("--threads", args[i]);
@@ -590,14 +623,41 @@ int main(int argc, char** argv) {
       opts.max_actions_per_scenario = parse_u64("--max-actions", next());
     } else if (a == "--progress") {
       progress_every = parse_u64("--progress", next());
+    } else if (!a.empty() && a[0] != '-') {
+      // Positional arguments are the shard stores of --merge; anywhere
+      // else they are a typo.
+      merge_files.push_back(a);
     } else {
       std::cerr << "sweep_main: unknown flag " << a << "\n";
       usage(2);
     }
   }
 
+  if (merge_mode) {
+    // Merge is standalone: it reads every config from the shard headers,
+    // so sweep axes, modes, and execution knobs make no sense here.
+    if (term_mode || explore_mode || list_only || !replay_path.empty() ||
+        shard_set || !safety_flags_used.empty() || !algo_flags_used.empty() ||
+        !term_flags_used.empty() || !family_flags_used.empty() ||
+        !explore_flags_used.empty() || processes_set || max_actions_set ||
+        batch_set || threads_set || seeds_set || progress_every > 0) {
+      std::cerr << "sweep_main: --merge is standalone (only --out may "
+                   "accompany it; every config comes from the shard "
+                   "headers)\n";
+      usage(2);
+    }
+    if (merge_files.empty()) {
+      std::cerr << "sweep_main: --merge needs at least one shard store\n";
+      usage(2);
+    }
+  } else if (!merge_files.empty()) {
+    std::cerr << "sweep_main: unexpected positional argument '"
+              << merge_files.front() << "' (shard stores go with --merge)\n";
+    usage(2);
+  }
   if (!replay_path.empty()) {
-    if (term_mode || explore_mode || !safety_flags_used.empty() ||
+    if (term_mode || explore_mode || shard_set ||
+        !safety_flags_used.empty() ||
         !algo_flags_used.empty() || !term_flags_used.empty() ||
         !family_flags_used.empty() || !explore_flags_used.empty()) {
       std::cerr << "sweep_main: --replay is standalone (it reads every "
@@ -691,6 +751,7 @@ int main(int argc, char** argv) {
     topts.seed_end = opts.seed_end;
     topts.threads = opts.threads;
     topts.batch_size = opts.batch_size;
+    topts.shard = opts.shard;
   }
   if (explore_mode) {
     if (families_set) eopts.families = topts.families;
@@ -709,12 +770,48 @@ int main(int argc, char** argv) {
     eopts.seed_begin = opts.seed_begin;
     eopts.seed_end = opts.seed_end;
     eopts.threads = opts.threads;
+    eopts.shard = opts.shard;
     // Search instances are heavy (budget × runs each); default to one
     // instance per pool task unless the caller asked otherwise.
     eopts.batch_size = batch_set ? opts.batch_size : 1;
   }
 
   try {
+    if (merge_mode) {
+      std::vector<rlt::sweep::ShardStore> stores;
+      stores.reserve(merge_files.size());
+      for (const std::string& path : merge_files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::cerr << "sweep_main: cannot open " << path << "\n";
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        stores.push_back(rlt::sweep::ShardStore{path, ss.str()});
+      }
+      // Validation failures (missing/duplicated shard, config mismatch,
+      // digest mismatch, …) throw and land in the catch-all → exit 2.
+      const rlt::sweep::MergeResult m =
+          rlt::sweep::merge_shard_stores(stores);
+      if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::binary);
+        out << m.store;
+        out.flush();
+        if (!out.good()) {
+          std::cerr << "sweep_main: cannot write " << out_path << "\n";
+          return 2;
+        }
+      }
+      // The reconstituted deterministic section — byte-identical to the
+      // unsharded run's — then merge provenance, which is not.
+      std::cout << m.stable_text;
+      std::cout << "--- merge (not digest material) ---\n"
+                << "kind " << m.kind << "\n"
+                << "shards " << m.shards << "\n"
+                << "records " << m.records << "\n";
+      return m.failed ? 1 : 0;
+    }
     if (list_only) {
       if (explore_mode) {
         for (const rlt::explore::ExploreInstance& e :

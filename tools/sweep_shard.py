@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Distributed-sweep coordinator: shard, run, stream, merge — one command.
+
+Usage:
+    tools/sweep_shard.py --shards N [options] -- <sweep_main args>
+
+Runs the given sweep (safety, --term, or --explore alike) as N
+independent `sweep_main --shard i/N` processes, streams their exit
+states as they land, then invokes `sweep_main --merge` to validate the
+shard set and reconstitute the exact store + digest the unsharded run
+would have produced (see src/sweep/shard.hpp for why that is an
+identity, not an approximation).  Example:
+
+    tools/sweep_shard.py --shards 4 --out store.jsonl -- \
+        --algorithms abd --faults minority --seeds 0:1000 --threads 4
+
+Options:
+  --shards N     shard count (>= 1; 1 degenerates to a plain run)
+  --bin PATH     sweep_main binary (default: build/sweep_main)
+  --out PATH     write the merged store here (as sweep_main --out would)
+  --jobs M       run at most M shard processes at once (default: all N)
+  --work-dir D   keep shard stores in D instead of a temp dir (kept on
+                 exit; the default temp dir is removed on success)
+  --hosts LIST   comma list of SSH hosts to spread shards over
+                 round-robin (shard i runs via `ssh <host[i mod H]>`).
+                 v1 hook point: hosts must share this filesystem (same
+                 repo path, same work dir) — a scheduler-grade fabric
+                 can replace this launcher without touching the merge.
+
+Everything after `--` goes to sweep_main verbatim.  The coordinator owns
+--shard/--merge/--out/--list/--replay, so those are rejected in the
+sweep args.
+
+Exit status: the merge's own exit status (0 clean, 1 the merged summary
+contains failures) — or 2 if any shard exits with a usage/machinery
+error, dies on a signal, or the merge rejects the shard set.
+"""
+
+import argparse
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import tempfile
+
+FORBIDDEN = ("--shard", "--merge", "--out", "--list", "--replay")
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True, usage=__doc__)
+    ap.add_argument("--shards", type=int, required=True)
+    ap.add_argument("--bin", default=os.path.join("build", "sweep_main"))
+    ap.add_argument("--out", default="")
+    ap.add_argument("--jobs", type=int, default=0)
+    ap.add_argument("--work-dir", default="")
+    ap.add_argument("--hosts", default="")
+    ap.add_argument("sweep_args", nargs="*")
+    args = ap.parse_args()
+
+    if args.shards < 1:
+        print("sweep_shard: --shards must be >= 1", file=sys.stderr)
+        return 2
+    sweep_args = args.sweep_args
+    # argparse keeps the "--" separator when present; drop it.
+    if sweep_args and sweep_args[0] == "--":
+        sweep_args = sweep_args[1:]
+    for flag in sweep_args:
+        if flag in FORBIDDEN:
+            print(f"sweep_shard: {flag} belongs to the coordinator, not "
+                  "the sweep args", file=sys.stderr)
+            return 2
+    hosts = [h for h in args.hosts.split(",") if h]
+
+    if args.work_dir:
+        work = args.work_dir
+        os.makedirs(work, exist_ok=True)
+        cleanup = False
+    else:
+        work = tempfile.mkdtemp(prefix="sweep_shard.")
+        cleanup = True
+
+    def command(index, store):
+        cmd = [args.bin] + sweep_args
+        if args.shards > 1:
+            cmd += ["--shard", f"{index}/{args.shards}"]
+        cmd += ["--out", store]
+        if hosts:
+            # SSH hook point (v1): same filesystem, same paths, one shard
+            # per `ssh host -- <command>`.
+            return ["ssh", hosts[index % len(hosts)], "--",
+                    shlex.join(cmd)]
+        return cmd
+
+    stores = [os.path.join(work, f"shard_{i}.jsonl")
+              for i in range(args.shards)]
+    jobs = args.jobs if args.jobs > 0 else args.shards
+    pending = list(range(args.shards))
+    running = {}  # pid -> (index, Popen)
+    hard_failed = False
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                i = pending.pop(0)
+                # Shard summaries go to stderr: stdout is reserved for
+                # the merged (= unsharded-identical) summary.
+                proc = subprocess.Popen(command(i, stores[i]),
+                                        stdout=sys.stderr.fileno()
+                                        if args.shards > 1 else None)
+                running[proc.pid] = (i, proc)
+                print(f"[sweep_shard] shard {i}/{args.shards} started "
+                      f"(pid {proc.pid})", file=sys.stderr)
+            pid, status = os.wait()
+            if pid not in running:
+                continue
+            i, proc = running.pop(pid)
+            rc = os.waitstatus_to_exitcode(status)
+            print(f"[sweep_shard] shard {i}/{args.shards} exited {rc}",
+                  file=sys.stderr)
+            # rc 1 means the shard's slice contains failures — its store
+            # is still complete and mergeable (the merged summary carries
+            # the verdict).  Anything else is a broken shard: stop early.
+            if rc not in (0, 1):
+                hard_failed = True
+                for _, (j, p) in running.items():
+                    p.terminate()
+                for _, (j, p) in running.items():
+                    p.wait()
+                running.clear()
+                print(f"[sweep_shard] shard {i}/{args.shards} failed "
+                      f"(exit {rc}); aborting before the merge",
+                      file=sys.stderr)
+                return 2
+
+        if args.shards == 1:
+            # Degenerate single-shard run: no bracket records were
+            # written, so there is nothing to merge — the one store IS
+            # the unsharded store.
+            if args.out:
+                shutil.copyfile(stores[0], args.out)
+            return 0
+
+        merge_cmd = [args.bin, "--merge"] + stores
+        if args.out:
+            merge_cmd += ["--out", args.out]
+        print(f"[sweep_shard] merging {args.shards} shard stores",
+              file=sys.stderr)
+        return subprocess.call(merge_cmd)
+    finally:
+        if cleanup and not hard_failed:
+            shutil.rmtree(work, ignore_errors=True)
+        elif cleanup:
+            print(f"[sweep_shard] shard stores kept in {work}",
+                  file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
