@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace rlt::checker {
@@ -57,6 +58,15 @@ struct SolveContext {
   const std::vector<Value>* initials = nullptr;
   Value single_initial = 0;
   int n = 0;
+
+  /// Search statistics, tallied locally (plain increments on this
+  /// context — no registry traffic inside the DFS) and flushed to the
+  /// obs registry once per solver entry when observability is on.
+  std::uint64_t stat_nodes = 0;
+  std::uint64_t stat_memo_hits = 0;
+  std::uint64_t stat_prune_doomed = 0;
+  std::uint64_t stat_prune_eager = 0;
+  std::uint64_t stat_prune_accept = 0;
 
   // State key for memoization (failed states / visited states).
   struct Key {
@@ -404,11 +414,18 @@ template <DfsMode M>
 bool dfs(SolveContext& ctx, std::uint64_t mask, Value value, int exact_next,
          std::vector<int>* order, std::set<Value>* out) {
   const SolveContext::Key key{mask, value};
+  ++ctx.stat_nodes;
   if constexpr (M == DfsMode::kFindOne) {
     if (ctx.done(mask)) return true;
-    if (ctx.seen.contains(key)) return false;
+    if (ctx.seen.contains(key)) {
+      ++ctx.stat_memo_hits;
+      return false;
+    }
   } else {
-    if (!ctx.seen.insert(key)) return false;
+    if (!ctx.seen.insert(key)) {
+      ++ctx.stat_memo_hits;
+      return false;
+    }
     if (ctx.done(mask)) out->insert(value);
   }
 
@@ -418,12 +435,14 @@ bool dfs(SolveContext& ctx, std::uint64_t mask, Value value, int exact_next,
             ? ctx.exact_suffix[static_cast<std::size_t>(exact_next)]
             : ctx.write_mask & ~mask;
     if (ctx.doomed(mask, value, future_writes)) {
+      ++ctx.stat_prune_doomed;
       if constexpr (M == DfsMode::kFindOne) ctx.seen.insert(key);
       return false;
     }
     if constexpr (M == DfsMode::kFindOne) {
       // Every completed read placed: only write obligations remain.
       if ((ctx.must_place_mask & ~ctx.write_mask & ~mask) == 0) {
+        ++ctx.stat_prune_accept;
         const std::size_t mark = order != nullptr ? order->size() : 0;
         if (ctx.try_accept_suffix(mask, exact_next, order)) return true;
         if (order != nullptr) order->resize(mark);
@@ -438,7 +457,10 @@ bool dfs(SolveContext& ctx, std::uint64_t mask, Value value, int exact_next,
     // Eager read: placing an available read of the current value first
     // dominates every other extension order — branch only on the lowest.
     const std::uint64_t cand_reads = cand & ~ctx.write_mask;
-    if (cand_reads != 0) cand = cand_reads & (~cand_reads + 1);
+    if (cand_reads != 0) {
+      ++ctx.stat_prune_eager;
+      cand = cand_reads & (~cand_reads + 1);
+    }
   }
   while (cand != 0) {
     const int id = std::countr_zero(cand);
@@ -470,10 +492,27 @@ std::span<const Value> initials_of(const SolveContext& ctx) {
   return {&ctx.single_initial, 1};
 }
 
+/// Flushes one solver entry's tallies to the metrics registry on every
+/// exit path.  The tallies themselves are plain members of the on-stack
+/// context, so the solver's hot path never touches the registry.
+struct StatFlush {
+  const SolveContext& ctx;
+  ~StatFlush() {
+    if (!obs::enabled()) return;
+    obs::count(obs::Counter::kCheckerSolverCalls);
+    obs::count(obs::Counter::kCheckerDfsNodes, ctx.stat_nodes);
+    obs::count(obs::Counter::kCheckerMemoHits, ctx.stat_memo_hits);
+    obs::count(obs::Counter::kCheckerPruneDoomed, ctx.stat_prune_doomed);
+    obs::count(obs::Counter::kCheckerPruneEagerRead, ctx.stat_prune_eager);
+    obs::count(obs::Counter::kCheckerPruneAccept, ctx.stat_prune_accept);
+  }
+};
+
 }  // namespace
 
 LinSolution solve(const LinProblem& problem) {
   SolveContext ctx = make_context(problem);
+  const StatFlush flush{ctx};
   LinSolution out;
   if (!exact_order_covers_completed(ctx)) return out;
 
@@ -495,6 +534,7 @@ LinSolution solve(const LinProblem& problem) {
 
 bool feasible(const LinProblem& problem) {
   SolveContext ctx = make_context(problem);
+  const StatFlush flush{ctx};
   if (!exact_order_covers_completed(ctx)) return false;
   for (const Value init : initials_of(ctx)) {
     if (dfs<DfsMode::kFindOne>(ctx, 0, init, 0, nullptr, nullptr)) {
@@ -506,6 +546,7 @@ bool feasible(const LinProblem& problem) {
 
 std::set<Value> feasible_final_values(const LinProblem& problem) {
   SolveContext ctx = make_context(problem);
+  const StatFlush flush{ctx};
   std::set<Value> out;
   if (!exact_order_covers_completed(ctx)) return out;
   for (const Value init : initials_of(ctx)) {

@@ -9,6 +9,9 @@
 
 #include "explore/policy.hpp"
 #include "explore/shrink.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "sim/schedule_policy.hpp"
 #include "sweep/fnv.hpp"
 #include "sweep/pool.hpp"
@@ -470,13 +473,46 @@ void ExploreFold::add(const std::string& key, const Item& it) {
 
 ExploreSummary ExploreFold::finish() { return std::move(sum_); }
 
+namespace {
+
+/// Progress outcome class of one instance (the four class slots of the
+/// progress protocol: done / found / other / err).  "found" = the
+/// search located what it hunts (a violation/blocked schedule, or a
+/// budget-defeating survival for the rounds objective).
+int progress_class(const ExploreInstance& e,
+                   const ExploreOutcome& r) noexcept {
+  if (r.error) return 3;
+  const bool found = e.objective == Objective::kViolation
+                         ? r.found_rank >= kRankBlocked
+                         : r.detail == "capped";
+  return found ? 1 : 0;
+}
+
+}  // namespace
+
 ExploreSummary run_explore(const ExploreOptions& o,
                            std::uint64_t progress_every,
-                           sweep::RecordSink* sink) {
+                           sweep::RecordSink* sink, const obs::Hooks* hooks) {
   const auto t0 = std::chrono::steady_clock::now();
   const ExploreEnumeration en = enumerate_explore_shard(o);
   const std::vector<ExploreInstance>& instances = en.instances;
   std::vector<ExploreOutcome> outcomes(instances.size());
+
+  const bool tracing = hooks != nullptr && hooks->trace != nullptr;
+  if (tracing) obs::set_enabled(true);
+  std::vector<obs::CounterDelta> deltas(tracing ? instances.size() : 0);
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (hooks != nullptr && hooks->progress_on()) {
+    obs::ProgressOptions po;
+    po.total = instances.size();
+    po.mode = "explore";
+    // "clean", not "done": the protocol's state counter already uses
+    // the "done" key, and every key in a line must be unique.
+    po.classes = {"clean", "found", "other", "err"};
+    po.fd = hooks->progress_fd;
+    po.heartbeat_ms = hooks->heartbeat_ms;
+    meter = std::make_unique<obs::ProgressMeter>(po);
+  }
 
   std::uint64_t steal_count = 0;
   {
@@ -484,23 +520,54 @@ ExploreSummary run_explore(const ExploreOptions& o,
     std::atomic<std::uint64_t> completed{0};
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, o.batch_size));
+    obs::ProgressMeter* const meter_p = meter.get();
     for (std::size_t begin = 0; begin < instances.size(); begin += batch) {
       const std::size_t end = std::min(begin + batch, instances.size());
-      pool.submit([&instances, &outcomes, &completed, progress_every, begin,
-                   end] {
+      pool.submit([&instances, &outcomes, &completed, &deltas, progress_every,
+                   begin, end, tracing, meter_p] {
+        const bool timing = obs::enabled();
+        const auto bt0 = std::chrono::steady_clock::now();
         for (std::size_t i = begin; i < end; ++i) {
+          obs::CounterDelta before;
+          if (tracing) before = obs::thread_counters();
           outcomes[i] = run_explore_instance(instances[i]);
+          if (obs::enabled()) {
+            obs::count(obs::Counter::kExploreRuns, outcomes[i].runs);
+            obs::count(obs::Counter::kExploreShrinkProbes,
+                       outcomes[i].shrink_probes);
+            obs::count(obs::Counter::kExploreSteps, outcomes[i].total_steps);
+          }
+          if (tracing) {
+            obs::CounterDelta after = obs::thread_counters();
+            after -= before;
+            deltas[i] = after;
+          }
+          if (meter_p != nullptr) {
+            meter_p->tick(progress_class(instances[i], outcomes[i]));
+          }
           const std::uint64_t done =
               completed.fetch_add(1, std::memory_order_relaxed) + 1;
           if (progress_every > 0 && done % progress_every == 0) {
             std::cerr << "[explore] " << done << " instances done\n";
           }
         }
+        if (timing) {
+          obs::count(obs::Counter::kPoolTasks);
+          obs::hist(obs::Hist::kPoolTaskNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - bt0)
+                            .count()));
+        }
       });
     }
     pool.wait_idle();
     steal_count = pool.steals();
   }
+  obs::count(obs::Counter::kPoolSteals, steal_count);
+  obs::gauge_max(obs::Gauge::kPoolThreads,
+                 static_cast<std::uint64_t>(std::max(1, o.threads)));
+  if (meter) meter->finish();
 
   // Deterministic fold: enumeration order, no wall-clock fields.  The
   // fold inputs are exactly the persisted record fields, so a merge that
@@ -573,6 +640,35 @@ ExploreSummary run_explore(const ExploreOptions& o,
           .str("detail", r.detail);
       sink->append(rec);
     }
+    if (tracing) {
+      // Enumeration-order span, byte-stable across threads/batch; wall
+      // clock only under trace_times.
+      sweep::Record span;
+      span.str("obs", "span")
+          .u64("gi", en.global_indices[i])
+          .str("key", key)
+          .str("mode", "explore")
+          .u64("runs", r.runs)
+          .u64("best_score", r.best_score)
+          .u64("shrink_probes", r.shrink_probes)
+          .u64("steps", r.total_steps);
+      if (hooks->trace_times) span.u64("wall_ns", r.wall_ns);
+      obs::append_stable_deltas(deltas[i], span);
+      hooks->trace->append(span);
+    }
+  }
+  if (tracing && hooks->trace_times) {
+    sweep::Record close;
+    close.str("obs", "span")
+        .str("span", "sweep")
+        .str("mode", "explore")
+        .u64("scenarios", instances.size())
+        .u64("elapsed_ns",
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count()));
+    hooks->trace->append(close);
   }
   ExploreSummary sum = fold.finish();
   if (sink != nullptr && o.shard.active()) {

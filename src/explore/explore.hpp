@@ -40,6 +40,10 @@
 #include "sweep/store.hpp"
 #include "term/term_scenario.hpp"
 
+namespace rlt::obs {
+struct Hooks;
+}  // namespace rlt::obs
+
 namespace rlt::explore {
 
 enum class Objective : std::uint8_t { kRounds, kViolation };
@@ -253,10 +257,13 @@ class ExploreFold {
 /// Runs the search on `o.threads` pool workers.  When `sink` is
 /// non-null, one canonical record per instance — including the encoded
 /// best trace, replayable via replay_trace / sweep_main --replay — is
-/// appended in enumeration order after the pool drains.
+/// appended in enumeration order after the pool drains.  `hooks`
+/// (obs/hooks.hpp) attaches the observability fabric — trace spans
+/// and/or live progress; never digest material (see sweep::run_sweep).
 [[nodiscard]] ExploreSummary run_explore(const ExploreOptions& o,
                                          std::uint64_t progress_every = 0,
-                                         sweep::RecordSink* sink = nullptr);
+                                         sweep::RecordSink* sink = nullptr,
+                                         const obs::Hooks* hooks = nullptr);
 
 /// Rebuilds an instance + trace from a store record line written by
 /// run_explore (the "--replay" path).  Returns nullopt (with an error in

@@ -97,6 +97,7 @@ int AbdRegister::begin_write(Value v) {
   op.write_ts = writer_ts_;
   op.write_value = v;
   ops_[token] = op;
+  ++round_trips_;
   net_.broadcast(writer_, kMsgWrite, {token, writer_ts_, v});
   return token;
 }
@@ -113,6 +114,7 @@ int AbdRegister::begin_read(NodeId reader) {
   op.home = reader;
   op.hl = recorder_.begin_op(reader, 0, history::OpKind::kRead, 0, tick());
   ops_[token] = op;
+  ++round_trips_;
   net_.broadcast(reader, kMsgRead, {token});
   return token;
 }
@@ -158,6 +160,7 @@ void AbdRegister::on_server_message(NodeId at, const Message& m) {
         op.kind = ClientOp::Kind::kReadWriteBack;
         op.heard = 0;
         op.next_retry = 0;  // re-arm the retransmission timer afresh
+        ++round_trips_;
         net_.broadcast(op.home, kMsgWrite, {token, op.best_ts, op.best_value});
       }
       break;
@@ -195,6 +198,7 @@ bool AbdRegister::retransmit_eligible(const ClientOp& op) const {
 }
 
 void AbdRegister::rebroadcast_phase(int token, const ClientOp& op) {
+  ++round_trips_;
   switch (op.kind) {
     case ClientOp::Kind::kWrite:
       net_.broadcast(op.home, kMsgWrite, {token, op.write_ts, op.write_value});

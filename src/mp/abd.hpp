@@ -99,6 +99,14 @@ class AbdRegister {
     return retransmits_;
   }
 
+  /// Message-complexity accounting: total client-side round trips —
+  /// every phase broadcast counts one (a write's single phase, a read's
+  /// query and write-back phases, and each retransmission rebroadcast).
+  /// A fault-free classic-ABD write is 1, a fault-free read is 2.
+  [[nodiscard]] std::uint64_t round_trips() const noexcept {
+    return round_trips_;
+  }
+
   /// Starts a write (only the writer node; ABD is single-writer — calls
   /// while another write is pending are illegal and throw).
   /// Returns an operation token.
@@ -186,6 +194,7 @@ class AbdRegister {
   bool fault_tolerant_ = false;
   std::uint64_t retry_base_ = 8;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t round_trips_ = 0;
   util::Rng retry_rng_{0};
 };
 

@@ -77,6 +77,7 @@ class Network {
     m.type = type;
     m.payload = std::move(payload);
     m.seq = ++sent_;
+    bytes_sent_ += wire_bytes(m);
     in_flight_.push_back(std::move(m));
   }
 
@@ -98,6 +99,13 @@ class Network {
     return in_flight_;
   }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  /// Wire bytes enqueued (message-complexity accounting): every sent
+  /// envelope, fabric duplicates included, at 8 bytes per header word
+  /// (from, to, type, seq) and per payload word.  A pure function of
+  /// the messages sent — deterministic, observability-only.
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
   /// Messages handed to a live, reachable receiver's on_message.
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return delivered_;
@@ -155,6 +163,7 @@ class Network {
     if (unreliable_ && dup_permille_ > 0 &&
         fabric_rng_.chance(dup_permille_, 1000)) {
       ++duplicated_;
+      bytes_sent_ += wire_bytes(m);
       in_flight_.push_back(m);  // same seq: dedup-able by the receiver
     }
     nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
@@ -172,6 +181,7 @@ class Network {
   void duplicate_at(std::size_t index) {
     RLT_CHECK(index < in_flight_.size());
     ++duplicated_;
+    bytes_sent_ += wire_bytes(in_flight_[index]);
     in_flight_.push_back(in_flight_[index]);
   }
 
@@ -228,6 +238,10 @@ class Network {
     return n >= 0 && n < node_count();
   }
 
+  [[nodiscard]] static std::uint64_t wire_bytes(const Message& m) noexcept {
+    return 8 * (4 + m.payload.size());  // from, to, type, seq + payload
+  }
+
   [[nodiscard]] bool cut(NodeId from, NodeId to) const {
     return partitioned_ && side_[static_cast<std::size_t>(from)] !=
                                side_[static_cast<std::size_t>(to)];
@@ -248,6 +262,7 @@ class Network {
   std::vector<std::pair<std::uint64_t, NodeId>> send_crashes_;
   std::size_t next_send_crash_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
   std::uint64_t send_attempts_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

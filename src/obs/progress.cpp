@@ -1,0 +1,112 @@
+#include "obs/progress.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sweep/store.hpp"
+
+namespace rlt::obs {
+
+namespace {
+
+constexpr std::uint64_t kDefaultPeriodMs = 500;
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(const ProgressOptions& o)
+    : opts_(o), start_(std::chrono::steady_clock::now()) {
+  if (opts_.fd >= 0 || opts_.heartbeat_ms > 0) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::tick(int cls) noexcept {
+  if (cls >= 0 && cls < 4) {
+    class_counts_[static_cast<std::size_t>(cls)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::finish() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  if (opts_.fd >= 0 || opts_.heartbeat_ms > 0) emit(/*final=*/true);
+}
+
+void ProgressMeter::monitor_loop() {
+  const std::uint64_t period_ms =
+      opts_.heartbeat_ms > 0 ? opts_.heartbeat_ms : kDefaultPeriodMs;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms));
+    if (stopping_) break;  // the final emit happens in finish()
+    lock.unlock();
+    emit(/*final=*/false);
+    lock.lock();
+  }
+}
+
+void ProgressMeter::emit(bool final) {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  std::array<std::uint64_t, 4> cls{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    cls[i] = class_counts_[i].load(std::memory_order_relaxed);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto elapsed_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count());
+  // Integer rate (scenarios/sec) and ETA — no floating point anywhere,
+  // so consumers never see locale- or formatting-dependent bytes.
+  const std::uint64_t rate =
+      elapsed_ms > 0 ? done * 1000 / elapsed_ms : 0;
+  const std::uint64_t remaining = opts_.total > done ? opts_.total - done : 0;
+  const std::uint64_t eta_ms = done > 0 ? remaining * elapsed_ms / done : 0;
+
+  if (opts_.fd >= 0) {
+    sweep::Record r;
+    r.str("obs", "progress")
+        .str("mode", opts_.mode)
+        .str("state", final ? "done" : "run")
+        .u64("done", done)
+        .u64("total", opts_.total)
+        .u64("elapsed_ms", elapsed_ms)
+        .u64("eta_ms", eta_ms)
+        .u64("rate", rate);
+    for (std::size_t i = 0; i < 4; ++i) r.u64(opts_.classes[i], cls[i]);
+    const std::string line = r.json() + "\n";
+    // One write per line: lines up to PIPE_BUF are atomic on pipes, so
+    // a coordinator multiplexing several shards never sees torn lines.
+    [[maybe_unused]] const auto n =
+        ::write(opts_.fd, line.data(), line.size());
+  }
+  if (opts_.heartbeat_ms > 0) {
+    const std::uint64_t pct = opts_.total > 0 ? done * 100 / opts_.total : 0;
+    std::fprintf(stderr,
+                 "[%.*s] %" PRIu64 "/%" PRIu64 " (%" PRIu64 "%%) %" PRIu64
+                 "/s eta %" PRIu64 "s %.*s=%" PRIu64 " %.*s=%" PRIu64
+                 " %.*s=%" PRIu64 " %.*s=%" PRIu64 "%s\n",
+                 static_cast<int>(opts_.mode.size()), opts_.mode.data(), done,
+                 opts_.total, pct, rate, (eta_ms + 999) / 1000,
+                 static_cast<int>(opts_.classes[0].size()),
+                 opts_.classes[0].data(), cls[0],
+                 static_cast<int>(opts_.classes[1].size()),
+                 opts_.classes[1].data(), cls[1],
+                 static_cast<int>(opts_.classes[2].size()),
+                 opts_.classes[2].data(), cls[2],
+                 static_cast<int>(opts_.classes[3].size()),
+                 opts_.classes[3].data(), cls[3], final ? " [done]" : "");
+  }
+}
+
+}  // namespace rlt::obs

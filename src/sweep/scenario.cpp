@@ -13,6 +13,7 @@
 #include "checker/wsl_checker.hpp"
 #include "mp/abd.hpp"
 #include "mp/network.hpp"
+#include "obs/metrics.hpp"
 #include "registers/alg2_register.hpp"
 #include "registers/alg4_register.hpp"
 #include "sim/adversary.hpp"
@@ -135,6 +136,14 @@ void check_history(const History& h, bool expect_wsl, bool online,
     // split is a checker bug (either side), which must surface loudly
     // rather than silently trusting one of the two.
     const checker::StreamingChecker sc = checker::check_stream(h);
+    if (obs::enabled()) {
+      obs::count(obs::Counter::kStreamEvents, sc.events_processed());
+      obs::count(obs::Counter::kStreamCollapses, sc.collapses());
+      obs::count(obs::Counter::kStreamSolverCalls, sc.solver_calls());
+      obs::count(obs::Counter::kStreamRetiredOps, sc.retired_ops());
+      obs::gauge_max(obs::Gauge::kStreamPeakLiveOps, sc.peak_live_ops());
+      obs::hist(obs::Hist::kStreamPeakLive, sc.peak_live_ops());
+    }
     if (!sc.error().empty()) {
       out.verdict = Verdict::kError;
       out.detail = "online checker could not validate the stream: " +
@@ -161,6 +170,11 @@ void check_history(const History& h, bool expect_wsl, bool online,
   if (expect_wsl) {
     const checker::WslCheckResult wsl =
         checker::check_write_strong_linearizable(h);
+    if (obs::enabled()) {
+      obs::count(obs::Counter::kWslSolverCalls, wsl.solver_calls);
+      obs::count(obs::Counter::kWslCacheHits, wsl.cache_hits);
+      obs::count(obs::Counter::kWslCacheMisses, wsl.cache_misses);
+    }
     if (!wsl.ok) {
       out.verdict = Verdict::kViolation;
       out.detail = "write strong-linearizability violated: " +
@@ -751,6 +765,18 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   out.net_delivered = net.messages_delivered();
   out.net_dropped = net.messages_dropped();
   out.net_duplicated = net.messages_duplicated();
+  out.net_msgs = net.messages_sent();
+  out.net_bytes = net.bytes_sent();
+  out.net_round_trips = reg.round_trips();
+  if (obs::enabled()) {
+    obs::count(obs::Counter::kNetMsgsSent, net.messages_sent());
+    obs::count(obs::Counter::kNetBytesSent, net.bytes_sent());
+    obs::count(obs::Counter::kNetDelivered, net.messages_delivered());
+    obs::count(obs::Counter::kNetDropped, net.messages_dropped());
+    obs::count(obs::Counter::kNetDuplicated, net.messages_duplicated());
+    obs::count(obs::Counter::kNetRetransmits, reg.retransmits());
+    obs::count(obs::Counter::kAbdRoundTrips, reg.round_trips());
+  }
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
   // Theorem 14: linearizable SWMR implementations (ABD included) are
@@ -856,6 +882,20 @@ std::string Scenario::key() const {
 void classify_run(const History& h, bool expect_wsl, RunEnd end,
                   const std::string& end_detail, ScenarioResult& out,
                   bool online) {
+  // Attributes the checker's share of the scenario wall time on every
+  // exit path (check_ns <= wall_ns; measured, never digest material).
+  struct CheckTimer {
+    ScenarioResult& out;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    ~CheckTimer() {
+      out.check_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  };
+  const CheckTimer timer{out};
   // The backtracking solver handles at most 64 ops per register; sweep
   // workloads stay far below that, but a programmatic caller could
   // exceed it.  Degrade to "unvalidated" rather than throw.
@@ -971,6 +1011,10 @@ ScenarioResult run_scenario_impl(const Scenario& s,
   } catch (...) {
     out.verdict = Verdict::kError;
     out.detail = "unknown exception";
+  }
+  if (obs::enabled()) {
+    obs::count(obs::Counter::kSweepScenarios);
+    obs::hist(obs::Hist::kScenarioOps, out.ops);
   }
   out.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -222,12 +222,18 @@ struct ScenarioResult {
   std::uint64_t ops = 0;          ///< Completed high-level operations.
   std::uint64_t history_hash = 0; ///< FNV-1a over the recorded history.
   std::uint64_t wall_ns = 0;      ///< Measured; NOT part of any digest.
+  std::uint64_t check_ns = 0;     ///< Checker share of wall_ns; measured.
   // Message accounting (ABD family; zero for the simulator families).
   // Deterministic, recorded in stores, but NOT digest material — the
   // digest predates the split counters.
   std::uint64_t net_delivered = 0;   ///< Handed to a live receiver.
   std::uint64_t net_dropped = 0;     ///< Crashed/cut/lossy consumes.
   std::uint64_t net_duplicated = 0;  ///< Fabric-duplicated copies.
+  // Message-complexity accounting (the ROADMAP's messages/bits-per-op
+  // axis; same deterministic-but-not-digest-material contract).
+  std::uint64_t net_msgs = 0;        ///< Envelopes sent (dups included).
+  std::uint64_t net_bytes = 0;       ///< Wire bytes sent (8 B/word).
+  std::uint64_t net_round_trips = 0; ///< ABD phase broadcasts incl. rexmits.
   std::string detail;             ///< Failure explanation (empty if kOk).
 };
 

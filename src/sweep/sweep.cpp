@@ -4,8 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "sweep/fnv.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
@@ -203,12 +207,44 @@ void SweepFold::add(const std::string& key, Verdict verdict,
 
 SweepSummary SweepFold::finish() { return std::move(sum_); }
 
+namespace {
+
+/// Progress outcome class of a safety verdict (the four class slots of
+/// the progress protocol: ok / viol / blocked / err).
+int progress_class(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kOk: return 0;
+    case Verdict::kViolation: return 1;
+    case Verdict::kBlocked: return 2;
+    case Verdict::kError: return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
 SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
-                       RecordSink* sink) {
+                       RecordSink* sink, const obs::Hooks* hooks) {
   const auto t0 = std::chrono::steady_clock::now();
   const Enumeration en = enumerate_shard(o);
   const std::vector<Scenario>& scenarios = en.scenarios;
   std::vector<ScenarioResult> results(scenarios.size());
+
+  // Tracing needs the registry live: per-scenario spans carry counter
+  // deltas captured on the worker thread around each scenario.
+  const bool tracing = hooks != nullptr && hooks->trace != nullptr;
+  if (tracing) obs::set_enabled(true);
+  std::vector<obs::CounterDelta> deltas(tracing ? scenarios.size() : 0);
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (hooks != nullptr && hooks->progress_on()) {
+    obs::ProgressOptions po;
+    po.total = scenarios.size();
+    po.mode = "safety";
+    po.classes = {"ok", "viol", "blocked", "err"};
+    po.fd = hooks->progress_fd;
+    po.heartbeat_ms = hooks->heartbeat_ms;
+    meter = std::make_unique<obs::ProgressMeter>(po);
+  }
 
   std::uint64_t steal_count = 0;
   {
@@ -216,23 +252,50 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
     std::atomic<std::uint64_t> completed{0};
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, o.batch_size));
+    obs::ProgressMeter* const meter_p = meter.get();
     for (std::size_t begin = 0; begin < scenarios.size(); begin += batch) {
       const std::size_t end = std::min(begin + batch, scenarios.size());
-      pool.submit([&scenarios, &results, &completed, progress_every, begin,
-                   end] {
+      pool.submit([&scenarios, &results, &completed, &deltas, progress_every,
+                   begin, end, tracing, meter_p] {
+        const bool timing = obs::enabled();
+        const auto bt0 = std::chrono::steady_clock::now();
         for (std::size_t i = begin; i < end; ++i) {
+          // A scenario runs wholly on this thread, so the thread-local
+          // counter slice before/after brackets exactly its work.
+          obs::CounterDelta before;
+          if (tracing) before = obs::thread_counters();
           results[i] = run_scenario(scenarios[i]);
+          if (tracing) {
+            obs::CounterDelta after = obs::thread_counters();
+            after -= before;
+            deltas[i] = after;
+          }
+          if (meter_p != nullptr) {
+            meter_p->tick(progress_class(results[i].verdict));
+          }
           const std::uint64_t done =
               completed.fetch_add(1, std::memory_order_relaxed) + 1;
           if (progress_every > 0 && done % progress_every == 0) {
             std::cerr << "[sweep] " << done << " scenarios done\n";
           }
         }
+        if (timing) {
+          obs::count(obs::Counter::kPoolTasks);
+          obs::hist(obs::Hist::kPoolTaskNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - bt0)
+                            .count()));
+        }
       });
     }
     pool.wait_idle();
     steal_count = pool.steals();
   }
+  obs::count(obs::Counter::kPoolSteals, steal_count);
+  obs::gauge_max(obs::Gauge::kPoolThreads,
+                 static_cast<std::uint64_t>(std::max(1, o.threads)));
+  if (meter) meter->finish();
 
   // Deterministic fold: enumeration order, no wall-clock fields.  The
   // fold inputs are exactly the persisted record fields, so a merge that
@@ -266,9 +329,45 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
           .u64("delivered", r.net_delivered)
           .u64("dropped", r.net_dropped)
           .u64("duplicated", r.net_duplicated)
+          .u64("msgs", r.net_msgs)
+          .u64("bytes", r.net_bytes)
+          .u64("rts", r.net_round_trips)
           .str("detail", r.detail);
       sink->append(rec);
     }
+    if (tracing) {
+      // One span per scenario, emitted in enumeration order after the
+      // pool barrier — byte-stable across threads/batch.  Wall-clock
+      // fields only under trace_times (they break byte-identity).
+      Record span;
+      span.str("obs", "span")
+          .u64("gi", en.global_indices[i])
+          .str("key", key)
+          .str("mode", "safety")
+          .str("verdict", to_string(r.verdict))
+          .u64("steps", r.steps)
+          .u64("ops", r.ops);
+      if (hooks->trace_times) {
+        span.u64("wall_ns", r.wall_ns).u64("check_ns", r.check_ns);
+      }
+      obs::append_stable_deltas(deltas[i], span);
+      hooks->trace->append(span);
+    }
+  }
+  if (tracing && hooks->trace_times) {
+    // Closing span: end-to-end engine wall clock (opt-in, like every
+    // wall-clock trace field).
+    Record close;
+    close.str("obs", "span")
+        .str("span", "sweep")
+        .str("mode", "safety")
+        .u64("scenarios", scenarios.size())
+        .u64("elapsed_ns",
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count()));
+    hooks->trace->append(close);
   }
   SweepSummary sum = fold.finish();
   if (sink != nullptr && o.shard.active()) {

@@ -25,6 +25,10 @@
 #include "sweep/shard.hpp"
 #include "sweep/store.hpp"
 
+namespace rlt::obs {
+struct Hooks;
+}  // namespace rlt::obs
+
 namespace rlt::sweep {
 
 /// The cross-product to sweep plus execution knobs.
@@ -168,8 +172,17 @@ class SweepFold {
 /// `sink` is non-null, one canonical record per scenario is appended in
 /// enumeration order after the pool drains — so the store's bytes, like
 /// the digest, are independent of thread count and batch size.
+///
+/// `hooks` (obs/hooks.hpp) attaches the observability fabric: a trace
+/// sink receiving one span record per scenario (enumeration order,
+/// byte-stable across threads/batch unless `trace_times` opts into
+/// wall-clock fields) and/or a live ProgressMeter (stderr heartbeat +
+/// progress fd).  All of it is observability, never digest material:
+/// the summary, digest, and store bytes are identical with or without
+/// hooks.
 [[nodiscard]] SweepSummary run_sweep(const SweepOptions& o,
                                      std::uint64_t progress_every = 0,
-                                     RecordSink* sink = nullptr);
+                                     RecordSink* sink = nullptr,
+                                     const obs::Hooks* hooks = nullptr);
 
 }  // namespace rlt::sweep

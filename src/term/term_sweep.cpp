@@ -5,8 +5,12 @@
 #include <chrono>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "sweep/fnv.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
@@ -255,13 +259,40 @@ TermSummary TermFold::finish(sweep::RecordSink* sink) {
   return std::move(sum_);
 }
 
+namespace {
+
+/// Progress outcome class of a termination record (the four class slots
+/// of the progress protocol: term / capped / other / err).
+int progress_class(const TermRecord& r) noexcept {
+  if (r.error || !r.safety_ok) return 3;
+  if (r.terminated) return 0;
+  if (r.capped) return 1;
+  return 2;
+}
+
+}  // namespace
+
 TermSummary run_term_sweep(const TermSweepOptions& o,
                            std::uint64_t progress_every,
-                           sweep::RecordSink* sink) {
+                           sweep::RecordSink* sink, const obs::Hooks* hooks) {
   const auto t0 = std::chrono::steady_clock::now();
   const TermEnumeration en = enumerate_term_shard(o);
   const std::vector<TermScenario>& scenarios = en.scenarios;
   std::vector<TermRecord> records(scenarios.size());
+
+  const bool tracing = hooks != nullptr && hooks->trace != nullptr;
+  if (tracing) obs::set_enabled(true);
+  std::vector<obs::CounterDelta> deltas(tracing ? scenarios.size() : 0);
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (hooks != nullptr && hooks->progress_on()) {
+    obs::ProgressOptions po;
+    po.total = scenarios.size();
+    po.mode = "term";
+    po.classes = {"term", "capped", "other", "err"};
+    po.fd = hooks->progress_fd;
+    po.heartbeat_ms = hooks->heartbeat_ms;
+    meter = std::make_unique<obs::ProgressMeter>(po);
+  }
 
   std::uint64_t steal_count = 0;
   {
@@ -269,23 +300,50 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
     std::atomic<std::uint64_t> completed{0};
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, o.batch_size));
+    obs::ProgressMeter* const meter_p = meter.get();
     for (std::size_t begin = 0; begin < scenarios.size(); begin += batch) {
       const std::size_t end = std::min(begin + batch, scenarios.size());
-      pool.submit([&scenarios, &records, &completed, progress_every, begin,
-                   end] {
+      pool.submit([&scenarios, &records, &completed, &deltas, progress_every,
+                   begin, end, tracing, meter_p] {
+        const bool timing = obs::enabled();
+        const auto bt0 = std::chrono::steady_clock::now();
         for (std::size_t i = begin; i < end; ++i) {
+          obs::CounterDelta before;
+          if (tracing) before = obs::thread_counters();
           records[i] = run_term_scenario(scenarios[i]);
+          if (obs::enabled()) {
+            obs::count(obs::Counter::kTermCoinFlips, records[i].coin_flips);
+            if (records[i].capped) obs::count(obs::Counter::kTermCapped);
+          }
+          if (tracing) {
+            obs::CounterDelta after = obs::thread_counters();
+            after -= before;
+            deltas[i] = after;
+          }
+          if (meter_p != nullptr) meter_p->tick(progress_class(records[i]));
           const std::uint64_t done =
               completed.fetch_add(1, std::memory_order_relaxed) + 1;
           if (progress_every > 0 && done % progress_every == 0) {
             std::cerr << "[term-sweep] " << done << " scenarios done\n";
           }
         }
+        if (timing) {
+          obs::count(obs::Counter::kPoolTasks);
+          obs::hist(obs::Hist::kPoolTaskNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - bt0)
+                            .count()));
+        }
       });
     }
     pool.wait_idle();
     steal_count = pool.steals();
   }
+  obs::count(obs::Counter::kPoolSteals, steal_count);
+  obs::gauge_max(obs::Gauge::kPoolThreads,
+                 static_cast<std::uint64_t>(std::max(1, o.threads)));
+  if (meter) meter->finish();
 
   // Deterministic fold: enumeration order, no wall-clock fields.  The
   // fold inputs are exactly the persisted record fields, so a merge that
@@ -320,6 +378,35 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
           .str("detail", r.detail);
       sink->append(rec);
     }
+    if (tracing) {
+      // Enumeration-order span, byte-stable across threads/batch; wall
+      // clock only under trace_times.
+      sweep::Record span;
+      span.str("obs", "span")
+          .u64("gi", en.global_indices[i])
+          .str("key", key)
+          .str("mode", "term")
+          .boolean("terminated", r.terminated)
+          .boolean("capped", r.capped)
+          .u64("rounds", static_cast<std::uint64_t>(r.rounds))
+          .u64("steps", r.steps);
+      if (hooks->trace_times) span.u64("wall_ns", r.wall_ns);
+      obs::append_stable_deltas(deltas[i], span);
+      hooks->trace->append(span);
+    }
+  }
+  if (tracing && hooks->trace_times) {
+    sweep::Record close;
+    close.str("obs", "span")
+        .str("span", "sweep")
+        .str("mode", "term")
+        .u64("scenarios", scenarios.size())
+        .u64("elapsed_ns",
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count()));
+    hooks->trace->append(close);
   }
   // In a sharded store the per-family histogram records are this shard's
   // PARTIALS (useful for eyeballing a slice; the merge recomputes the

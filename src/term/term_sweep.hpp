@@ -20,6 +20,10 @@
 #include "sweep/store.hpp"
 #include "term/term_scenario.hpp"
 
+namespace rlt::obs {
+struct Hooks;
+}  // namespace rlt::obs
+
 namespace rlt::term {
 
 /// The cross-product to sweep plus execution knobs.
@@ -158,9 +162,12 @@ class TermFold {
 /// prints a line to stderr every that-many completed scenarios.  When
 /// `sink` is non-null, one canonical record per scenario is appended in
 /// enumeration order after the pool drains (byte-stable across thread
-/// counts and batch sizes).
+/// counts and batch sizes).  `hooks` (obs/hooks.hpp) attaches the
+/// observability fabric — trace spans and/or live progress; never
+/// digest material (see sweep::run_sweep for the contract).
 [[nodiscard]] TermSummary run_term_sweep(const TermSweepOptions& o,
                                          std::uint64_t progress_every = 0,
-                                         sweep::RecordSink* sink = nullptr);
+                                         sweep::RecordSink* sink = nullptr,
+                                         const obs::Hooks* hooks = nullptr);
 
 }  // namespace rlt::term

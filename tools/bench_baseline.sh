@@ -24,7 +24,8 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_checker.json}"
-BENCHES=(perf_wsl perf_sweep perf_checker perf_term perf_explore perf_stream)
+BENCHES=(perf_wsl perf_sweep perf_checker perf_term perf_explore perf_stream
+         perf_obs)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "bench_baseline: build dir '${BUILD_DIR}' not found" >&2

@@ -57,6 +57,8 @@
 #include <vector>
 
 #include "explore/explore.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
 #include "sweep/store.hpp"
 #include "sweep/sweep.hpp"
 #include "term/term_sweep.hpp"
@@ -163,6 +165,27 @@ using rlt::term::TermSweepOptions;
       "                      (tools/sweep_shard.py runs the whole fabric as\n"
       "                      one command)\n"
       "  --progress N        progress line every N scenarios (default: off)\n"
+      "observability (valid in every run mode; never digest material —\n"
+      "stores, digests, and summaries are byte-identical with or without\n"
+      "these flags):\n"
+      "  --metrics PATH      write the unified metrics registry (counters,\n"
+      "                      gauges, histograms from every layer) as JSONL\n"
+      "                      after the run; the \"stable\":true section is\n"
+      "                      byte-identical across --threads/--batch\n"
+      "                      (render/diff with tools/metrics_report.py)\n"
+      "  --trace PATH        write one JSONL span per scenario in\n"
+      "                      enumeration order: key, verdict fields, and\n"
+      "                      per-scenario stable metric deltas;\n"
+      "                      byte-identical across --threads/--batch\n"
+      "  --trace-times       add wall-clock fields (wall_ns, check_ns, a\n"
+      "                      closing sweep span) to --trace spans — opts\n"
+      "                      out of byte-identity; needs --trace\n"
+      "  --progress-fd N     stream machine-readable progress lines (one\n"
+      "                      JSON object per line, final line has\n"
+      "                      \"state\":\"done\") to open file descriptor N;\n"
+      "                      tools/sweep_shard.py --progress consumes this\n"
+      "  --heartbeat MS      human progress heartbeat to stderr every MS\n"
+      "                      milliseconds\n"
       "  --list              print the scenario keys and exit\n"
       "merge mode:\n"
       "  --merge FILE...     validate and merge the named shard stores\n"
@@ -481,6 +504,11 @@ int main(int argc, char** argv) {
   std::uint64_t progress_every = 0;
   std::string out_path;
   std::string replay_path;
+  std::string metrics_path;
+  std::string trace_path;
+  bool trace_times = false;
+  int progress_fd = -1;
+  std::uint64_t heartbeat_ms = 0;
   std::vector<std::string> merge_files;
   // Mode-specific flags are rejected in the other modes; collect what
   // was used, by category, so the check is order-independent.
@@ -489,6 +517,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> term_flags_used;     ///< --term only
   std::vector<std::string> family_flags_used;   ///< --term or --explore rounds
   std::vector<std::string> explore_flags_used;  ///< --explore only
+  std::vector<std::string> obs_flags_used;      ///< run modes only
   bool processes_set = false;
   bool max_actions_set = false;
   bool batch_set = false;
@@ -623,6 +652,28 @@ int main(int argc, char** argv) {
       opts.max_actions_per_scenario = parse_u64("--max-actions", next());
     } else if (a == "--progress") {
       progress_every = parse_u64("--progress", next());
+    } else if (a == "--metrics") {
+      obs_flags_used.push_back(a);
+      metrics_path = next();
+    } else if (a == "--trace") {
+      obs_flags_used.push_back(a);
+      trace_path = next();
+    } else if (a == "--trace-times") {
+      obs_flags_used.push_back(a);
+      trace_times = true;
+    } else if (a == "--progress-fd") {
+      obs_flags_used.push_back(a);
+      // Must be an fd the parent opened for us; 0-2 are the standard
+      // streams and an obvious mistake.
+      const std::uint64_t fd = parse_u64("--progress-fd", next());
+      if (fd < 3 || fd > 1'048'575) bad_value("--progress-fd", args[i]);
+      progress_fd = static_cast<int>(fd);
+    } else if (a == "--heartbeat") {
+      obs_flags_used.push_back(a);
+      heartbeat_ms = parse_u64("--heartbeat", next());
+      if (heartbeat_ms < 1 || heartbeat_ms > 3'600'000) {
+        bad_value("--heartbeat", args[i]);
+      }
     } else if (!a.empty() && a[0] != '-') {
       // Positional arguments are the shard stores of --merge; anywhere
       // else they are a typo.
@@ -639,7 +690,8 @@ int main(int argc, char** argv) {
     if (term_mode || explore_mode || list_only || !replay_path.empty() ||
         shard_set || !safety_flags_used.empty() || !algo_flags_used.empty() ||
         !term_flags_used.empty() || !family_flags_used.empty() ||
-        !explore_flags_used.empty() || processes_set || max_actions_set ||
+        !explore_flags_used.empty() || !obs_flags_used.empty() ||
+        processes_set || max_actions_set ||
         batch_set || threads_set || seeds_set || progress_every > 0) {
       std::cerr << "sweep_main: --merge is standalone (only --out may "
                    "accompany it; every config comes from the shard "
@@ -659,12 +711,22 @@ int main(int argc, char** argv) {
     if (term_mode || explore_mode || shard_set ||
         !safety_flags_used.empty() ||
         !algo_flags_used.empty() || !term_flags_used.empty() ||
-        !family_flags_used.empty() || !explore_flags_used.empty()) {
+        !family_flags_used.empty() || !explore_flags_used.empty() ||
+        !obs_flags_used.empty()) {
       std::cerr << "sweep_main: --replay is standalone (it reads every "
                    "config from the store)\n";
       usage(2);
     }
     return run_replay(replay_path);
+  }
+  if (list_only && !obs_flags_used.empty()) {
+    std::cerr << "sweep_main: " << obs_flags_used.front()
+              << " has no effect with --list\n";
+    usage(2);
+  }
+  if (trace_times && trace_path.empty()) {
+    std::cerr << "sweep_main: --trace-times needs --trace\n";
+    usage(2);
   }
   if (term_mode && explore_mode) {
     std::cerr << "sweep_main: --term and --explore are exclusive\n";
@@ -835,6 +897,23 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) {
       sink = std::make_unique<rlt::sweep::JsonlFileSink>(out_path);
     }
+    // Observability fabric (never digest material): a metrics dump
+    // and/or trace spans force the registry on; progress needs no
+    // registry at all.
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      rlt::obs::set_enabled(true);
+    }
+    std::unique_ptr<rlt::sweep::JsonlFileSink> trace_sink;
+    if (!trace_path.empty()) {
+      trace_sink = std::make_unique<rlt::sweep::JsonlFileSink>(trace_path);
+    }
+    rlt::obs::Hooks hooks;
+    hooks.trace = trace_sink.get();
+    hooks.trace_times = trace_times;
+    hooks.progress_fd = progress_fd;
+    hooks.heartbeat_ms = heartbeat_ms;
+    const rlt::obs::Hooks* hooks_p =
+        (hooks.trace || hooks.progress_on()) ? &hooks : nullptr;
     std::string stable;
     std::uint64_t elapsed_ns = 0;
     std::uint64_t wall_ns_total = 0;
@@ -843,7 +922,8 @@ int main(int argc, char** argv) {
     bool failed = false;
     if (explore_mode) {
       const rlt::explore::ExploreSummary sum =
-          rlt::explore::run_explore(eopts, progress_every, sink.get());
+          rlt::explore::run_explore(eopts, progress_every, sink.get(),
+                                    hooks_p);
       stable = sum.stable_text();
       elapsed_ns = sum.elapsed_ns;
       wall_ns_total = sum.wall_ns_total;
@@ -854,7 +934,8 @@ int main(int argc, char** argv) {
       failed = sum.errors != 0;
     } else if (term_mode) {
       const rlt::term::TermSummary sum =
-          rlt::term::run_term_sweep(topts, progress_every, sink.get());
+          rlt::term::run_term_sweep(topts, progress_every, sink.get(),
+                                    hooks_p);
       stable = sum.stable_text();
       elapsed_ns = sum.elapsed_ns;
       wall_ns_total = sum.wall_ns_total;
@@ -865,7 +946,7 @@ int main(int argc, char** argv) {
       failed = sum.safety_violations != 0 || sum.errors != 0;
     } else {
       const SweepSummary sum =
-          rlt::sweep::run_sweep(opts, progress_every, sink.get());
+          rlt::sweep::run_sweep(opts, progress_every, sink.get(), hooks_p);
       stable = sum.stable_text();
       elapsed_ns = sum.elapsed_ns;
       wall_ns_total = sum.wall_ns_total;
@@ -877,6 +958,19 @@ int main(int argc, char** argv) {
       failed = sum.violations != 0 || sum.errors != 0;
     }
     if (sink) sink->close();
+    if (trace_sink) trace_sink->close();
+    if (!metrics_path.empty()) {
+      rlt::sweep::JsonlFileSink msink(metrics_path);
+      const char* mode =
+          explore_mode ? "explore" : (term_mode ? "term" : "safety");
+      const std::string config = explore_mode
+                                     ? rlt::explore::config_key(eopts)
+                                     : (term_mode
+                                            ? rlt::term::config_key(topts)
+                                            : rlt::sweep::config_key(opts));
+      rlt::obs::dump(rlt::obs::snapshot_all(), msink, mode, config);
+      msink.close();
+    }
 
     // Deterministic section first (byte-identical across runs), then
     // timing, which naturally varies.

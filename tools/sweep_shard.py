@@ -21,6 +21,14 @@ Options:
   --jobs M       run at most M shard processes at once (default: all N)
   --work-dir D   keep shard stores in D instead of a temp dir (kept on
                  exit; the default temp dir is removed on success)
+  --progress     live per-shard telemetry: each shard gets a private
+                 pipe wired to `sweep_main --progress-fd`, and the
+                 coordinator multiplexes the streams into `[shard i]`
+                 lines on stderr (done/total, rate, ETA, per-class
+                 counts).  Once the first shard finishes, any shard
+                 whose ETA exceeds twice the fastest finisher's total
+                 time is flagged as a straggler (once).  Local shards
+                 only — rejected with --hosts
   --hosts LIST   comma list of SSH hosts to spread shards over
                  round-robin (shard i runs via `ssh <host[i mod H]>`).
                  v1 hook point: hosts must share this filesystem (same
@@ -28,8 +36,10 @@ Options:
                  can replace this launcher without touching the merge.
 
 Everything after `--` goes to sweep_main verbatim.  The coordinator owns
---shard/--merge/--out/--list/--replay, so those are rejected in the
-sweep args.
+--shard/--merge/--out/--list/--replay/--progress-fd, so those are
+rejected in the sweep args.  Per-shard observability files (--metrics,
+--trace) are allowed: the coordinator rewrites each path to
+<path>.shard<i> so shards never clobber a shared file.
 
 Exit status: the merge's own exit status (0 clean, 1 the merged summary
 contains failures) — or 2 if any shard exits with a usage/machinery
@@ -37,14 +47,39 @@ error, dies on a signal, or the merge rejects the shard set.
 """
 
 import argparse
+import json
 import os
+import selectors
 import shlex
 import shutil
 import subprocess
 import sys
 import tempfile
+import time
 
-FORBIDDEN = ("--shard", "--merge", "--out", "--list", "--replay")
+FORBIDDEN = ("--shard", "--merge", "--out", "--list", "--replay",
+             "--progress-fd")
+
+# Flags whose value names an output file every shard would otherwise
+# clobber; the coordinator rewrites each to <path>.shard<i>.
+PER_SHARD_PATHS = ("--metrics", "--trace")
+
+
+def per_shard_args(sweep_args, index, shards):
+    """sweep_args with --metrics/--trace paths suffixed for shard `index`."""
+    if shards <= 1:
+        return list(sweep_args)
+    out = []
+    j = 0
+    while j < len(sweep_args):
+        a = sweep_args[j]
+        if a in PER_SHARD_PATHS and j + 1 < len(sweep_args):
+            out += [a, f"{sweep_args[j + 1]}.shard{index}"]
+            j += 2
+        else:
+            out.append(a)
+            j += 1
+    return out
 
 
 def main():
@@ -54,6 +89,7 @@ def main():
     ap.add_argument("--out", default="")
     ap.add_argument("--jobs", type=int, default=0)
     ap.add_argument("--work-dir", default="")
+    ap.add_argument("--progress", action="store_true")
     ap.add_argument("--hosts", default="")
     ap.add_argument("sweep_args", nargs="*")
     args = ap.parse_args()
@@ -71,6 +107,10 @@ def main():
                   "the sweep args", file=sys.stderr)
             return 2
     hosts = [h for h in args.hosts.split(",") if h]
+    if args.progress and hosts:
+        print("sweep_shard: --progress needs local shards (a pipe fd "
+              "cannot cross ssh); drop --hosts", file=sys.stderr)
+        return 2
 
     if args.work_dir:
         work = args.work_dir
@@ -80,11 +120,13 @@ def main():
         work = tempfile.mkdtemp(prefix="sweep_shard.")
         cleanup = True
 
-    def command(index, store):
-        cmd = [args.bin] + sweep_args
+    def command(index, store, progress_fd=None):
+        cmd = [args.bin] + per_shard_args(sweep_args, index, args.shards)
         if args.shards > 1:
             cmd += ["--shard", f"{index}/{args.shards}"]
         cmd += ["--out", store]
+        if progress_fd is not None:
+            cmd += ["--progress-fd", str(progress_fd)]
         if hosts:
             # SSH hook point (v1): same filesystem, same paths, one shard
             # per `ssh host -- <command>`.
@@ -98,39 +140,104 @@ def main():
     pending = list(range(args.shards))
     running = {}  # pid -> (index, Popen)
     hard_failed = False
+    # --progress bookkeeping: one pipe per shard, multiplexed with a
+    # selector; straggler detection compares a running shard's ETA
+    # against the fastest finished shard's total wall time.
+    sel = selectors.DefaultSelector() if args.progress else None
+    started_at = {}    # index -> monotonic start
+    finished_in = []   # wall seconds of finished shards
+    flagged = set()    # shards already called out as stragglers
+
+    def report(i, d):
+        done, total = d.get("done", 0), d.get("total", 0)
+        extras = " ".join(
+            f"{k}={v}" for k, v in d.items()
+            if k not in ("obs", "mode", "state", "done", "total",
+                         "elapsed_ms", "eta_ms", "rate"))
+        state = " [done]" if d.get("state") == "done" else ""
+        print(f"[shard {i}] {done}/{total} {d.get('rate', 0)}/s "
+              f"eta {(d.get('eta_ms', 0) + 999) // 1000}s "
+              f"{extras}{state}", file=sys.stderr)
+        if (finished_in and d.get("state") != "done"
+                and i not in flagged
+                and d.get("eta_ms", 0) / 1000.0 > 2 * min(finished_in)):
+            flagged.add(i)
+            print(f"[sweep_shard] shard {i} straggling: eta "
+                  f"{d['eta_ms'] / 1000.0:.1f}s vs fastest shard "
+                  f"{min(finished_in):.1f}s total", file=sys.stderr)
+
+    def reap(i, proc, rc):
+        nonlocal hard_failed
+        if args.progress:
+            finished_in.append(time.monotonic() - started_at[i])
+        print(f"[sweep_shard] shard {i}/{args.shards} exited {rc}",
+              file=sys.stderr)
+        # rc 1 means the shard's slice contains failures — its store
+        # is still complete and mergeable (the merged summary carries
+        # the verdict).  Anything else is a broken shard: stop early.
+        if rc not in (0, 1):
+            hard_failed = True
+            for _, (j, p) in running.items():
+                p.terminate()
+            for _, (j, p) in running.items():
+                p.wait()
+            running.clear()
+            print(f"[sweep_shard] shard {i}/{args.shards} failed "
+                  f"(exit {rc}); aborting before the merge",
+                  file=sys.stderr)
+            return False
+        return True
+
     try:
         while pending or running:
             while pending and len(running) < jobs:
                 i = pending.pop(0)
+                progress_wfd = None
+                if args.progress:
+                    rfd, progress_wfd = os.pipe()
                 # Shard summaries go to stderr: stdout is reserved for
                 # the merged (= unsharded-identical) summary.
-                proc = subprocess.Popen(command(i, stores[i]),
-                                        stdout=sys.stderr.fileno()
-                                        if args.shards > 1 else None)
+                proc = subprocess.Popen(
+                    command(i, stores[i], progress_wfd),
+                    stdout=sys.stderr.fileno()
+                    if args.shards > 1 else None,
+                    pass_fds=(progress_wfd,) if args.progress else ())
+                if args.progress:
+                    os.close(progress_wfd)
+                    reader = os.fdopen(rfd, "r")
+                    sel.register(reader, selectors.EVENT_READ, i)
+                    started_at[i] = time.monotonic()
                 running[proc.pid] = (i, proc)
                 print(f"[sweep_shard] shard {i}/{args.shards} started "
                       f"(pid {proc.pid})", file=sys.stderr)
-            pid, status = os.wait()
-            if pid not in running:
+            if sel is None:
+                pid, status = os.wait()
+                if pid not in running:
+                    continue
+                i, proc = running.pop(pid)
+                if not reap(i, proc, os.waitstatus_to_exitcode(status)):
+                    return 2
                 continue
-            i, proc = running.pop(pid)
-            rc = os.waitstatus_to_exitcode(status)
-            print(f"[sweep_shard] shard {i}/{args.shards} exited {rc}",
-                  file=sys.stderr)
-            # rc 1 means the shard's slice contains failures — its store
-            # is still complete and mergeable (the merged summary carries
-            # the verdict).  Anything else is a broken shard: stop early.
-            if rc not in (0, 1):
-                hard_failed = True
-                for _, (j, p) in running.items():
-                    p.terminate()
-                for _, (j, p) in running.items():
-                    p.wait()
-                running.clear()
-                print(f"[sweep_shard] shard {i}/{args.shards} failed "
-                      f"(exit {rc}); aborting before the merge",
-                      file=sys.stderr)
-                return 2
+            # --progress: poll the pipes (readline blocks at most until
+            # the writer's next emit or its exit-side EOF), then reap
+            # any shards that exited.
+            for key, _ in sel.select(timeout=0.5):
+                line = key.fileobj.readline()
+                if not line:  # EOF: the shard closed its end
+                    sel.unregister(key.fileobj)
+                    key.fileobj.close()
+                    continue
+                try:
+                    d = json.loads(line)
+                except ValueError:
+                    continue
+                if d.get("obs") == "progress":
+                    report(key.data, d)
+            for pid in [p for p, (_, pr) in running.items()
+                        if pr.poll() is not None]:
+                i, proc = running.pop(pid)
+                if not reap(i, proc, proc.returncode):
+                    return 2
 
         if args.shards == 1:
             # Degenerate single-shard run: no bracket records were
