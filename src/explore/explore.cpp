@@ -9,6 +9,7 @@
 
 #include "explore/policy.hpp"
 #include "explore/shrink.hpp"
+#include "obs/forensics.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -51,6 +52,7 @@ struct ProbeOutcome {
   std::uint64_t fingerprint = 0;
   std::uint64_t steps = 0;
   std::string verdict;
+  std::string forensics;  ///< Artifact (kViolation probes with forensics on).
 };
 
 ProbeOutcome probe(const ExploreInstance& e, RecordingPolicy& policy) {
@@ -81,7 +83,9 @@ ProbeOutcome probe(const ExploreInstance& e, RecordingPolicy& policy) {
     s.abd_read_write_back = e.abd_read_write_back;
     s.explore_faults = e.fault_menu;
     s.online_check = e.online;
+    s.forensics = e.forensics;
     const sweep::ScenarioResult r = sweep::run_scenario_policy(s, policy);
+    out.forensics = r.forensics;
     out.rank = r.verdict == sweep::Verdict::kViolation ? kRankViolation
                : r.verdict == sweep::Verdict::kBlocked ? kRankBlocked
                                                        : 0;
@@ -217,6 +221,7 @@ ReplayReport replay_trace(const ExploreInstance& e, const ScheduleTrace& trace,
   r.steps = p.steps;
   r.effective = policy.recorded();
   r.verdict = p.verdict;
+  r.forensics = p.forensics;
   return r;
 }
 
@@ -656,12 +661,40 @@ ExploreSummary run_explore(const ExploreOptions& o,
       obs::append_stable_deltas(deltas[i], span);
       hooks->trace->append(span);
     }
+    if (hooks != nullptr && hooks->forensics_on() &&
+        e.objective == Objective::kViolation && !r.error &&
+        r.found_rank >= kRankBlocked) {
+      // Witness forensics: replay the shrunk best trace with capture on
+      // so it ships with its explanation (certificate / quorum ledger /
+      // timeline).  The replay is deterministic and runs in the fold
+      // (enumeration order), so the artifact is byte-identical across
+      // threads, batches, and shards — which tile by gi.
+      ExploreInstance fe = e;
+      fe.forensics = true;
+      const ReplayReport rep =
+          replay_trace(fe, r.best_trace, r.fallback_seed);
+      std::string body = rep.forensics;
+      if (body.empty()) {
+        sweep::Record stub;
+        stub.u64("forensics", 1)
+            .str("key", key)
+            .str("verdict", rep.verdict)
+            .str("detail", "replay captured no forensics");
+        body = stub.json() + "\n";
+      }
+      obs::write_artifact(hooks->forensics_dir,
+                          "explore-" + std::to_string(en.global_indices[i]) +
+                              ".json",
+                          body);
+    }
   }
   if (tracing && hooks->trace_times) {
     sweep::Record close;
+    // "stable":false: wall-clock record, skippable mechanically.
     close.str("obs", "span")
         .str("span", "sweep")
         .str("mode", "explore")
+        .boolean("stable", false)
         .u64("scenarios", instances.size())
         .u64("elapsed_ns",
              static_cast<std::uint64_t>(

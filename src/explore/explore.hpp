@@ -87,6 +87,10 @@ struct ExploreInstance {
   /// Scenario::online_check).  Excluded from key() for the same
   /// byte-identical-on-agreement reason.
   bool online = false;
+  /// kViolation: capture forensics on probes (Scenario::forensics), so
+  /// a replay's report carries the witness's canonical-JSON explanation.
+  /// Excluded from key(), like `online`: pure observability.
+  bool forensics = false;
 
   /// Stable key, e.g. "explore/rounds/game/greedy/p4/r16/b32/seed0" or
   /// "explore/viol/abd/hill/p5/w2/b128/nowb/fmenu/seed0".
@@ -133,6 +137,9 @@ struct ReplayReport {
   std::uint64_t steps = 0;
   ScheduleTrace effective;     ///< Re-recorded effective trace.
   std::string verdict;         ///< Human-readable outcome.
+  /// Canonical-JSON forensics artifact of the replayed run; non-empty
+  /// only when the instance set `forensics` and the run was non-ok.
+  std::string forensics;
 };
 [[nodiscard]] ReplayReport replay_trace(const ExploreInstance& e,
                                         const ScheduleTrace& trace,
@@ -154,6 +161,11 @@ struct ExploreOptions {
   bool fault_menu = false;
   /// Streaming cross-check on every kViolation probe (--online).
   bool online = false;
+  /// Write a forensics artifact per found witness (--forensics DIR via
+  /// obs::Hooks::forensics_dir): the fold replays each shrunk violation-
+  /// objective witness with Scenario::forensics on, so the shrunk trace
+  /// ships with its explanation.  Execution knob, not config.
+  bool forensics = false;
   /// Shared:
   std::vector<int> process_counts = {4};
   std::uint64_t seed_begin = 0;  ///< Inclusive (instance seeds).

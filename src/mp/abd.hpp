@@ -136,6 +136,34 @@ class AbdRegister {
   /// Sweep drivers use this to classify quiescent runs as blocked.
   [[nodiscard]] bool op_can_complete(int token) const;
 
+  // ---- forensics accessors (quorum ledger) ------------------------------
+  // Read-only views of a client op's progress, used by the blocked-verdict
+  // forensics artifact.  Never digest material.
+
+  /// Servers that acked the op's CURRENT phase, as a bitmask (bit i =
+  /// node i; retransmitted and duplicated acks count once).
+  [[nodiscard]] std::uint64_t op_heard_mask(int token) const {
+    return op_at(token).heard;
+  }
+  /// The phase the op is stuck in: "write", "read-query", or
+  /// "read-write-back".
+  [[nodiscard]] const char* op_phase_name(int token) const {
+    switch (op_at(token).kind) {
+      case ClientOp::Kind::kWrite: return "write";
+      case ClientOp::Kind::kReadQuery: return "read-query";
+      case ClientOp::Kind::kReadWriteBack: return "read-write-back";
+    }
+    return "?";
+  }
+  /// True when the op was abandoned by a crash of its home node.
+  [[nodiscard]] bool op_abandoned(int token) const {
+    return op_at(token).abandoned;
+  }
+  /// True for the writer's op, false for a read.
+  [[nodiscard]] bool op_is_write(int token) const {
+    return op_at(token).kind == ClientOp::Kind::kWrite;
+  }
+
   /// The recorded high-level history (register id 0; times are the
   /// driver's logical clock: one tick per delivery or op begin).
   [[nodiscard]] const history::History& hl_history() const {
@@ -173,6 +201,12 @@ class AbdRegister {
     std::uint64_t next_retry = 0;
     std::uint64_t retry_interval = 0;
   };
+
+  [[nodiscard]] const ClientOp& op_at(int token) const {
+    const auto it = ops_.find(token);
+    RLT_CHECK(it != ops_.end());
+    return it->second;
+  }
 
   void on_server_message(NodeId at, const Message& m);
   void rebroadcast_phase(int token, const ClientOp& op);

@@ -41,6 +41,28 @@ class Node {
   virtual void on_message(const Message& m) = 0;
 };
 
+/// Passive observer of network events, for forensics timelines.  Hooked
+/// in with Network::set_observer; every callback fires synchronously at
+/// the event site, in deterministic driver order.  Observers must not
+/// mutate the network (observability is never behavior, and never
+/// digest material).
+class NetObserver {
+ public:
+  virtual ~NetObserver() = default;
+  /// A message was enqueued (after any scheduled mid-broadcast crash
+  /// fired; suppressed sends from crashed nodes are not reported).
+  virtual void on_send(const Message& m) = 0;
+  /// A message reached a live receiver's on_message.
+  virtual void on_deliver(const Message& m) = 0;
+  /// A message was consumed without effect.  `reason` is one of
+  /// "crashed-receiver", "partition-cut", "lossy", "adversary".
+  virtual void on_drop(const Message& m, const char* reason) = 0;
+  /// A fabric or adversarial duplicate (same seq) joined the multiset.
+  virtual void on_duplicate(const Message& m) = 0;
+  virtual void on_crash(NodeId n) = 0;
+  virtual void on_recover(NodeId n) = 0;
+};
+
 /// The network: in-flight message multiset plus the fault fabric
 /// (crashes, recovery, seeded loss/duplication, transient partitions).
 class Network {
@@ -56,6 +78,11 @@ class Network {
   [[nodiscard]] int node_count() const noexcept {
     return static_cast<int>(nodes_.size());
   }
+
+  /// Attaches (or, with nullptr, detaches) a forensics observer.  The
+  /// observer is notified of sends, deliveries, drops, duplicates,
+  /// crashes, and recoveries; it never alters behavior.
+  void set_observer(NetObserver* obs) noexcept { observer_ = obs; }
 
   /// Queues a message.  Sends from crashed nodes are dropped.  Each call
   /// is one send *attempt*: scheduled mid-broadcast crashes fire by
@@ -78,6 +105,7 @@ class Network {
     m.payload = std::move(payload);
     m.seq = ++sent_;
     bytes_sent_ += wire_bytes(m);
+    if (observer_ != nullptr) observer_->on_send(m);
     in_flight_.push_back(std::move(m));
   }
 
@@ -153,10 +181,21 @@ class Network {
   /// the lossy coin, are consumed as drops.
   void deliver_at(std::size_t index) {
     const Message m = take_at(index);
-    if (crashed_[static_cast<std::size_t>(m.to)] || cut(m.from, m.to) ||
-        (unreliable_ && drop_permille_ > 0 &&
-         fabric_rng_.chance(drop_permille_, 1000))) {
+    // Checks stay sequenced exactly as the original short-circuit: the
+    // lossy coin is only consumed when the first two gates pass, so the
+    // fabric Rng stream (and hence every seeded run) is unchanged.
+    const char* drop_reason = nullptr;
+    if (crashed_[static_cast<std::size_t>(m.to)]) {
+      drop_reason = "crashed-receiver";
+    } else if (cut(m.from, m.to)) {
+      drop_reason = "partition-cut";
+    } else if (unreliable_ && drop_permille_ > 0 &&
+               fabric_rng_.chance(drop_permille_, 1000)) {
+      drop_reason = "lossy";
+    }
+    if (drop_reason != nullptr) {
       ++dropped_;
+      if (observer_ != nullptr) observer_->on_drop(m, drop_reason);
       return;
     }
     ++delivered_;
@@ -164,16 +203,19 @@ class Network {
         fabric_rng_.chance(dup_permille_, 1000)) {
       ++duplicated_;
       bytes_sent_ += wire_bytes(m);
+      if (observer_ != nullptr) observer_->on_duplicate(m);
       in_flight_.push_back(m);  // same seq: dedup-able by the receiver
     }
+    if (observer_ != nullptr) observer_->on_deliver(m);
     nodes_[static_cast<std::size_t>(m.to)]->on_message(m);
   }
 
   /// Adversarially drops the in-flight message at `index` (explore-lab
   /// fault menus pick the victim envelope).
   void drop_at(std::size_t index) {
-    take_at(index);
+    const Message m = take_at(index);
     ++dropped_;
+    if (observer_ != nullptr) observer_->on_drop(m, "adversary");
   }
 
   /// Adversarially duplicates the in-flight message at `index`: a copy
@@ -182,6 +224,7 @@ class Network {
     RLT_CHECK(index < in_flight_.size());
     ++duplicated_;
     bytes_sent_ += wire_bytes(in_flight_[index]);
+    if (observer_ != nullptr) observer_->on_duplicate(in_flight_[index]);
     in_flight_.push_back(in_flight_[index]);
   }
 
@@ -196,6 +239,7 @@ class Network {
   void crash(NodeId n) {
     RLT_CHECK(valid(n));
     crashed_[static_cast<std::size_t>(n)] = true;
+    if (observer_ != nullptr) observer_->on_crash(n);
   }
 
   /// Schedules a crash to fire when the send-attempt counter reaches
@@ -216,6 +260,7 @@ class Network {
     RLT_CHECK(valid(n));
     RLT_CHECK(crashed_[static_cast<std::size_t>(n)]);
     crashed_[static_cast<std::size_t>(n)] = false;
+    if (observer_ != nullptr) observer_->on_recover(n);
   }
 
   [[nodiscard]] bool crashed(NodeId n) const {
@@ -256,6 +301,7 @@ class Network {
   }
 
   std::vector<Node*> nodes_;
+  NetObserver* observer_ = nullptr;
   std::vector<bool> crashed_;
   std::vector<std::uint8_t> side_;
   std::vector<Message> in_flight_;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace rlt::sweep {
 class RecordSink;
@@ -31,8 +32,18 @@ struct Hooks {
   /// stderr heartbeat period in milliseconds; 0 disables it.
   std::uint64_t heartbeat_ms = 0;
 
+  /// Directory for per-scenario forensics artifacts (obs/forensics.hpp);
+  /// empty disables them.  One canonical-JSON file per non-ok scenario,
+  /// written during the deterministic fold and named by global index, so
+  /// the directory contents are byte-identical across --threads/--batch
+  /// and shards of the same sweep tile the unsharded directory.
+  std::string forensics_dir;
+
   [[nodiscard]] bool progress_on() const noexcept {
     return progress_fd >= 0 || heartbeat_ms > 0;
+  }
+  [[nodiscard]] bool forensics_on() const noexcept {
+    return !forensics_dir.empty();
   }
 };
 

@@ -1,0 +1,108 @@
+#include "obs/timeline.hpp"
+
+#include <sstream>
+
+namespace rlt::obs {
+
+const char* to_string(TimelineEvent::Kind k) noexcept {
+  switch (k) {
+    case TimelineEvent::Kind::kSend: return "send";
+    case TimelineEvent::Kind::kDeliver: return "deliver";
+    case TimelineEvent::Kind::kDrop: return "drop";
+    case TimelineEvent::Kind::kDuplicate: return "duplicate";
+    case TimelineEvent::Kind::kCrash: return "crash";
+    case TimelineEvent::Kind::kRecover: return "recover";
+    case TimelineEvent::Kind::kFault: return "fault";
+  }
+  return "?";
+}
+
+void TimelineRecorder::push_message(TimelineEvent::Kind kind,
+                                    const mp::Message& m,
+                                    const char* detail) {
+  if (events_.size() >= message_cap_ + lifecycle_) {
+    ++elided_;
+    return;
+  }
+  TimelineEvent e;
+  e.kind = kind;
+  e.from = m.from;
+  e.to = m.to;
+  e.type = m.type;
+  e.seq = m.seq;
+  if (detail != nullptr) e.detail = detail;
+  events_.push_back(std::move(e));
+}
+
+void TimelineRecorder::on_send(const mp::Message& m) {
+  push_message(TimelineEvent::Kind::kSend, m, nullptr);
+}
+
+void TimelineRecorder::on_deliver(const mp::Message& m) {
+  push_message(TimelineEvent::Kind::kDeliver, m, nullptr);
+}
+
+void TimelineRecorder::on_drop(const mp::Message& m, const char* reason) {
+  push_message(TimelineEvent::Kind::kDrop, m, reason);
+}
+
+void TimelineRecorder::on_duplicate(const mp::Message& m) {
+  push_message(TimelineEvent::Kind::kDuplicate, m, nullptr);
+}
+
+void TimelineRecorder::on_crash(mp::NodeId n) {
+  ++lifecycle_;
+  TimelineEvent e;
+  e.kind = TimelineEvent::Kind::kCrash;
+  e.to = n;
+  std::ostringstream os;
+  os << "node " << n << " crashed";
+  e.detail = os.str();
+  events_.push_back(std::move(e));
+}
+
+void TimelineRecorder::on_recover(mp::NodeId n) {
+  ++lifecycle_;
+  TimelineEvent e;
+  e.kind = TimelineEvent::Kind::kRecover;
+  e.to = n;
+  std::ostringstream os;
+  os << "node " << n << " recovered";
+  e.detail = os.str();
+  events_.push_back(std::move(e));
+}
+
+void TimelineRecorder::note_fault(std::string detail) {
+  ++lifecycle_;
+  TimelineEvent e;
+  e.kind = TimelineEvent::Kind::kFault;
+  e.detail = std::move(detail);
+  events_.push_back(std::move(e));
+}
+
+std::string TimelineRecorder::last_fault_touching(int node) const {
+  std::string hit;
+  for (const TimelineEvent& e : events_) {
+    bool match = false;
+    switch (e.kind) {
+      case TimelineEvent::Kind::kCrash:
+      case TimelineEvent::Kind::kRecover:
+        match = node < 0 || e.to == node;
+        break;
+      case TimelineEvent::Kind::kFault:
+        // Driver notes (partition cut/heal, ...) name no single node;
+        // they touch everyone unless they name a different node.
+        match = node < 0 ||
+                e.detail.find("node " + std::to_string(node)) !=
+                    std::string::npos ||
+                e.detail.find("partition") != std::string::npos;
+        break;
+      default:
+        break;
+    }
+    if (match) hit = e.detail;
+  }
+  return hit;
+}
+
+}  // namespace rlt::obs

@@ -13,7 +13,9 @@
 #include "checker/wsl_checker.hpp"
 #include "mp/abd.hpp"
 #include "mp/network.hpp"
+#include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "registers/alg2_register.hpp"
 #include "registers/alg4_register.hpp"
 #include "sim/adversary.hpp"
@@ -185,8 +187,9 @@ void check_history(const History& h, bool expect_wsl, bool online,
   out.verdict = Verdict::kOk;
 }
 
-void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
-                bool expect_wsl, bool online, ScenarioResult& out) {
+void finish_sim(const Scenario& s, sim::Scheduler& sched, const SimDrive& d,
+                const History& h, bool expect_wsl, ScenarioResult& out) {
+  const bool online = s.online_check;
   out.steps = sched.actions_applied();
   out.ops = h.completed_count();
   out.history_hash = hash_history(h);
@@ -218,6 +221,14 @@ void finish_sim(sim::Scheduler& sched, const SimDrive& d, const History& h,
     }
   }
   classify_run(h, expect_wsl, end, end_detail, out, online);
+  if (s.forensics && out.verdict != Verdict::kOk) {
+    // Sim families have no message substrate: the artifact carries the
+    // op spans (stalled pending ops included) and, on violations, the
+    // re-verified minimal certificate.
+    const obs::ForensicsCapture cap;
+    out.forensics = obs::build_artifact(s.key(), to_string(out.verdict),
+                                        out.detail, h, cap);
+  }
 }
 
 void run_modeled(const Scenario& s, sim::SchedulePolicy* policy,
@@ -231,8 +242,8 @@ void run_modeled(const Scenario& s, sim::SchedulePolicy* policy,
     });
   }
   const SimDrive d = drive_sim(s, sched, policy);
-  finish_sim(sched, d, sched.global_history(),
-             s.semantics == sim::Semantics::kWriteStrong, s.online_check, out);
+  finish_sim(s, sched, d, sched.global_history(),
+             s.semantics == sim::Semantics::kWriteStrong, out);
 }
 
 /// Drives Algorithm 2 (`expect_wsl=true`, per Theorem 10) or Algorithm 4
@@ -251,7 +262,7 @@ void run_implemented(const Scenario& s, bool expect_wsl,
                       });
   }
   const SimDrive d = drive_sim(s, sched, policy);
-  finish_sim(sched, d, reg.hl_history(), expect_wsl, s.online_check, out);
+  finish_sim(s, sched, d, reg.hl_history(), expect_wsl, out);
 }
 
 /// A node's crash moment, decided up front from the scenario's FaultPlan.
@@ -467,6 +478,12 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   mp::Network net;
   mp::AbdRegister reg(net, s.processes, /*writer=*/0, /*initial=*/0,
                       s.abd_read_write_back);
+  // Forensics timeline: a passive NetObserver recording every network
+  // event in driver order, plus driver-level fault notes.  Attached only
+  // when the scenario asks for forensics — zero overhead otherwise, and
+  // never any behavior change (the fabric Rng streams are untouched).
+  obs::TimelineRecorder timeline;
+  if (s.forensics) net.set_observer(&timeline);
   util::Rng rng(s.seed * kFnvPrime + 2);
   const std::vector<PlannedCrash> crashes = plan_crashes(s);
   const AbdFaultFabric fab = plan_fabric(s, net);
@@ -493,6 +510,10 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
     if (pr.token >= 0) return false;
     return !pr.writes.empty() || pr.reads > 0;
   };
+  // Every token ever started, in begin order (forensics only): the
+  // quorum ledger must cover abandoned ops too, whose Program token was
+  // cleared when their home crashed.
+  std::vector<int> token_log;
   auto start_op = [&](int n) {
     Program& pr = prog[static_cast<std::size_t>(n)];
     if (!pr.writes.empty()) {
@@ -502,6 +523,7 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
       pr.token = reg.begin_read(n);
       --pr.reads;
     }
+    if (s.forensics) token_log.push_back(pr.token);
   };
 
   int rr_next = 0;
@@ -528,6 +550,7 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   int menu_crashes_left = menu_faults ? (s.processes - 1) / 2 : 0;
   RunEnd end = RunEnd::kCompleted;
   std::string end_detail;
+  std::vector<obs::LedgerEntry> ledger;
   for (;;) {
     // Partition cut/heal due at this moment.
     if (fab.has_partition) {
@@ -535,10 +558,27 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
         net.set_partition(fab.side);
         cut_applied = true;
         cut_active = true;
+        if (s.forensics) {
+          std::ostringstream os;
+          os << "partition cut {";
+          for (std::size_t i = 0; i < fab.side.size(); ++i) {
+            if (fab.side[i] == 0) os << ' ' << i;
+          }
+          os << " }|{";
+          for (std::size_t i = 0; i < fab.side.size(); ++i) {
+            if (fab.side[i] != 0) os << ' ' << i;
+          }
+          os << " } at iteration " << iterations;
+          timeline.note_fault(os.str());
+        }
       }
       if (cut_active && iterations >= fab.heal_at) {
         net.heal_partition();
         cut_active = false;
+        if (s.forensics) {
+          timeline.note_fault("partition healed at iteration " +
+                              std::to_string(iterations));
+        }
       }
     }
     // Fire crashes due at this moment.  A crashed node abandons the rest
@@ -649,6 +689,39 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
              << "/" << s.processes << " nodes live";
         }
         end_detail = os.str();
+        // Quorum ledger: one entry per op that will never complete —
+        // which servers acked its stuck phase, and the named fault
+        // event that cut it off.  token_log covers abandoned ops whose
+        // Program slot was already cleared.  Token == history op id:
+        // both counters advance exactly once per begin_*.
+        if (s.forensics) {
+          for (const int tok : token_log) {
+            if (reg.done(tok)) continue;
+            obs::LedgerEntry le;
+            le.token = tok;
+            le.op_id = tok;
+            le.node = reg.op_node(tok);
+            le.phase = reg.op_phase_name(tok);
+            const std::uint64_t mask = reg.op_heard_mask(tok);
+            for (int b = 0; b < s.processes; ++b) {
+              if ((mask >> b) & 1u) le.acks.push_back(b);
+            }
+            le.quorum = reg.quorum();
+            le.n = s.processes;
+            le.abandoned = reg.op_abandoned(tok);
+            if (le.abandoned) {
+              le.cause = "abandoned-by-crash-recovery";
+              le.cut_by = timeline.last_fault_touching(le.node);
+            } else if (net.crashed(le.node)) {
+              le.cause = "home-node-crashed";
+              le.cut_by = timeline.last_fault_touching(le.node);
+            } else {
+              le.cause = "no-live-quorum";
+              le.cut_by = timeline.last_fault_touching(-1);
+            }
+            ledger.push_back(std::move(le));
+          }
+        }
       }
       break;
     }
@@ -784,6 +857,14 @@ void run_abd(const Scenario& s, sim::SchedulePolicy* policy,
   // exit path, so a violation in a blocked or budget-exhausted schedule
   // is never masked by the early-exit classification.
   classify_run(h, /*expect_wsl=*/true, end, end_detail, out, s.online_check);
+  if (s.forensics && out.verdict != Verdict::kOk) {
+    obs::ForensicsCapture cap;
+    cap.timeline = &timeline;
+    cap.ledger = std::move(ledger);
+    out.forensics = obs::build_artifact(s.key(), to_string(out.verdict),
+                                        out.detail, h, cap);
+  }
+  net.set_observer(nullptr);
 }
 
 }  // namespace

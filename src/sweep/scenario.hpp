@@ -172,6 +172,15 @@ struct Scenario {
   /// schedules.  Arms ABD's retransmission layer so adversarial drops
   /// cannot trivially block the run.  key() marks it ("/fmenu").
   bool explore_faults = false;
+  /// Capture forensics for non-ok verdicts: the event timeline
+  /// (mp::NetObserver for ABD), the quorum ledger on kBlocked, and a
+  /// re-verified failure certificate on kViolation, rendered into
+  /// ScenarioResult::forensics as one canonical-JSON document
+  /// (obs/forensics.hpp).  Deliberately EXCLUDED from key(), like
+  /// online_check: the artifact is observability, never digest
+  /// material, and a --forensics sweep's store stays byte-identical to
+  /// a plain run's.
+  bool forensics = false;
 
   /// Stable human-readable key, e.g. "alg2/rr/p3/w2/seed42",
   /// "abd/rand/p5/w2/fminority-c7/seed42", or
@@ -235,6 +244,11 @@ struct ScenarioResult {
   std::uint64_t net_bytes = 0;       ///< Wire bytes sent (8 B/word).
   std::uint64_t net_round_trips = 0; ///< ABD phase broadcasts incl. rexmits.
   std::string detail;             ///< Failure explanation (empty if kOk).
+  /// Canonical-JSON forensics artifact (obs/forensics.hpp): non-empty
+  /// only when Scenario::forensics was set and the verdict is not kOk.
+  /// A pure function of the Scenario — byte-identical across threads,
+  /// batches, and shards — and never digest or store material.
+  std::string forensics;
 };
 
 /// Runs one scenario to completion.  Deterministic: identical `s` gives

@@ -7,6 +7,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/forensics.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -137,6 +138,7 @@ Enumeration enumerate_shard(const SweepOptions& o) {
                 s.max_actions = o.max_actions_per_scenario;
                 s.faults = plan;
                 s.online_check = o.online;
+                s.forensics = o.forensics;
                 en.global_indices.push_back(gi);
                 en.scenarios.push_back(s);
               }
@@ -353,14 +355,39 @@ SweepSummary run_sweep(const SweepOptions& o, std::uint64_t progress_every,
       obs::append_stable_deltas(deltas[i], span);
       hooks->trace->append(span);
     }
+    if (hooks != nullptr && hooks->forensics_on() &&
+        r.verdict != Verdict::kOk) {
+      // One canonical-JSON artifact per non-ok scenario, written during
+      // the deterministic fold and named by global index — so the
+      // directory is byte-identical across --threads/--batch, and the
+      // gi-disjoint shards of one sweep tile the unsharded directory.
+      // Runners that could not capture forensics (kError unwound before
+      // the history existed) still get an honest stub.
+      std::string body = r.forensics;
+      if (body.empty()) {
+        Record stub;
+        stub.u64("forensics", 1)
+            .str("key", key)
+            .str("verdict", to_string(r.verdict))
+            .str("detail", r.detail);
+        body = stub.json() + "\n";
+      }
+      obs::write_artifact(
+          hooks->forensics_dir,
+          "scenario-" + std::to_string(en.global_indices[i]) + ".json", body);
+    }
   }
   if (tracing && hooks->trace_times) {
     // Closing span: end-to-end engine wall clock (opt-in, like every
     // wall-clock trace field).
+    // "stable":false marks this record as wall-clock material, never
+    // byte-stable across runs — sweep_diff.py-style tooling skips it
+    // mechanically instead of special-casing the span name.
     Record close;
     close.str("obs", "span")
         .str("span", "sweep")
         .str("mode", "safety")
+        .boolean("stable", false)
         .u64("scenarios", scenarios.size())
         .u64("elapsed_ns",
              static_cast<std::uint64_t>(

@@ -70,6 +70,13 @@ struct SweepOptions {
   /// an ERROR.  Excluded from scenario keys — an agreeing --online sweep
   /// produces records byte-identical to an offline one.
   bool online = false;
+  /// Capture per-scenario forensics (Scenario::forensics) so non-ok
+  /// results carry a canonical-JSON artifact; run_sweep writes one file
+  /// per non-ok scenario into obs::Hooks::forensics_dir.  An execution
+  /// knob like `online`: excluded from scenario keys and config_key, so
+  /// a --forensics sweep's store and digest are byte-identical to a
+  /// plain run's.
+  bool forensics = false;
   /// Which slice of the cross-product this process runs (see shard.hpp).
   /// The default (1/1) is the classic unsharded sweep.  An execution
   /// knob, not config: every shard of one logical sweep shares the same

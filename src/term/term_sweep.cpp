@@ -397,9 +397,11 @@ TermSummary run_term_sweep(const TermSweepOptions& o,
   }
   if (tracing && hooks->trace_times) {
     sweep::Record close;
+    // "stable":false: wall-clock record, skippable mechanically.
     close.str("obs", "span")
         .str("span", "sweep")
         .str("mode", "term")
+        .boolean("stable", false)
         .u64("scenarios", scenarios.size())
         .u64("elapsed_ns",
              static_cast<std::uint64_t>(

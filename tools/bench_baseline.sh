@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Runs the checker/sweep perf benches and writes one merged JSON snapshot
-# (BENCH_checker.json) — the tracked bench baseline.  Intended use:
+# — the tracked bench baseline.  Intended use:
 #
 #   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 #   cmake --build build-bench -j
-#   tools/bench_baseline.sh build-bench BENCH_checker.json
+#   tools/bench_baseline.sh build-bench
 #
-# Both arguments are optional (default: build/ and BENCH_checker.json).
+# Both arguments are optional (default: build/ and a per-machine-class
+# name).  When OUT is omitted, the snapshot is blessed for THIS machine
+# class: it is written as BENCH_<class>.json, where <class> is
+# bench_diff.machine_class() over the snapshot's own machine metadata
+# (e.g. BENCH_linux-x86_64-c8-1a2b3c4d.json).  bench_diff.py --strict
+# picks exactly that file when its named baseline was blessed on a
+# different class, so each class only hard-gates against its own
+# blessing.  Pass OUT explicitly (e.g. BENCH_checker.json) to keep a
+# fixed name.
 # Each bench runs with --benchmark_format=json; the per-bench documents
 # are merged under their bench name, plus a metadata header.  Compare two
 # snapshots with e.g.:
@@ -23,7 +31,8 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_checker.json}"
+OUT="${2:-}"  # empty: derive BENCH_<class>.json from machine metadata
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 BENCHES=(perf_wsl perf_sweep perf_checker perf_term perf_explore perf_stream
          perf_obs)
 
@@ -55,11 +64,14 @@ if [[ "${#ran[@]}" -eq 0 ]]; then
   exit 1
 fi
 
-python3 - "${OUT}" "${tmpdir}" "${BUILD_DIR}" "${ran[@]}" <<'EOF'
+python3 - "${OUT}" "${tmpdir}" "${BUILD_DIR}" "${SCRIPT_DIR}" \
+    "${ran[@]}" <<'EOF'
 import json, os, platform, subprocess, sys
 
-out, tmpdir, build_dir, benches = (sys.argv[1], sys.argv[2], sys.argv[3],
-                                   sys.argv[4:])
+out, tmpdir, build_dir, script_dir = sys.argv[1:5]
+benches = sys.argv[5:]
+sys.path.insert(0, script_dir)
+from bench_diff import machine_class  # single source of class naming
 
 def run(cmd):
     try:
@@ -91,12 +103,17 @@ machine = {
     "compiler": compiler[0] if compiler else "unknown",
 }
 
-doc = {"commit": commit, "machine": machine, "benches": {}}
+cls = machine_class(machine)
+if not out:
+    out = f"BENCH_{cls}.json"
+doc = {"commit": commit, "machine": machine, "machine_class": cls,
+       "benches": {}}
 for name in benches:
     with open(f"{tmpdir}/{name}.json") as f:
         doc["benches"][name] = json.load(f)
 with open(out, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)
     f.write("\n")
-print(f"bench_baseline: wrote {out} ({len(benches)} benches)")
+print(f"bench_baseline: wrote {out} ({len(benches)} benches, "
+      f"class {cls})")
 EOF

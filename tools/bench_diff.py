@@ -11,20 +11,39 @@ hard gate); pass --strict to exit 1 when any regression is flagged.
 Benchmarks present in only one snapshot are listed but never flagged.
 
 Snapshots embed machine-class metadata (os/arch/cpus/compiler, written
-by bench_baseline.sh).  Timings are only comparable within one machine
-class: when the classes differ (or a pre-metadata snapshot leaves them
-unknown), the comparison still prints but --strict does NOT gate on it —
-a blessed baseline only hard-fails runs from the machine class it was
-blessed on.
+by bench_baseline.sh) and each class has a deterministic slug
+(machine_class(), e.g. linux-x86_64-c8-1a2b3c4d).  Timings are only
+comparable within one machine class, so on a class mismatch the diff
+first looks for a blessed per-class baseline — BENCH_<class>.json for
+the NEW snapshot's class, in --baseline-dir (default: the named
+baseline's directory) — and gates --strict against that instead.  Only
+when no matching class baseline exists does it fall back to the old
+behaviour: print the comparison, warn, and decline to hard-gate (a
+strict gate across machine classes would fail on hardware or toolchain
+differences, not code).
 
 When running under GitHub Actions (GITHUB_ACTIONS=true), regressions are
 also emitted as ::warning:: annotations so they surface on the run page.
 """
 
 import argparse
+import hashlib
 import json
 import os
 import sys
+
+
+def machine_class(machine):
+    """Deterministic slug naming a machine class: readable os/arch/cpu
+    prefix plus a short hash over the FULL canonical metadata (so a
+    compiler bump is a new class even with identical hardware)."""
+    if not machine:
+        return "unknown"
+    canon = json.dumps(machine, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()[:8]
+    osname = str(machine.get("os", "unknown")).lower() or "unknown"
+    arch = str(machine.get("arch", "unknown")).lower() or "unknown"
+    return f"{osname}-{arch}-c{machine.get('cpus', 0)}-{digest}"
 
 
 def load_snapshot(path):
@@ -52,6 +71,10 @@ def main():
                     help="exit 1 when regressions are flagged and the "
                          "snapshots share a machine class "
                          "(default: warn only)")
+    ap.add_argument("--baseline-dir", default="",
+                    help="where to look for per-class BENCH_<class>.json "
+                         "baselines on a machine-class mismatch "
+                         "(default: the named baseline's directory)")
     args = ap.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -72,9 +95,25 @@ def main():
               "(pre-metadata baseline?); timings may not be comparable",
               file=sys.stderr)
     elif not machines_match:
-        print("bench_diff: machine classes differ — timings are not "
-              f"directly comparable\n  baseline: {old_machine}\n"
-              f"  new:      {new_machine}", file=sys.stderr)
+        # Prefer the blessed baseline for the NEW snapshot's class over
+        # an apples-to-oranges comparison.
+        base_dir = (args.baseline_dir
+                    or os.path.dirname(args.baseline) or ".")
+        alt = os.path.join(base_dir,
+                           f"BENCH_{machine_class(new_machine)}.json")
+        if (os.path.exists(alt)
+                and os.path.abspath(alt)
+                != os.path.abspath(args.baseline)):
+            print(f"bench_diff: machine classes differ; comparing "
+                  f"against the blessed class baseline {alt} instead",
+                  file=sys.stderr)
+            args.baseline = alt
+            old, old_machine = load_snapshot(alt)
+            machines_match = old_machine == new_machine
+        if not machines_match:
+            print("bench_diff: machine classes differ — timings are not "
+                  f"directly comparable\n  baseline: {old_machine}\n"
+                  f"  new:      {new_machine}", file=sys.stderr)
 
     regressions = []
     for name in sorted(old.keys() & new.keys()):

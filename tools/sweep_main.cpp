@@ -48,6 +48,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -186,6 +187,19 @@ using rlt::term::TermSweepOptions;
       "                      tools/sweep_shard.py --progress consumes this\n"
       "  --heartbeat MS      human progress heartbeat to stderr every MS\n"
       "                      milliseconds\n"
+      "  --forensics DIR     write one canonical-JSON forensics artifact\n"
+      "                      per non-ok scenario into DIR (created if\n"
+      "                      missing): scenario-<gi>.json with the full\n"
+      "                      history, a re-verified minimal failure\n"
+      "                      certificate on VIOLATION, the ABD quorum\n"
+      "                      ledger on blocked runs, and the message\n"
+      "                      timeline with happens-before edges; --explore\n"
+      "                      --objective violation replays each shrunk\n"
+      "                      witness into explore-<gi>.json.  Artifacts\n"
+      "                      are byte-identical across --threads/--batch\n"
+      "                      and across shards (gi filenames are disjoint,\n"
+      "                      so all shards may share one DIR); convert\n"
+      "                      with tools/trace_view.py for Perfetto\n"
       "  --list              print the scenario keys and exit\n"
       "merge mode:\n"
       "  --merge FILE...     validate and merge the named shard stores\n"
@@ -506,6 +520,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string forensics_dir;
   bool trace_times = false;
   int progress_fd = -1;
   std::uint64_t heartbeat_ms = 0;
@@ -658,6 +673,15 @@ int main(int argc, char** argv) {
     } else if (a == "--trace") {
       obs_flags_used.push_back(a);
       trace_path = next();
+    } else if (a == "--forensics") {
+      // Forensics needs a recorded history to certify: safety sweeps and
+      // violation hunts have one, --term and rounds objectives do not —
+      // the algo-flag category enforces exactly that pairing, and the
+      // obs category keeps it out of --merge/--replay/--list.
+      obs_flags_used.push_back(a);
+      algo_flags_used.push_back(a);
+      forensics_dir = next();
+      if (forensics_dir.empty()) bad_value("--forensics", forensics_dir);
     } else if (a == "--trace-times") {
       obs_flags_used.push_back(a);
       trace_times = true;
@@ -912,8 +936,16 @@ int main(int argc, char** argv) {
     hooks.trace_times = trace_times;
     hooks.progress_fd = progress_fd;
     hooks.heartbeat_ms = heartbeat_ms;
+    if (!forensics_dir.empty()) {
+      std::filesystem::create_directories(forensics_dir);
+      hooks.forensics_dir = forensics_dir;
+      opts.forensics = true;   // capture in the runners...
+      eopts.forensics = true;  // ...and in explore witness replays
+    }
     const rlt::obs::Hooks* hooks_p =
-        (hooks.trace || hooks.progress_on()) ? &hooks : nullptr;
+        (hooks.trace || hooks.progress_on() || hooks.forensics_on())
+            ? &hooks
+            : nullptr;
     std::string stable;
     std::uint64_t elapsed_ns = 0;
     std::uint64_t wall_ns_total = 0;

@@ -26,9 +26,13 @@ Options:
                  coordinator multiplexes the streams into `[shard i]`
                  lines on stderr (done/total, rate, ETA, per-class
                  counts).  Once the first shard finishes, any shard
-                 whose ETA exceeds twice the fastest finisher's total
-                 time is flagged as a straggler (once).  Local shards
-                 only — rejected with --hosts
+                 whose ETA exceeds --straggler-factor times the fastest
+                 finisher's total time is flagged as a straggler (once).
+                 Local shards only — rejected with --hosts
+  --straggler-factor F
+                 straggler threshold for --progress (default 2.0, must
+                 be > 0): flag a running shard once its ETA exceeds
+                 F x the fastest finished shard's wall time
   --hosts LIST   comma list of SSH hosts to spread shards over
                  round-robin (shard i runs via `ssh <host[i mod H]>`).
                  v1 hook point: hosts must share this filesystem (same
@@ -39,7 +43,12 @@ Everything after `--` goes to sweep_main verbatim.  The coordinator owns
 --shard/--merge/--out/--list/--replay/--progress-fd, so those are
 rejected in the sweep args.  Per-shard observability files (--metrics,
 --trace) are allowed: the coordinator rewrites each path to
-<path>.shard<i> so shards never clobber a shared file.
+<path>.shard<i> so shards never clobber a shared file.  --forensics DIR
+passes through UNREWRITTEN on purpose: artifact names embed the global
+scenario index (scenario-<gi>.json), global indices are disjoint across
+shards, and each artifact is a pure function of its scenario — so all
+shards share one DIR and together tile exactly the files the unsharded
+run would write, byte for byte.
 
 Exit status: the merge's own exit status (0 clean, 1 the merged summary
 contains failures) — or 2 if any shard exits with a usage/machinery
@@ -90,12 +99,17 @@ def main():
     ap.add_argument("--jobs", type=int, default=0)
     ap.add_argument("--work-dir", default="")
     ap.add_argument("--progress", action="store_true")
+    ap.add_argument("--straggler-factor", type=float, default=2.0)
     ap.add_argument("--hosts", default="")
     ap.add_argument("sweep_args", nargs="*")
     args = ap.parse_args()
 
     if args.shards < 1:
         print("sweep_shard: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if not args.straggler_factor > 0:  # also rejects NaN
+        print("sweep_shard: --straggler-factor must be > 0",
+              file=sys.stderr)
         return 2
     sweep_args = args.sweep_args
     # argparse keeps the "--" separator when present; drop it.
@@ -160,10 +174,12 @@ def main():
               f"{extras}{state}", file=sys.stderr)
         if (finished_in and d.get("state") != "done"
                 and i not in flagged
-                and d.get("eta_ms", 0) / 1000.0 > 2 * min(finished_in)):
+                and d.get("eta_ms", 0) / 1000.0
+                > args.straggler_factor * min(finished_in)):
             flagged.add(i)
             print(f"[sweep_shard] shard {i} straggling: eta "
-                  f"{d['eta_ms'] / 1000.0:.1f}s vs fastest shard "
+                  f"{d['eta_ms'] / 1000.0:.1f}s vs "
+                  f"{args.straggler_factor}x fastest shard "
                   f"{min(finished_in):.1f}s total", file=sys.stderr)
 
     def reap(i, proc, rc):

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Convert sweep observability files to Chrome trace-event JSON.
+
+Usage:
+    tools/trace_view.py [--out trace.json] FILE...
+    tools/trace_view.py --selftest
+
+Accepts either kind of file the sweep engine writes, autodetected per
+file, and emits one Chrome trace-event JSON document ("traceEvents"
+array) loadable in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing:
+
+  * `--trace` span JSONL: each scenario span becomes a complete ("X")
+    slice on one timeline per mode.  With --trace-times the span's
+    wall_ns sets the slice duration and slices are laid out
+    back-to-back in enumeration order; without it every slice gets unit
+    duration.  Records carrying `"stable": false` (the closing sweep
+    span, which opts out of byte-identity) are skipped mechanically —
+    that marker, not field sniffing, is the skip signal.
+
+  * `--forensics` artifacts (scenario-<gi>.json / explore-<gi>.json):
+    the recorded history becomes one track per process (op slices at
+    their invoke/response times; pending ops run to the end of the
+    history), and the message timeline becomes one track per node with
+    a unit slice per event.  Happens-before edges (send -> delivery,
+    matched by seq) are rendered as flow arrows; crashes, recoveries,
+    drops, and fault events become instant markers.  Timeline events
+    carry no wall clock (determinism), so their timestamps are the
+    event order — the ops pane and the network pane are separate
+    Perfetto process groups with separate clocks.
+
+Each input file gets its own Perfetto "process" group (pid), so several
+shards' forensics artifacts can be loaded side by side in one view.
+
+Exit status: 0 on success, 1 when an input cannot be parsed, 2 on bad
+usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _meta(pid, tid, what, name):
+    return {"ph": "M", "pid": pid, "tid": tid, "name": what,
+            "args": {"name": name}}
+
+
+def convert_spans(lines, pid, label):
+    """--trace JSONL -> one slice per scenario span, per-mode tracks."""
+    events = [_meta(pid, 0, "process_name", label)]
+    cursor = {}  # tid -> next free ts (us) when spans carry no wall clock
+    tids = {}    # mode -> tid
+    for n, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+        except ValueError as e:
+            raise ValueError(f"line {n}: {e}")
+        if d.get("obs") != "span":
+            continue
+        if d.get("stable") is False:
+            # The documented opt-out marker (e.g. the closing sweep
+            # span under --trace-times): not a scenario, skip it.
+            continue
+        mode = str(d.get("mode", "sweep"))
+        if mode not in tids:
+            tids[mode] = len(tids)
+            events.append(_meta(pid, tids[mode], "thread_name",
+                                f"{mode} scenarios"))
+        tid = tids[mode]
+        dur = max(d.get("wall_ns", 0) // 1000, 1)
+        ts = cursor.get(tid, 0)
+        cursor[tid] = ts + dur
+        args = {k: v for k, v in d.items()
+                if k not in ("obs", "key", "mode")}
+        events.append({"ph": "X", "pid": pid, "tid": tid, "ts": ts,
+                       "dur": dur, "cat": mode,
+                       "name": str(d.get("key", f"span {n}")),
+                       "args": args})
+    return events
+
+
+def convert_forensics(doc, pid, label):
+    """One forensics artifact -> op tracks + network timeline tracks."""
+    events = [_meta(pid, 0, "process_name",
+                    f"{label} ops [{doc.get('verdict', '?')}]")]
+    ops = doc.get("ops", [])
+    end = max((op.get("response", op["invoke"]) for op in ops),
+              default=0) + 1
+    tids = {}
+    for op in sorted(ops, key=lambda o: (o["process"], o["invoke"])):
+        p = op["process"]
+        if p not in tids:
+            tids[p] = len(tids)
+            events.append(_meta(pid, tids[p], "thread_name",
+                                f"process {p}"))
+        ts = op["invoke"]
+        resp = op.get("response")
+        name = f"{op['kind']} R{op['reg']}={op['value']}"
+        if op.get("pending"):
+            name += " (pending)"
+        args = {"id": op["id"], "pending": bool(op.get("pending"))}
+        cert = doc.get("certificate", {})
+        if op["id"] in cert.get("ops", []):
+            args["certificate"] = True
+            name = "** " + name
+        events.append({"ph": "X", "pid": pid, "tid": tids[p], "ts": ts,
+                       "dur": (resp if resp is not None else end) - ts,
+                       "cat": "op", "name": name, "args": args})
+
+    # Network pane: its own pid — timeline events are ordered but
+    # unclocked, so they must not share an axis with history time.
+    npid = pid + 1
+    tl = doc.get("timeline")
+    if tl is not None:
+        events.append(_meta(npid, 0, "process_name",
+                            f"{label} network ({tl.get('elided', 0)} "
+                            "elided)"))
+        ntids = {}
+
+        def node_tid(node):
+            if node not in ntids:
+                ntids[node] = len(ntids)
+                events.append(_meta(npid, ntids[node], "thread_name",
+                                    f"node {node}" if node >= 0
+                                    else "faults"))
+            return ntids[node]
+
+        for ts, e in enumerate(tl.get("events", [])):
+            kind = e.get("e")
+            if kind in ("send", "deliver", "drop", "duplicate"):
+                tid = node_tid(e["from"] if kind == "send" else e["to"])
+                name = (f"{kind} {e['from']}->{e['to']} "
+                        f"t{e.get('type', 0)}")
+                events.append({"ph": "X", "pid": npid, "tid": tid,
+                               "ts": ts, "dur": 1, "cat": kind,
+                               "name": name,
+                               "args": {"seq": e.get("seq", 0),
+                                        **({"detail": e["detail"]}
+                                           if e.get("detail") else {})}})
+                if kind == "send":
+                    events.append({"ph": "s", "pid": npid, "tid": tid,
+                                   "ts": ts, "id": e.get("seq", 0),
+                                   "cat": "msg", "name": "msg"})
+                elif kind == "deliver":
+                    events.append({"ph": "f", "bp": "e", "pid": npid,
+                                   "tid": tid, "ts": ts,
+                                   "id": e.get("seq", 0), "cat": "msg",
+                                   "name": "msg"})
+            elif kind in ("crash", "recover"):
+                events.append({"ph": "i", "s": "p", "pid": npid,
+                               "tid": node_tid(e.get("node", -1)),
+                               "ts": ts, "cat": kind,
+                               "name": e.get("detail", kind)})
+            elif kind == "fault":
+                events.append({"ph": "i", "s": "p", "pid": npid,
+                               "tid": node_tid(-1), "ts": ts,
+                               "cat": "fault",
+                               "name": e.get("detail", "fault")})
+    return events
+
+
+def convert_file(text, pid, label):
+    """Autodetect one input file's kind and convert it."""
+    first = text.lstrip().splitlines()[0] if text.strip() else "{}"
+    try:
+        head = json.loads(first)
+    except ValueError as e:
+        raise ValueError(f"first line is not JSON: {e}")
+    if head.get("forensics") == 1:
+        doc = json.loads(text)
+        if "ops" not in doc:
+            # kError stub: the runner unwound before capture; render
+            # the verdict as a single marker so it is still visible.
+            return [_meta(pid, 0, "process_name", f"{label} [stub]"),
+                    {"ph": "i", "s": "p", "pid": pid, "tid": 0,
+                     "ts": 0, "cat": "stub",
+                     "name": doc.get("detail", doc.get("verdict",
+                                                       "stub"))}]
+        return convert_forensics(doc, pid, label)
+    if head.get("obs") == "span":
+        return convert_spans(text.splitlines(), pid, label)
+    raise ValueError("unrecognized input (expected a --trace span JSONL "
+                     "or a --forensics artifact)")
+
+
+SELFTEST_SPANS = """\
+{"obs":"span","gi":0,"key":"abd/rand/p3/seed0","mode":"safety","verdict":"ok","wall_ns":5000,"sweep.scenarios":1}
+{"obs":"span","gi":1,"key":"abd/rand/p3/seed1","mode":"safety","verdict":"blocked","sweep.scenarios":1}
+{"obs":"span","span":"sweep","mode":"safety","stable":false,"scenarios":2,"elapsed_ns":9}
+"""
+
+SELFTEST_FORENSICS = json.dumps({
+    "forensics": 1, "key": "abd/rand/p3/seed0", "verdict": "VIOLATION",
+    "detail": "linearizability violated", "initial": {"R0": 0},
+    "ops": [
+        {"id": 0, "process": 0, "reg": 0, "kind": "write", "value": 7,
+         "invoke": 1, "response": 4, "pending": False},
+        {"id": 1, "process": 1, "reg": 0, "kind": "read", "value": 9,
+         "invoke": 2, "pending": True},
+    ],
+    "certificate": {"checker": "linearizability", "ops": [1],
+                    "constraint": "x", "reverified": True, "probes": 3},
+    "ledger": [],
+    "timeline": {"elided": 0, "events": [
+        {"e": "send", "from": 0, "to": 1, "type": 2, "seq": 1},
+        {"e": "deliver", "from": 0, "to": 1, "type": 2, "seq": 1},
+        {"e": "crash", "node": 1, "detail": "node 1 crashed"},
+        {"e": "fault", "detail": "partition cut { 0 }|{ 1 }"},
+    ], "edges": [{"from": 0, "to": 1}]},
+})
+
+
+def selftest():
+    spans = convert_spans(SELFTEST_SPANS.splitlines(), 0, "t")
+    slices = [e for e in spans if e["ph"] == "X"]
+    assert len(slices) == 2, slices  # stable:false span skipped
+    assert slices[0]["dur"] == 5 and slices[1]["ts"] == 5, slices
+    assert all(e.get("name") != "span 3" for e in spans)
+
+    fx = convert_forensics(json.loads(SELFTEST_FORENSICS), 0, "t")
+    ops = [e for e in fx if e["ph"] == "X" and e["cat"] == "op"]
+    assert len(ops) == 2, ops
+    pend = next(e for e in ops if e["args"]["id"] == 1)
+    assert pend["args"]["certificate"] and pend["name"].startswith("**")
+    assert pend["ts"] + pend["dur"] == 5  # runs to end-of-history
+    flows = [e["ph"] for e in fx if e["ph"] in ("s", "f")]
+    assert flows == ["s", "f"], flows
+    instants = [e["cat"] for e in fx if e["ph"] == "i"]
+    assert instants == ["crash", "fault"], instants
+    json.dumps({"traceEvents": fx + spans})  # must serialize
+
+    stub = convert_file('{"forensics":1,"key":"k","verdict":"ERROR",'
+                        '"detail":"boom"}\n', 0, "t")
+    assert any(e["ph"] == "i" and e["name"] == "boom" for e in stub)
+    print("trace_view selftest ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True, usage=__doc__)
+    ap.add_argument("--out", default="")
+    ap.add_argument("--selftest", action="store_true")
+    ap.add_argument("files", nargs="*")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    if not args.files:
+        print("trace_view: no input files (see --help)", file=sys.stderr)
+        return 2
+    events = []
+    # Two pids per input: ops pane + network pane (separate clocks).
+    for k, path in enumerate(args.files):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+            events += convert_file(text, 2 * k, path)
+        except (OSError, ValueError) as e:
+            print(f"trace_view: {path}: {e}", file=sys.stderr)
+            return 1
+    doc = json.dumps({"traceEvents": events}, indent=1)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(doc + "\n")
+    else:
+        print(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
